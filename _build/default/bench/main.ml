@@ -1,0 +1,286 @@
+(* Benchmark & reproduction harness.
+
+   `dune exec bench/main.exe` regenerates every table and figure of the
+   paper's evaluation (sections 5-6) side by side with the published
+   numbers, runs the ablations DESIGN.md calls out, and finishes with
+   Bechamel micro-benchmarks of the engines — one Test.make per
+   reproduced artifact plus the core primitives.
+
+   Pass a subset of artifact names to restrict the run, e.g.
+   `dune exec bench/main.exe -- table5 figure6`.  Known names:
+   tables12, table3, table4, table5, figure1, figure5, figure6,
+   ablation-capacity, ablation-complexity, ablation-models,
+   ablation-lookahead, ablation-granularity, multi-battery,
+   random-ensemble, cross-validation, micro. *)
+
+let ppf = Format.std_formatter
+
+let section title =
+  Format.fprintf ppf "@.=== %s ===@.@." title
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: the KiBaM two-well schematic, in ASCII                    *)
+(* ------------------------------------------------------------------ *)
+
+let figure1 () =
+  section "Figure 1: Kinetic Battery Model (schematic)";
+  Format.fprintf ppf
+    "    bound charge          available charge@.\
+    \   +-----------+   k    +-----------+@.\
+    \   |           |  ===>  |           |@.\
+    \   |  y2       | valve  |  y1       |----> i(t)@.\
+    \   |  (1 - c)  |        |  (c)      |@.\
+    \   +-----------+        +-----------+@.\
+    \       h2 = y2/(1-c)        h1 = y1/c@.\
+     @.\
+     dy1/dt = -i(t) + k (h2 - h1)      dy2/dt = -k (h2 - h1)@.\
+     battery empty when y1 = 0  (eq. 3: gamma = (1 - c) delta)@."
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1 and 2: model inventory                                     *)
+(* ------------------------------------------------------------------ *)
+
+let tables12 () =
+  section "Tables 1-2: TA-KiBaM variables and channels (model inventory)";
+  Format.fprintf ppf
+    "variables: n_gamma[id] (total charge, init N), m_delta[id] (height@.\
+     difference, init 0), bat_empty[id], j (epoch index), empty_count,@.\
+     load_time[] / cur_times[] / cur[] (the load encoding, cf. loadgen),@.\
+     recov_time[] (precomputed from eq. 6).@.\
+     channels: new_job (load, total_charge -> scheduler), go_on[id]@.\
+     (scheduler -> total_charge), go_off (load -> total_charge),@.\
+     use_charge[id] (total_charge -> height_difference), emptied@.\
+     (total_charge -> max_finder), all_empty (broadcast).@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: the network itself, as Graphviz                           *)
+(* ------------------------------------------------------------------ *)
+
+let figure5 () =
+  section "Figure 5: the TA-KiBaM network (Graphviz)";
+  let disc = Dkibam.Discretization.paper_b1 in
+  let arrays = Batsched.Experiments.arrays_of ~horizon:8.0 Loads.Testloads.ILs_alt in
+  let model = Takibam.Model.build ~n_batteries:2 disc arrays in
+  Format.fprintf ppf "%s@." (Takibam.Model.dot model)
+
+(* ------------------------------------------------------------------ *)
+(* Reproduced evaluation artifacts                                     *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  section "Table 3 (paper section 5)";
+  Batsched.Report.table3 ppf (Batsched.Experiments.table3 ())
+
+let table4 () =
+  section "Table 4 (paper section 5)";
+  Batsched.Report.table4 ppf (Batsched.Experiments.table4 ())
+
+let table5 () =
+  section "Table 5 (paper section 6)";
+  Batsched.Report.table5 ppf (Batsched.Experiments.table5 ())
+
+let figure6 () =
+  section "Figure 6 (paper section 6): ILs alt charge evolution + schedules";
+  Batsched.Report.figure6 ppf ~label:"best-of-two"
+    (Batsched.Experiments.figure6 `Best_of_two);
+  Format.fprintf ppf "@.";
+  Batsched.Report.figure6 ppf ~label:"optimal"
+    (Batsched.Experiments.figure6 `Optimal)
+
+let ablation_capacity () =
+  section "Ablation A1: stranded charge vs capacity (paper section 6 remark)";
+  Batsched.Report.capacity_sweep ppf
+    (Batsched.Experiments.capacity_sweep ~factors:[ 1.0; 2.0; 3.0; 5.0; 10.0 ] ())
+
+let ablation_complexity () =
+  section "Ablation A2: optimal-search complexity (paper section 4.4)";
+  Batsched.Report.complexity ppf (Batsched.Experiments.complexity_probe ())
+
+let ablation_models () =
+  section "Ablation S9: KiBaM vs Rakhmatov-Vrudhula diffusion model";
+  Batsched.Report.model_comparison ppf (Batsched.Experiments.model_comparison ())
+
+let ablation_lookahead () =
+  section "Ablation X2: bounded lookahead between best-of and optimal";
+  let load = Loads.Testloads.ILs_r1 in
+  Batsched.Report.lookahead_sweep ppf ~load
+    (Batsched.Experiments.lookahead_sweep ~load ~depths:[ 1; 2; 3; 4; 6; 8 ] ())
+
+let ablation_granularity () =
+  section "Ablation A3: discretization granularity (paper sections 2.3, 4.4)";
+  Batsched.Report.granularity_sweep ppf (Batsched.Experiments.granularity_sweep ())
+
+let multi_battery () =
+  section "Beyond the paper: packs of 2-4 batteries (ILs alt)";
+  let load = Loads.Testloads.ILs_alt in
+  Batsched.Report.multi_battery ppf ~load
+    (Batsched.Experiments.multi_battery ~load ())
+
+let random_ensemble () =
+  section
+    "Random-load ensemble (section 7 outlook: what Cora could not analyze)";
+  let e =
+    Sched.Ensemble.run ~n_loads:30 ~jobs_per_load:40
+      Dkibam.Discretization.paper_b1 ()
+  in
+  Batsched.Report.ensemble ppf e
+
+let cross_validation () =
+  section "Engine cross-validation (DESIGN.md Cora substitution)";
+  Batsched.Report.cross_validation ppf (Batsched.Experiments.cross_validate ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "Bechamel micro-benchmarks (one per reproduced artifact + engines)";
+  let open Bechamel in
+  let disc = Dkibam.Discretization.paper_b1 in
+  let ils_alt = Batsched.Experiments.arrays_of Loads.Testloads.ILs_alt in
+  let ils_alt_profile =
+    Loads.Epoch.to_profile (Loads.Testloads.load Loads.Testloads.ILs_alt)
+  in
+  let toy_params = Kibam.Params.make ~c:0.166 ~k':0.122 ~capacity:20.0 in
+  let toy_disc =
+    Dkibam.Discretization.make ~time_step:1.0 ~charge_unit:1.0 toy_params
+  in
+  let toy_arrays =
+    Loads.Arrays.make ~time_step:1.0 ~charge_unit:1.0
+      (Loads.Epoch.cycle_until ~horizon:400.0
+         (Loads.Epoch.append
+            (Loads.Epoch.job ~current:0.5 ~duration:8.0)
+            (Loads.Epoch.idle 4.0)))
+  in
+  let zone =
+    let z = Pta.Dbm.up (Pta.Dbm.zero 6) in
+    Pta.Dbm.constrain_cmp z ~clock:1 Pta.Expr.Le 40
+  in
+  let tests =
+    [
+      (* per-artifact regeneration costs *)
+      Test.make ~name:"table3: analytic column (B1, 10 loads)"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun name ->
+                 ignore
+                   (Kibam.Lifetime.lifetime_exn Kibam.Params.b1
+                      (Loads.Epoch.to_profile (Loads.Testloads.load name))))
+               Loads.Testloads.all_names));
+      Test.make ~name:"table3: dKiBaM column (B1, ILs alt)"
+        (Staged.stage (fun () -> ignore (Dkibam.Engine.lifetime_exn disc ils_alt)));
+      Test.make ~name:"table5: best-of-two (2xB1, ILs alt)"
+        (Staged.stage (fun () ->
+             ignore
+               (Sched.Simulator.lifetime_exn ~n_batteries:2
+                  ~policy:Sched.Policy.Best_of disc ils_alt)));
+      Test.make ~name:"table5: optimal search (2xB1, ILs alt)"
+        (Staged.stage (fun () ->
+             ignore (Sched.Optimal.search ~n_batteries:2 disc ils_alt)));
+      Test.make ~name:"figure6: traced best-of-two run"
+        (Staged.stage (fun () ->
+             ignore (Batsched.Experiments.figure6 `Best_of_two)));
+      (* engine primitives *)
+      Test.make ~name:"kibam: constant-current lifetime"
+        (Staged.stage (fun () ->
+             ignore (Kibam.Capacity.lifetime_constant Kibam.Params.b1 ~current:0.25)));
+      Test.make ~name:"kibam: analytic step"
+        (Staged.stage
+           (let s = Kibam.State.full Kibam.Params.b1 in
+            fun () -> ignore (Kibam.Analytic.step Kibam.Params.b1 ~current:0.25 ~elapsed:1.0 s)));
+      Test.make ~name:"dkibam: battery tick_many 1000"
+        (Staged.stage
+           (let b = Dkibam.Battery.make disc ~n_gamma:300 ~m_delta:40 ~recov_clock:0 in
+            fun () -> ignore (Dkibam.Battery.tick_many disc 1000 b)));
+      Test.make ~name:"diffusion: lifetime (ILs alt)"
+        (Staged.stage (fun () ->
+             ignore (Diffusion.Rv.lifetime Diffusion.Rv.itsy_b1 ils_alt_profile)));
+      Test.make ~name:"pta: DBM close (7 clocks)"
+        (Staged.stage (fun () -> ignore (Pta.Dbm.constrain_cmp zone ~clock:2 Pta.Expr.Le 17)));
+      Test.make ~name:"takibam: toy optimal (PTA min-cost search)"
+        (Staged.stage (fun () ->
+             ignore
+               (Takibam.Optimal.search
+                  (Takibam.Model.build ~n_batteries:2 toy_disc toy_arrays))));
+      Test.make ~name:"pta: CTL check on toy TA-KiBaM"
+        (Staged.stage
+           (let model = Takibam.Model.build ~n_batteries:2 toy_disc toy_arrays in
+            fun () ->
+              ignore (Pta.Ctl.holds model.compiled Takibam.Props.cora_query)));
+      Test.make ~name:"pta: Uppaal XML export (2xB1 ILs alt)"
+        (Staged.stage
+           (let model = Takibam.Model.build ~n_batteries:2 disc ils_alt in
+            fun () -> ignore (Pta.Uppaal.network model.Takibam.Model.network)));
+      Test.make ~name:"sched: lookahead-4 run (2xB1, ILs alt)"
+        (Staged.stage
+           (let policy = Sched.Optimal.lookahead_policy ~depth:4 disc ils_alt in
+            fun () ->
+              ignore
+                (Sched.Simulator.lifetime_exn ~n_batteries:2 ~policy disc ils_alt)));
+    ]
+  in
+  let run_one test =
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let raw = Benchmark.all cfg instances test in
+    let ols =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+        Toolkit.Instance.monotonic_clock raw
+    in
+    Hashtbl.iter
+      (fun name ols_result ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ nanos ] ->
+            let pretty =
+              if nanos > 1e9 then Printf.sprintf "%8.2f s " (nanos /. 1e9)
+              else if nanos > 1e6 then Printf.sprintf "%8.2f ms" (nanos /. 1e6)
+              else if nanos > 1e3 then Printf.sprintf "%8.2f us" (nanos /. 1e3)
+              else Printf.sprintf "%8.0f ns" nanos
+            in
+            Format.fprintf ppf "  %-50s %s/run@." name pretty
+        | _ -> Format.fprintf ppf "  %-50s (no estimate)@." name)
+      ols
+  in
+  List.iter run_one tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let artifacts =
+  [
+    ("tables12", tables12);
+    ("table3", table3);
+    ("table4", table4);
+    ("table5", table5);
+    ("figure1", figure1);
+    ("figure5", figure5);
+    ("figure6", figure6);
+    ("ablation-capacity", ablation_capacity);
+    ("ablation-complexity", ablation_complexity);
+    ("ablation-models", ablation_models);
+    ("ablation-lookahead", ablation_lookahead);
+    ("ablation-granularity", ablation_granularity);
+    ("multi-battery", multi_battery);
+    ("random-ensemble", random_ensemble);
+    ("cross-validation", cross_validation);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst artifacts
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name artifacts with
+      | Some run -> run ()
+      | None ->
+          Format.fprintf ppf "unknown artifact %S; known: %s@." name
+            (String.concat ", " (List.map fst artifacts));
+          exit 1)
+    requested;
+  Format.pp_print_flush ppf ()

@@ -1,0 +1,319 @@
+(* batsched — command-line front end for the battery-scheduling library.
+
+   Subcommands:
+     lifetime  — battery lifetime for one test load (single battery or a
+                 multi-battery policy)
+     compare   — all policies side by side on one load
+     schedule  — compute and print the optimal schedule
+     tables    — reproduce the paper's Tables 3, 4 and 5
+     figure6   — emit the Figure 6 data series
+     trace     — charge series of a simulated run under a policy
+     dot       — dump the TA-KiBaM network as Graphviz
+     uppaal    — export the TA-KiBaM as an Uppaal/Cora XML model *)
+
+open Cmdliner
+
+let load_conv =
+  let parse s =
+    match Loads.Testloads.of_string s with
+    | Some n -> Ok n
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown load %S (try one of: %s)" s
+               (String.concat ", "
+                  (List.map Loads.Testloads.to_string Loads.Testloads.all_names))))
+  in
+  let print ppf n = Format.pp_print_string ppf (Loads.Testloads.to_string n) in
+  Arg.conv (parse, print)
+
+let load_arg =
+  Arg.(
+    required
+    & pos 0 (some load_conv) None
+    & info [] ~docv:"LOAD" ~doc:"Test load, e.g. 'ILs alt' or ils_alt.")
+
+let spec_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spec" ] ~docv:"SPEC"
+        ~doc:
+          "Use a load written in the spec language instead of LOAD, e.g. \
+           'repeat 40 (job 0.5 1; idle 1)'.")
+
+(* Resolve the effective load: --spec wins over the positional name. *)
+let resolve_load spec name =
+  match spec with
+  | None -> Ok (Loads.Testloads.load name, Loads.Testloads.to_string name)
+  | Some s -> (
+      match Loads.Spec.parse s with
+      | load -> Ok (load, "spec load")
+      | exception Loads.Spec.Parse_error msg -> Error ("bad --spec: " ^ msg))
+
+let arrays_of_load load =
+  Loads.Arrays.make ~time_step:Batsched.Experiments.time_step
+    ~charge_unit:Batsched.Experiments.charge_unit load
+
+let battery_arg =
+  Arg.(
+    value & opt string "b1"
+    & info [ "battery" ] ~docv:"CELL" ~doc:"Battery type: b1 (5.5 A*min) or b2 (11 A*min).")
+
+let n_batteries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "n" ] ~docv:"N" ~doc:"Number of batteries for scheduling commands.")
+
+let policy_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "sequential" | "seq" -> Ok Sched.Policy.Sequential
+    | "round-robin" | "rr" | "round_robin" -> Ok Sched.Policy.Round_robin
+    | "best-of" | "best" | "best2" | "best_of" -> Ok Sched.Policy.Best_of
+    | _ -> Error (`Msg "policy must be one of: sequential, round-robin, best-of")
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Sched.Policy.name p))
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Sched.Policy.Best_of
+    & info [ "policy" ] ~docv:"POLICY" ~doc:"sequential | round-robin | best-of.")
+
+let params_of_battery = function
+  | "b1" | "B1" -> Ok Kibam.Params.b1
+  | "b2" | "B2" -> Ok Kibam.Params.b2
+  | s -> Error (Printf.sprintf "unknown battery %S (use b1 or b2)" s)
+
+let with_params battery f =
+  match params_of_battery battery with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok params -> f params
+
+let lifetime_cmd =
+  let run battery n policy load =
+    with_params battery (fun params ->
+        let disc =
+          Dkibam.Discretization.make ~time_step:Batsched.Experiments.time_step
+            ~charge_unit:Batsched.Experiments.charge_unit params
+        in
+        let arrays = Batsched.Experiments.arrays_of load in
+        if n = 1 then begin
+          let analytic =
+            Kibam.Lifetime.lifetime_exn params
+              (Loads.Epoch.to_profile (Loads.Testloads.load load))
+          in
+          let discrete = Dkibam.Engine.lifetime_exn disc arrays in
+          Printf.printf "load %s, one %s battery:\n"
+            (Loads.Testloads.to_string load)
+            battery;
+          Printf.printf "  analytic KiBaM lifetime: %.3f min\n" analytic;
+          Printf.printf "  dKiBaM lifetime:         %.3f min\n" discrete
+        end
+        else begin
+          let lt =
+            Sched.Simulator.lifetime_exn ~n_batteries:n ~policy disc arrays
+          in
+          Printf.printf "load %s, %d x %s batteries, %s: lifetime %.3f min\n"
+            (Loads.Testloads.to_string load)
+            n battery (Sched.Policy.name policy) lt
+        end;
+        0)
+  in
+  let term = Term.(const run $ battery_arg $ n_batteries_arg $ policy_arg $ load_arg) in
+  Cmd.v (Cmd.info "lifetime" ~doc:"Battery lifetime for one test load.") term
+
+let compare_cmd =
+  let run battery n spec load =
+    with_params battery (fun params ->
+        match resolve_load spec load with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok (load, label) ->
+            let disc =
+              Dkibam.Discretization.make
+                ~time_step:Batsched.Experiments.time_step
+                ~charge_unit:Batsched.Experiments.charge_unit params
+            in
+            let arrays = arrays_of_load load in
+            let lt policy =
+              Sched.Simulator.lifetime_exn ~n_batteries:n ~policy disc arrays
+            in
+            Printf.printf "load %s, %d x %s batteries:\n" label n battery;
+            Printf.printf "  sequential : %8.3f min\n" (lt Sched.Policy.Sequential);
+            Printf.printf "  round robin: %8.3f min\n" (lt Sched.Policy.Round_robin);
+            Printf.printf "  best-of    : %8.3f min\n" (lt Sched.Policy.Best_of);
+            Printf.printf "  optimal    : %8.3f min\n"
+              (Sched.Optimal.lifetime ~n_batteries:n disc arrays);
+            0)
+  in
+  let term =
+    Term.(const run $ battery_arg $ n_batteries_arg $ spec_arg $ load_arg)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"All scheduling policies side by side on one load.")
+    term
+
+let schedule_cmd =
+  let run battery n load =
+    with_params battery (fun params ->
+        let disc =
+          Dkibam.Discretization.make ~time_step:Batsched.Experiments.time_step
+            ~charge_unit:Batsched.Experiments.charge_unit params
+        in
+        let arrays = Batsched.Experiments.arrays_of load in
+        let r = Sched.Optimal.search ~n_batteries:n disc arrays in
+        Printf.printf
+          "optimal schedule for %s (%d x %s): lifetime %.3f min, %d decisions\n"
+          (Loads.Testloads.to_string load)
+          n battery
+          (Dkibam.Discretization.minutes_of_steps disc r.lifetime_steps)
+          (Array.length r.schedule);
+        Array.iteri
+          (fun k b -> Printf.printf "  decision %2d -> battery %d\n" k b)
+          r.schedule;
+        0)
+  in
+  let term = Term.(const run $ battery_arg $ n_batteries_arg $ load_arg) in
+  Cmd.v (Cmd.info "schedule" ~doc:"Compute and print the optimal schedule.") term
+
+let tables_cmd =
+  let run () =
+    let ppf = Format.std_formatter in
+    Batsched.Report.table3 ppf (Batsched.Experiments.table3 ());
+    Format.pp_print_newline ppf ();
+    Batsched.Report.table4 ppf (Batsched.Experiments.table4 ());
+    Format.pp_print_newline ppf ();
+    Batsched.Report.table5 ppf (Batsched.Experiments.table5 ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Reproduce the paper's Tables 3, 4 and 5.")
+    Term.(const run $ const ())
+
+let figure6_cmd =
+  let run () =
+    let ppf = Format.std_formatter in
+    Batsched.Report.figure6 ppf ~label:"best-of-two"
+      (Batsched.Experiments.figure6 `Best_of_two);
+    Format.pp_print_newline ppf ();
+    Batsched.Report.figure6 ppf ~label:"optimal"
+      (Batsched.Experiments.figure6 `Optimal);
+    0
+  in
+  Cmd.v
+    (Cmd.info "figure6" ~doc:"Emit the Figure 6 charge/schedule series.")
+    Term.(const run $ const ())
+
+let trace_cmd =
+  let run battery n policy spec load sample =
+    with_params battery (fun params ->
+        match resolve_load spec load with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok (load, label) ->
+            let disc =
+              Dkibam.Discretization.make
+                ~time_step:Batsched.Experiments.time_step
+                ~charge_unit:Batsched.Experiments.charge_unit params
+            in
+            let arrays = arrays_of_load load in
+            let o =
+              Sched.Simulator.simulate ~trace_every:sample ~n_batteries:n
+                ~policy disc arrays
+            in
+            Printf.printf
+              "# %s, %d x %s, %s: time(min), per battery total and available (A*min), serving\n"
+              label n battery (Sched.Policy.name policy);
+            List.iter
+              (fun (s : Sched.Simulator.sample) ->
+                Printf.printf "%8.2f"
+                  (Dkibam.Discretization.minutes_of_steps disc s.s_step);
+                Array.iter
+                  (fun b ->
+                    Printf.printf " %8.4f %8.4f"
+                      (Dkibam.Battery.total_charge disc b)
+                      (Dkibam.Battery.available_charge disc b))
+                  s.s_batteries;
+                (match s.s_serving with
+                | Some b -> Printf.printf " %d\n" b
+                | None -> Printf.printf " -\n"))
+              o.samples;
+            (match o.lifetime_steps with
+            | Some st ->
+                Printf.printf "# system died at %.2f min\n"
+                  (Dkibam.Discretization.minutes_of_steps disc st)
+            | None -> Printf.printf "# batteries outlived the load\n");
+            0)
+  in
+  let sample_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "sample" ] ~docv:"STEPS" ~doc:"Sampling interval in time steps.")
+  in
+  let term =
+    Term.(
+      const run $ battery_arg $ n_batteries_arg $ policy_arg $ spec_arg
+      $ load_arg $ sample_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Emit the per-battery charge series of a simulated run (gnuplot-ready).")
+    term
+
+let uppaal_cmd =
+  let run n load =
+    let disc = Dkibam.Discretization.paper_b1 in
+    let arrays = Batsched.Experiments.arrays_of load in
+    let model = Takibam.Model.build ~n_batteries:n disc arrays in
+    print_string
+      (Pta.Uppaal.network
+         ~queries:[ "A[] not max_finder.done_" ]
+         model.Takibam.Model.network);
+    0
+  in
+  let term = Term.(const run $ n_batteries_arg $ load_arg) in
+  Cmd.v
+    (Cmd.info "uppaal"
+       ~doc:
+         "Export the TA-KiBaM network as an Uppaal/Cora XML model (with the           paper's query).")
+    term
+
+let dot_cmd =
+  let run n load =
+    let disc = Dkibam.Discretization.paper_b1 in
+    let arrays = Batsched.Experiments.arrays_of load in
+    let model = Takibam.Model.build ~n_batteries:n disc arrays in
+    print_string (Takibam.Model.dot model);
+    0
+  in
+  let term = Term.(const run $ n_batteries_arg $ load_arg) in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Dump the TA-KiBaM network (Figure 5) as Graphviz.")
+    term
+
+let () =
+  let info =
+    Cmd.info "batsched" ~version:"1.0.0"
+      ~doc:
+        "Battery scheduling with the Kinetic Battery Model — a reproduction \
+         of Jongerden et al., DSN 2009."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            lifetime_cmd;
+            compare_cmd;
+            schedule_cmd;
+            tables_cmd;
+            figure6_cmd;
+            trace_cmd;
+            dot_cmd;
+            uppaal_cmd;
+          ]))

@@ -1,0 +1,177 @@
+(* Calibration tool: the paper (§5) builds its test loads from 250 mA and
+   500 mA jobs but never states the job duration.  This tool recomputes the
+   analytic-KiBaM column of Tables 3 and 4 for a range of candidate
+   durations, so the duration used in [Loads.Testloads] can be justified
+   from data rather than guessed.  See DESIGN.md "Substitutions". *)
+
+let paper_b1 =
+  [
+    ("CL 250", 4.53);
+    ("CL 500", 2.02);
+    ("CL alt", 2.58);
+    ("ILs 250", 10.80);
+    ("ILs 500", 4.30);
+    ("ILs alt", 4.80);
+    ("ILl 250", 21.86);
+    ("ILl 500", 6.53);
+  ]
+
+let paper_b2 =
+  [
+    ("CL 250", 12.16);
+    ("CL 500", 4.53);
+    ("CL alt", 6.45);
+    ("ILs 250", 44.78);
+    ("ILs 500", 10.80);
+    ("ILs alt", 16.93);
+    ("ILl 250", 84.90);
+    ("ILl 500", 21.86);
+  ]
+
+let loads_for ~job_duration =
+  let open Kibam.Load_profile in
+  let j current = job ~current ~duration:job_duration in
+  let horizon = 400.0 in
+  let cyc p = cycle_until ~horizon p in
+  [
+    ("CL 250", cyc (j 0.25));
+    ("CL 500", cyc (j 0.5));
+    ("CL alt", cyc (append (j 0.25) (j 0.5)));
+    ("ILs 250", cyc (append (j 0.25) (idle 1.0)));
+    ("ILs 500", cyc (append (j 0.5) (idle 1.0)));
+    ("ILs alt", cyc (concat [ j 0.25; idle 1.0; j 0.5; idle 1.0 ]));
+    ("ILl 250", cyc (append (j 0.25) (idle 2.0)));
+    ("ILl 500", cyc (append (j 0.5) (idle 2.0)));
+  ]
+
+let report battery paper ~job_duration =
+  let loads = loads_for ~job_duration in
+  Printf.printf "-- job duration %.2f min, battery C = %.1f A*min --\n"
+    job_duration battery.Kibam.Params.capacity;
+  let worst = ref 0.0 in
+  List.iter
+    (fun (name, expected) ->
+      let load = List.assoc name loads in
+      let got = Kibam.Lifetime.lifetime_exn battery load in
+      let err = 100.0 *. (got -. expected) /. expected in
+      worst := Float.max !worst (Float.abs err);
+      Printf.printf "  %-8s paper %6.2f  ours %6.3f  (%+.2f%%)\n" name expected
+        got err)
+    paper;
+  Printf.printf "  worst relative error: %.2f%%\n" !worst
+
+(* Variant probe: alternating loads starting with the 500 mA job. *)
+let alt_variants () =
+  let open Kibam.Load_profile in
+  let j current = job ~current ~duration:1.0 in
+  let cyc p = cycle_until ~horizon:400.0 p in
+  let variants =
+    [
+      ("CL alt (500 first)", cyc (append (j 0.5) (j 0.25)));
+      ("ILs alt (500 first)", cyc (concat [ j 0.5; idle 1.0; j 0.25; idle 1.0 ]));
+      ("CL alt (0.5min jobs)",
+       cyc (append (job ~current:0.25 ~duration:0.5) (job ~current:0.5 ~duration:0.5)));
+      ("ILs alt (0.5min jobs)",
+       cyc (concat [ job ~current:0.25 ~duration:0.5; idle 1.0;
+                     job ~current:0.5 ~duration:0.5; idle 1.0 ]));
+    ]
+  in
+  List.iter
+    (fun (battery, label) ->
+      Printf.printf "-- %s --\n" label;
+      List.iter
+        (fun (name, load) ->
+          Printf.printf "  %-22s %6.3f\n" name
+            (Kibam.Lifetime.lifetime_exn battery load))
+        variants)
+    [ (Kibam.Params.b1, "B1 (paper: CL alt 2.58, ILs alt 4.80)");
+      (Kibam.Params.b2, "B2 (paper: CL alt 6.45, ILs alt 16.93)") ]
+
+(* The TA-KiBaM (discretized) columns of Tables 3 and 4. *)
+let paper_b1_ta =
+  [
+    ("CL 250", 4.56);
+    ("CL 500", 2.04);
+    ("CL alt", 2.60);
+    ("ILs 250", 10.84);
+    ("ILs 500", 4.32);
+    ("ILs alt", 4.82);
+    ("ILl 250", 21.88);
+    ("ILl 500", 6.56);
+  ]
+
+let paper_b2_ta =
+  [
+    ("CL 250", 12.28);
+    ("CL 500", 4.54);
+    ("CL alt", 6.52);
+    ("ILs 250", 44.80);
+    ("ILs 500", 10.84);
+    ("ILs alt", 16.94);
+    ("ILl 250", 84.92);
+    ("ILl 500", 21.88);
+  ]
+
+let discrete_report disc paper =
+  let open Loads in
+  Printf.printf "-- dKiBaM, N = %d --\n" disc.Dkibam.Discretization.n_units;
+  List.iter
+    (fun (name, expected) ->
+      match Testloads.of_string name with
+      | None -> assert false
+      | Some n ->
+          let load = Testloads.load n in
+          let arrays = Arrays.make ~time_step:0.01 ~charge_unit:0.01 load in
+          let got = Dkibam.Engine.lifetime_exn disc arrays in
+          Printf.printf "  %-8s paper %6.2f  ours %6.3f  (%+.2f%%)\n" name
+            expected got
+            (100.0 *. (got -. expected) /. expected))
+    paper
+
+(* Table 5: two B1 batteries, deterministic schedulers.
+   (load, sequential, round_robin, best_of_two) *)
+let paper_table5 =
+  [
+    ("CL 250", 9.12, 11.60, 11.60);
+    ("CL 500", 4.10, 4.53, 4.53);
+    ("CL alt", 5.48, 6.10, 6.12);
+    ("ILs 250", 22.80, 38.96, 38.96);
+    ("ILs 500", 8.60, 10.48, 10.48);
+    ("ILs alt", 12.38, 12.82, 16.30);
+    ("ILl 250", 45.84, 76.00, 76.00);
+    ("ILl 500", 12.94, 15.96, 15.96);
+  ]
+
+let table5_report () =
+  let disc = Dkibam.Discretization.paper_b1 in
+  Printf.printf "-- Table 5 (two B1 batteries, deterministic schedulers) --\n";
+  List.iter
+    (fun (name, p_seq, p_rr, p_b2) ->
+      match Loads.Testloads.of_string name with
+      | None -> assert false
+      | Some n ->
+          let load = Loads.Testloads.load n in
+          let arrays = Loads.Arrays.make ~time_step:0.01 ~charge_unit:0.01 load in
+          let lt policy =
+            Sched.Simulator.lifetime_exn ~n_batteries:2 ~policy
+              disc arrays
+          in
+          let seq = lt Sched.Policy.Sequential in
+          let rr = lt Sched.Policy.Round_robin in
+          let b2 = lt Sched.Policy.Best_of in
+          Printf.printf
+            "  %-8s seq %6.2f/%6.2f  rr %6.2f/%6.2f  best2 %6.2f/%6.2f\n" name
+            seq p_seq rr p_rr b2 p_b2)
+    paper_table5
+
+let () =
+  let durations = [ 1.0 ] in
+  List.iter
+    (fun d ->
+      report Kibam.Params.b1 paper_b1 ~job_duration:d;
+      report Kibam.Params.b2 paper_b2 ~job_duration:d)
+    durations;
+  alt_variants ();
+  discrete_report Dkibam.Discretization.paper_b1 paper_b1_ta;
+  discrete_report Dkibam.Discretization.paper_b2 paper_b2_ta;
+  table5_report ()

@@ -1,0 +1,132 @@
+(* loadgen — the "external program" of paper section 4.1: builds the
+   load_time / cur_times / cur integer arrays for a load and prints them,
+   ready to be imported into the TA-KiBaM (or any Uppaal-style model).
+
+   Usage examples:
+     loadgen --load "ILs alt"
+     loadgen --job 0.5:1 --idle 1 --job 0.25:1 --repeat 40
+     loadgen --seed 7 --random-jobs 50 *)
+
+open Cmdliner
+
+let time_step =
+  Arg.(
+    value & opt float 0.01
+    & info [ "time-step" ] ~docv:"T" ~doc:"Time step T in minutes (default 0.01).")
+
+let charge_unit =
+  Arg.(
+    value & opt float 0.01
+    & info [ "charge-unit" ] ~docv:"G"
+        ~doc:"Charge unit Gamma in A*min (default 0.01).")
+
+let named_load =
+  Arg.(
+    value & opt (some string) None
+    & info [ "load" ] ~docv:"NAME" ~doc:"One of the paper's ten test loads.")
+
+let spec_load =
+  Arg.(
+    value & opt (some string) None
+    & info [ "spec" ] ~docv:"SPEC"
+        ~doc:
+          "A load in the spec language, e.g. 'repeat 40 (job 0.5 1; idle 1)'.")
+
+let jobs =
+  Arg.(
+    value & opt_all string []
+    & info [ "job" ] ~docv:"AMP:MIN"
+        ~doc:"Append a job epoch drawing AMP amperes for MIN minutes.")
+
+let idles =
+  Arg.(
+    value & opt_all float []
+    & info [ "idle" ] ~docv:"MIN" ~doc:"Append an idle epoch of MIN minutes.")
+
+let repeat =
+  Arg.(
+    value & opt int 1
+    & info [ "repeat" ] ~docv:"N" ~doc:"Repeat the assembled epoch list N times.")
+
+let random_jobs =
+  Arg.(
+    value & opt (some int) None
+    & info [ "random-jobs" ] ~docv:"N"
+        ~doc:"Generate N random 250/500 mA jobs with 1-minute idles.")
+
+let seed =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for --random-jobs (default 1).")
+
+let parse_job s =
+  match String.split_on_char ':' s with
+  | [ amp; min ] -> (
+      match (float_of_string_opt amp, float_of_string_opt min) with
+      | Some current, Some duration -> Ok (Loads.Epoch.job ~current ~duration)
+      | _ -> Error (Printf.sprintf "bad --job %S (expected AMP:MIN)" s))
+  | _ -> Error (Printf.sprintf "bad --job %S (expected AMP:MIN)" s)
+
+let run time_step charge_unit named spec jobs idles repeat random_jobs seed =
+  let load =
+    match (named, spec, random_jobs) with
+    | Some name, _, _ -> (
+        match Loads.Testloads.of_string name with
+        | Some n -> Ok (Loads.Testloads.load n)
+        | None -> Error (Printf.sprintf "unknown load %S" name))
+    | None, Some s, _ -> (
+        match Loads.Spec.parse s with
+        | load -> Ok load
+        | exception Loads.Spec.Parse_error msg -> Error ("bad --spec: " ^ msg))
+    | None, None, Some n ->
+        Ok (Loads.Random_load.intermitted ~seed:(Int64.of_int seed) ~jobs:n ())
+    | None, None, None ->
+        (* interleave --job and --idle in the order given is not possible
+           through cmdliner's opt_all (it groups by flag); document the
+           convention: jobs first, then idles, alternating. *)
+        let rec weave js is =
+          match (js, is) with
+          | [], [] -> []
+          | j :: js, [] -> j :: weave js []
+          | [], i :: is -> Loads.Epoch.idle i :: weave [] is
+          | j :: js, i :: is -> j :: Loads.Epoch.idle i :: weave js is
+        in
+        let rec collect = function
+          | [] -> Ok []
+          | s :: rest -> (
+              match parse_job s with
+              | Ok j -> ( match collect rest with Ok js -> Ok (j :: js) | e -> e)
+              | Error e -> Error e)
+        in
+        ( match collect jobs with
+        | Error e -> Error e
+        | Ok [] ->
+            Error "no load given: use --load, --spec, --job/--idle or --random-jobs"
+        | Ok js -> Ok (Loads.Epoch.repeat repeat (Loads.Epoch.concat (weave js idles))) )
+  in
+  match load with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok load -> (
+      match Loads.Arrays.make ~time_step ~charge_unit load with
+      | arrays ->
+          Format.printf "// %d epochs, %g min total@." (Loads.Arrays.epoch_count arrays)
+            (Loads.Epoch.duration load);
+          Format.printf "%a@." Loads.Arrays.pp arrays;
+          0
+      | exception Loads.Arrays.Not_representable msg ->
+          prerr_endline ("not representable: " ^ msg);
+          1)
+
+let () =
+  let term =
+    Term.(
+      const run $ time_step $ charge_unit $ named_load $ spec_load $ jobs
+      $ idles $ repeat $ random_jobs $ seed)
+  in
+  let info =
+    Cmd.info "loadgen" ~version:"1.0.0"
+      ~doc:"Generate the TA-KiBaM load arrays (paper section 4.1)."
+  in
+  exit (Cmd.eval' (Cmd.v info term))

@@ -1,0 +1,1 @@
+examples/fischer.ml: Array Automaton Compiled Ctl Discrete Env Expr Network Printf Pta Reachability Simulate Uppaal

@@ -1,0 +1,1 @@
+examples/itsy_pocket.ml: Diffusion Dkibam Format Kibam List Loads

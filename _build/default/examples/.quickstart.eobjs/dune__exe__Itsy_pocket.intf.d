@@ -1,0 +1,1 @@
+examples/itsy_pocket.mli:

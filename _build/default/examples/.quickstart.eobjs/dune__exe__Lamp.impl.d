@@ -1,0 +1,1 @@
+examples/lamp.ml: Array Automaton Compiled Discrete Dot Expr Format List Network Priced Printf Pta Reachability

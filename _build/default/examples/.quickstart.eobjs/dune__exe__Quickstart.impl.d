@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dkibam Format Kibam Loads Sched String

@@ -1,0 +1,1 @@
+examples/sensor_network.ml: Dkibam Format Kibam List Sched String

@@ -1,0 +1,1 @@
+examples/smart_battery_pack.ml: Array Dkibam Format Kibam List Loads Sched String

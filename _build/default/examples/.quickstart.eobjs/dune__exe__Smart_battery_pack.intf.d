@@ -1,0 +1,1 @@
+examples/smart_battery_pack.mli:

@@ -1,0 +1,1 @@
+examples/solar_node.ml: Float Format Kibam List Printf

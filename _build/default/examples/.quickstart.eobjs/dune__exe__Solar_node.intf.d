@@ -1,0 +1,1 @@
+examples/solar_node.mli:

@@ -1,0 +1,69 @@
+(* Itsy pocket computer: a realistic mixed workload on one battery.
+
+   The paper's cell parameters come from the Itsy, a research handheld
+   that draws up to 700 mA.  This example builds a day-in-the-life
+   workload segment — boot, audio playback, bursty interaction, standby —
+   and shows the three analyses the library offers for a single battery:
+
+     1. lifetime under the workload (analytic KiBaM vs dKiBaM vs the
+        Rakhmatov-Vrudhula diffusion model),
+     2. the rate-capacity effect: how much of the 5.5 A*min the cell
+        actually delivers at each constant current,
+     3. the recovery effect: how much available charge returns during a
+        rest after a heavy burst.
+
+   Run with:  dune exec examples/itsy_pocket.exe *)
+
+let workload =
+  Loads.Epoch.cycle_until ~horizon:200.0
+    (Loads.Epoch.concat
+       [
+         Loads.Epoch.job ~current:0.7 ~duration:0.5 (* boot / cold start *);
+         Loads.Epoch.job ~current:0.25 ~duration:3.0 (* audio playback *);
+         Loads.Epoch.idle 1.0 (* pocket *);
+         Loads.Epoch.job ~current:0.5 ~duration:1.0 (* interactive burst *);
+         Loads.Epoch.job ~current:0.1 ~duration:2.0 (* screen-off sync *);
+         Loads.Epoch.idle 2.0 (* standby *);
+       ])
+
+let () =
+  let cell = Kibam.Params.b1 in
+  let profile = Loads.Epoch.to_profile workload in
+
+  (* 1. lifetime under three models *)
+  let analytic = Kibam.Lifetime.lifetime_exn cell profile in
+  let disc = Dkibam.Discretization.make cell in
+  let arrays = Loads.Arrays.make ~time_step:0.01 ~charge_unit:0.01 workload in
+  let discrete = Dkibam.Engine.lifetime_exn disc arrays in
+  let diffusion =
+    match Diffusion.Rv.lifetime Diffusion.Rv.itsy_b1 profile with
+    | Some t -> t
+    | None -> nan
+  in
+  Format.printf "Itsy day-in-the-life workload, one B1 cell:@.";
+  Format.printf "  analytic KiBaM : %6.2f min@." analytic;
+  Format.printf "  dKiBaM         : %6.2f min@." discrete;
+  Format.printf "  diffusion (RV) : %6.2f min@." diffusion;
+
+  (* 2. rate-capacity effect *)
+  Format.printf "@.rate-capacity effect (constant discharge):@.";
+  Format.printf "  %8s %12s %10s@." "current" "delivered" "stranded";
+  List.iter
+    (fun current ->
+      Format.printf "  %6.0fmA %9.2f A*min %8.0f%%@." (1000.0 *. current)
+        (Kibam.Capacity.delivered_at cell ~current)
+        (100.0 *. Kibam.Capacity.stranded_fraction cell ~current))
+    [ 0.05; 0.1; 0.25; 0.5; 0.7 ];
+
+  (* 3. recovery effect: a 2-minute 500 mA burst, then rest *)
+  Format.printf "@.recovery after a 2-minute 500 mA burst:@.";
+  let burst = Kibam.Load_profile.job ~current:0.5 ~duration:2.0 in
+  let after_burst = Kibam.Lifetime.state_at cell burst 2.0 in
+  Format.printf "  available right after the burst: %5.3f A*min@."
+    (Kibam.State.y1 cell after_burst);
+  List.iter
+    (fun rest ->
+      let rested = Kibam.Analytic.step cell ~current:0.0 ~elapsed:rest after_burst in
+      Format.printf "  after %4.1f min of rest:          %5.3f A*min@." rest
+        (Kibam.State.y1 cell rested))
+    [ 0.5; 1.0; 2.0; 5.0; 10.0 ]

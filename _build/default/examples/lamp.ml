@@ -1,0 +1,76 @@
+(* The paper's lamp (Figures 2-4), as a user of the PTA substrate.
+
+   Builds the lamp/user network with costs, exports it to Graphviz, and
+   asks the two analysis engines the questions the paper poses
+   informally: can the lamp get bright, and how cheaply?
+
+   Run with:  dune exec examples/lamp.exe *)
+
+open Pta
+
+let lamp_network () =
+  let open Automaton in
+  let lamp =
+    make ~name:"lamp" ~clocks:[ "y" ]
+      ~locations:
+        [
+          location "off";
+          location
+            ~invariant:(guard_clock "y" Expr.Le (Expr.i 10))
+            ~cost_rate:(Expr.i 10) "low";
+          location
+            ~invariant:(guard_clock "y" Expr.Le (Expr.i 10))
+            ~cost_rate:(Expr.i 20) "bright";
+        ]
+      ~initial:"off"
+      ~edges:
+        [
+          edge ~src:"off" ~dst:"low" ~sync:(Recv ("press", None)) ~resets:[ "y" ]
+            ~cost:(Expr.i 50) ~label:"switch on" ();
+          edge ~src:"low" ~dst:"bright"
+            ~guard:(guard_clock "y" Expr.Lt (Expr.i 5))
+            ~sync:(Recv ("press", None)) ~label:"double press" ();
+          edge ~src:"low" ~dst:"off"
+            ~guard:(guard_clock "y" Expr.Ge (Expr.i 10))
+            ~label:"auto off" ();
+          edge ~src:"bright" ~dst:"off"
+            ~guard:(guard_clock "y" Expr.Ge (Expr.i 10))
+            ~label:"auto off" ();
+        ]
+      ()
+  in
+  let user =
+    make ~name:"user" ~locations:[ location "idle" ] ~initial:"idle"
+      ~edges:[ edge ~src:"idle" ~dst:"idle" ~sync:(Send ("press", None)) () ]
+      ()
+  in
+  Network.make
+    ~channels:[ Network.chan ~kind:Network.Broadcast "press" ]
+    ~automata:[ lamp; user ] ()
+
+let () =
+  let net = lamp_network () in
+  print_endline "// Graphviz for the lamp network (paper figures 2-4):";
+  print_string (Dot.network_to_string net);
+
+  let compiled = Compiled.compile net in
+
+  (* zone-based reachability: can the lamp get bright at all? *)
+  let lamp_idx = Compiled.auto_index compiled "lamp" in
+  let bright = Compiled.location_index compiled ~auto:"lamp" ~loc:"bright" in
+  let reachable =
+    Reachability.reachable compiled ~goal:(fun ~locs ~vars:_ ->
+        locs.(lamp_idx) = bright)
+  in
+  Printf.printf "// bright reachable (zone engine): %b\n" reachable;
+
+  (* priced search: the cheapest way to enjoy bright light *)
+  let r =
+    Priced.search ~goal:(Priced.loc_goal compiled ~auto:"lamp" ~loc:"bright")
+      compiled
+  in
+  Printf.printf "// minimal cost to reach bright (discrete engine): %d\n" r.cost;
+  print_endline "// witness run:";
+  List.iter
+    (fun step -> Format.printf "//   %a@." (Discrete.pp_step compiled) step)
+    r.trace

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Diffusion Dkibam Float Kibam List Loads Paper_data Sched Sys Takibam

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Experiments Format List Loads Paper_data Printf Sched String

@@ -1,0 +1,62 @@
+open Loads.Testloads
+
+type validation_row = { load : name; kibam : float; ta_kibam : float }
+
+let table3 =
+  [
+    { load = CL_250; kibam = 4.53; ta_kibam = 4.56 };
+    { load = CL_500; kibam = 2.02; ta_kibam = 2.04 };
+    { load = CL_alt; kibam = 2.58; ta_kibam = 2.60 };
+    { load = ILs_250; kibam = 10.80; ta_kibam = 10.84 };
+    { load = ILs_500; kibam = 4.30; ta_kibam = 4.32 };
+    { load = ILs_alt; kibam = 4.80; ta_kibam = 4.82 };
+    { load = ILs_r1; kibam = 4.72; ta_kibam = 4.74 };
+    { load = ILs_r2; kibam = 4.72; ta_kibam = 4.74 };
+    { load = ILl_250; kibam = 21.86; ta_kibam = 21.88 };
+    { load = ILl_500; kibam = 6.53; ta_kibam = 6.56 };
+  ]
+
+let table4 =
+  [
+    { load = CL_250; kibam = 12.16; ta_kibam = 12.28 };
+    { load = CL_500; kibam = 4.53; ta_kibam = 4.54 };
+    { load = CL_alt; kibam = 6.45; ta_kibam = 6.52 };
+    { load = ILs_250; kibam = 44.78; ta_kibam = 44.80 };
+    { load = ILs_500; kibam = 10.80; ta_kibam = 10.84 };
+    { load = ILs_alt; kibam = 16.93; ta_kibam = 16.94 };
+    { load = ILs_r1; kibam = 22.71; ta_kibam = 22.74 };
+    { load = ILs_r2; kibam = 14.81; ta_kibam = 14.84 };
+    { load = ILl_250; kibam = 84.90; ta_kibam = 84.92 };
+    { load = ILl_500; kibam = 21.86; ta_kibam = 21.88 };
+  ]
+
+type schedule_row = {
+  load : name;
+  sequential : float;
+  round_robin : float;
+  best_of_two : float;
+  optimal : float;
+}
+
+let table5 =
+  [
+    { load = CL_250; sequential = 9.12; round_robin = 11.60; best_of_two = 11.60; optimal = 12.04 };
+    { load = CL_500; sequential = 4.10; round_robin = 4.53; best_of_two = 4.53; optimal = 4.58 };
+    { load = CL_alt; sequential = 5.48; round_robin = 6.10; best_of_two = 6.12; optimal = 6.48 };
+    { load = ILs_250; sequential = 22.80; round_robin = 38.96; best_of_two = 38.96; optimal = 40.80 };
+    { load = ILs_500; sequential = 8.60; round_robin = 10.48; best_of_two = 10.48; optimal = 10.48 };
+    { load = ILs_alt; sequential = 12.38; round_robin = 12.82; best_of_two = 16.30; optimal = 16.91 };
+    { load = ILs_r1; sequential = 12.80; round_robin = 16.26; best_of_two = 16.26; optimal = 20.52 };
+    { load = ILs_r2; sequential = 12.24; round_robin = 14.50; best_of_two = 14.50; optimal = 14.54 };
+    { load = ILl_250; sequential = 45.84; round_robin = 76.00; best_of_two = 76.00; optimal = 78.96 };
+    { load = ILl_500; sequential = 12.94; round_robin = 15.96; best_of_two = 15.96; optimal = 18.68 };
+  ]
+
+let comparable _ = true
+let reconstructed = function ILs_r1 | ILs_r2 -> true | _ -> false
+let stranded_fraction_ils_alt = 0.70
+
+let find_validation rows load =
+  List.find (fun (r : validation_row) -> r.load = load) rows
+
+let find_schedule load = List.find (fun (r : schedule_row) -> r.load = load) table5

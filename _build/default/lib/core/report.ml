@@ -1,0 +1,183 @@
+let pct_diff measured reference = 100.0 *. (measured -. reference) /. reference
+
+let hr ppf width = Format.fprintf ppf "%s@." (String.make width '-')
+
+let validation_table title ppf (rows : Experiments.validation_row list) =
+  Format.fprintf ppf "%s@." title;
+  hr ppf 78;
+  Format.fprintf ppf "%-8s  %10s %10s %7s   %10s %10s %7s@." "load" "KiBaM"
+    "paper" "diff%" "dKiBaM" "paper" "diff%";
+  hr ppf 78;
+  List.iter
+    (fun (r : Experiments.validation_row) ->
+      let note =
+        if Paper_data.reconstructed r.load then "  (reconstructed sequence)"
+        else ""
+      in
+      Format.fprintf ppf "%-8s  %10.2f %10.2f %+7.2f   %10.2f %10.2f %+7.2f%s@."
+        (Loads.Testloads.to_string r.load)
+        r.analytic r.paper_analytic
+        (pct_diff r.analytic r.paper_analytic)
+        r.discrete r.paper_discrete
+        (pct_diff r.discrete r.paper_discrete)
+        note)
+    rows;
+  hr ppf 78
+
+let table3 ppf rows =
+  validation_table
+    "Table 3: battery B1 lifetimes (min), analytic KiBaM vs discretized dKiBaM"
+    ppf rows
+
+let table4 ppf rows =
+  validation_table
+    "Table 4: battery B2 lifetimes (min), analytic KiBaM vs discretized dKiBaM"
+    ppf rows
+
+let table5 ppf (rows : Experiments.schedule_row list) =
+  Format.fprintf ppf
+    "Table 5: system lifetime (min), two B1 batteries, four schedulers@.";
+  Format.fprintf ppf "(each cell: measured/paper; %%rr = gain over round robin)@.";
+  hr ppf 100;
+  Format.fprintf ppf "%-8s  %15s %15s %15s %15s %8s %8s@." "load" "sequential"
+    "round robin" "best-of-two" "optimal" "opt%rr" "paper";
+  hr ppf 100;
+  List.iter
+    (fun (r : Experiments.schedule_row) ->
+      let cell m p = Format.asprintf "%6.2f/%6.2f" m p in
+      let opt_gain = pct_diff r.optimal r.round_robin in
+      let paper_gain = pct_diff r.paper.optimal r.paper.round_robin in
+      let note =
+        if Paper_data.reconstructed r.load then "  (reconstructed sequence)"
+        else ""
+      in
+      Format.fprintf ppf "%-8s  %15s %15s %15s %15s %+7.1f%% %+7.1f%%%s@."
+        (Loads.Testloads.to_string r.load)
+        (cell r.sequential r.paper.sequential)
+        (cell r.round_robin r.paper.round_robin)
+        (cell r.best_of_two r.paper.best_of_two)
+        (cell r.optimal r.paper.optimal)
+        opt_gain paper_gain note)
+    rows;
+  hr ppf 100
+
+let figure6 ppf ~label (f : Experiments.fig6) =
+  Format.fprintf ppf
+    "Figure 6 (%s): ILs alt, two B1 batteries; lifetime %.2f min, %.0f%% of \
+     the charge stranded@."
+    label f.lifetime (100.0 *. f.stranded_fraction);
+  let n =
+    match f.points with [] -> 0 | p :: _ -> Array.length p.total
+  in
+  for b = 0 to n - 1 do
+    Format.fprintf ppf "# battery %d: time(min) total(A*min) available(A*min)@." b;
+    List.iter
+      (fun (p : Experiments.fig6_point) ->
+        Format.fprintf ppf "%8.2f %8.4f %8.4f@." p.time p.total.(b)
+          p.available.(b))
+      f.points;
+    Format.fprintf ppf "@."
+  done;
+  Format.fprintf ppf "# schedule: from(min) to(min) battery@.";
+  List.iter
+    (fun (a, b, bat) -> Format.fprintf ppf "%8.2f %8.2f %d@." a b bat)
+    f.intervals
+
+let capacity_sweep ppf rows =
+  Format.fprintf ppf
+    "Capacity sweep (S6 ablation): two scaled-B1 batteries, best-of-two, ILs \
+     alt@.";
+  Format.fprintf ppf "%8s %14s %18s@." "factor" "lifetime(min)" "stranded fraction";
+  List.iter
+    (fun (f, lt, frac) ->
+      Format.fprintf ppf "%8.1f %14.2f %17.1f%%@." f lt (100.0 *. frac))
+    rows
+
+let complexity ppf rows =
+  Format.fprintf ppf
+    "Optimal-search complexity probe (S4.4): decisions vs memo positions@.";
+  Format.fprintf ppf "%-8s %10s %12s %10s@." "load" "decisions" "positions" "seconds";
+  List.iter
+    (fun (name, decisions, positions, dt) ->
+      Format.fprintf ppf "%-8s %10d %12d %10.3f@."
+        (Loads.Testloads.to_string name)
+        decisions positions dt)
+    rows
+
+let model_comparison ppf rows =
+  Format.fprintf ppf
+    "Model-fidelity ablation: analytic KiBaM vs Rakhmatov-Vrudhula diffusion \
+     (B1, minutes)@.";
+  Format.fprintf ppf "%-8s %10s %12s %8s@." "load" "KiBaM" "diffusion" "diff%";
+  List.iter
+    (fun (name, k, d) ->
+      Format.fprintf ppf "%-8s %10.2f %12.2f %+7.2f@."
+        (Loads.Testloads.to_string name)
+        k d (pct_diff d k))
+    rows
+
+let cross_validation ppf (c : Experiments.cross_validation) =
+  Format.fprintf ppf "Engine cross-validation (TA-KiBaM min-cost search vs fast \
+                      branch-and-bound)@.";
+  Format.fprintf ppf "instance: %s@." c.toy_description;
+  Format.fprintf ppf
+    "fast: lifetime %d steps, stranded %d units;  TA: lifetime %d steps, \
+     stranded %d units  ->  %s@."
+    c.fast_lifetime_steps c.fast_stranded c.ta_lifetime_steps c.ta_stranded
+    (if c.agrees then "AGREE" else "DISAGREE")
+
+let lookahead_sweep ppf ~load rows =
+  Format.fprintf ppf
+    "Lookahead ablation (X2): bounded-horizon scheduling on %s, two B1 \
+     batteries@."
+    (Loads.Testloads.to_string load);
+  Format.fprintf ppf "%12s %14s@." "policy" "lifetime(min)";
+  let n = List.length rows in
+  List.iteri
+    (fun k (depth, lt) ->
+      let label =
+        match depth with
+        | Some d -> Printf.sprintf "lookahead %d" d
+        | None -> if k = 0 then "best-of-two" else if k = n - 1 then "optimal" else "?"
+      in
+      Format.fprintf ppf "%12s %14.2f@." label lt)
+    rows
+
+let granularity_sweep ppf rows =
+  Format.fprintf ppf
+    "Granularity ablation (A3): dKiBaM accuracy and search size vs (T, \
+     Gamma), single/two B1 on ILs alt@.";
+  Format.fprintf ppf "%10s %10s %14s %10s %12s@." "T (min)" "Gamma" "lifetime"
+    "err vs exact" "positions";
+  List.iter
+    (fun (r : Experiments.granularity_row) ->
+      Format.fprintf ppf "%10.4f %10.3f %14.3f %9.2f%% %12d@." r.g_time_step
+        r.g_charge_unit r.g_lifetime
+        (100.0 *. r.g_error_vs_analytic)
+        r.g_positions)
+    rows
+
+let multi_battery ppf ~load rows =
+  Format.fprintf ppf
+    "Multi-battery generalization (beyond the paper): B1 packs on %s@."
+    (Loads.Testloads.to_string load);
+  List.iter (fun (_, a) -> Format.fprintf ppf "%a@." Sched.Analysis.pp a) rows
+
+let ensemble ppf (e : Sched.Ensemble.t) =
+  Format.fprintf ppf
+    "Random-load ensemble (the paper's section 7 outlook): %d random ILs \
+     loads, %d batteries@."
+    e.n_loads e.n_batteries;
+  Format.fprintf ppf "%-12s %8s %8s %8s %8s %8s %8s %8s@." "policy" "mean"
+    "stddev" "min" "q25" "median" "q75" "max";
+  List.iter
+    (fun (name, (s : Sched.Ensemble.stats)) ->
+      Format.fprintf ppf "%-12s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f@."
+        name s.mean s.stddev s.minimum s.q25 s.median s.q75 s.maximum)
+    e.per_policy;
+  let g = e.optimal_gain_over_rr in
+  Format.fprintf ppf
+    "optimal gain over round robin: mean %+.1f%%, median %+.1f%%, max %+.1f%%@."
+    g.mean g.median g.maximum;
+  Format.fprintf ppf "best-of already optimal on %.0f%% of the loads@."
+    (100.0 *. e.best_of_is_optimal_fraction)

@@ -1,0 +1,1 @@
+lib/diffusion/rv.ml: Float Format Kibam List Numerics

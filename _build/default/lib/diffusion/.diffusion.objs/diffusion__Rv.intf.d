@@ -1,0 +1,1 @@
+lib/diffusion/rv.mli: Format Kibam

@@ -1,0 +1,123 @@
+type t = { alpha : float; beta2 : float; terms : int }
+
+let make ?(terms = 40) ~alpha ~beta2 () =
+  if not (alpha > 0.0) then invalid_arg "Diffusion.Rv.make: alpha must be > 0";
+  if not (beta2 > 0.0) then invalid_arg "Diffusion.Rv.make: beta2 must be > 0";
+  if terms < 1 then invalid_arg "Diffusion.Rv.make: need >= 1 series term";
+  { alpha; beta2; terms }
+
+(* Series part of the apparent charge of one constant-current segment
+   [t0, t1] (with t1 <= t), observed at time t:
+     2 * I * sum_m (exp(-b m^2 (t - t1)) - exp(-b m^2 (t - t0))) / (b m^2) *)
+let segment_series { beta2; terms; _ } ~i ~t0 ~t1 t =
+  let acc = ref 0.0 in
+  for m = 1 to terms do
+    let bm2 = beta2 *. float_of_int (m * m) in
+    acc :=
+      !acc
+      +. ((Float.exp (-.bm2 *. (t -. t1)) -. Float.exp (-.bm2 *. (t -. t0))) /. bm2)
+  done;
+  2.0 *. i *. !acc
+
+let fold_segments load t f =
+  let acc = ref 0.0 in
+  let t0 = ref 0.0 in
+  List.iter
+    (fun (seg : Kibam.Load_profile.segment) ->
+      let t1 = !t0 +. seg.duration in
+      if !t0 < t && seg.current > 0.0 then
+        acc := !acc +. f ~i:seg.current ~t0:!t0 ~t1:(Float.min t1 t);
+      t0 := t1)
+    (Kibam.Load_profile.segments load);
+  !acc
+
+let unavailable_charge model load t =
+  if t < 0.0 then invalid_arg "Diffusion.Rv: negative time";
+  fold_segments load t (fun ~i ~t0 ~t1 -> segment_series model ~i ~t0 ~t1 t)
+
+let delivered_charge load t =
+  fold_segments load t (fun ~i ~t0 ~t1 -> i *. (t1 -. t0))
+
+let apparent_charge model load t =
+  delivered_charge load t +. unavailable_charge model load t
+
+let lifetime model load =
+  let f t = model.alpha -. apparent_charge model load t in
+  (* scan segment by segment: sigma rises while discharging and falls
+     while idle, so the first crossing must be bracketed per segment *)
+  let rec scan t0 = function
+    | [] -> None
+    | (seg : Kibam.Load_profile.segment) :: rest ->
+        let t1 = t0 +. seg.duration in
+        if f t0 <= 0.0 then Some t0
+        else begin
+          match Numerics.Rootfind.find_first_crossing ~coarse:32 ~f t0 t1 with
+          | Some t -> Some t
+          | None -> scan t1 rest
+        end
+  in
+  scan 0.0 (Kibam.Load_profile.segments load)
+
+let lifetime_constant model ~current =
+  if not (current > 0.0) then
+    invalid_arg "Diffusion.Rv.lifetime_constant: current must be > 0";
+  let horizon = model.alpha /. current in
+  let load = Kibam.Load_profile.job ~current ~duration:(horizon *. 1.01) in
+  match lifetime model load with
+  | Some t -> t
+  | None -> assert false (* sigma(t) >= current * t reaches alpha by horizon *)
+
+(* Apparent charge at time l of a constant current i from t=0, as a
+   function of beta2 — used to eliminate alpha in the two-point fit. *)
+let sigma_const ~terms ~i ~l beta2 =
+  let series = ref 0.0 in
+  for m = 1 to terms do
+    let bm2 = beta2 *. float_of_int (m * m) in
+    series := !series +. ((1.0 -. Float.exp (-.bm2 *. l)) /. bm2)
+  done;
+  (i *. l) +. (2.0 *. i *. !series)
+
+let fit2 ?(terms = 40) (i1, l1) (i2, l2) =
+  if not (i1 > 0.0 && i2 > 0.0 && l1 > 0.0 && l2 > 0.0) then
+    invalid_arg "Diffusion.Rv.fit2: currents and lifetimes must be positive";
+  let (ih, lh), (il, ll) = if i1 > i2 then ((i1, l1), (i2, l2)) else ((i2, l2), (i1, l1)) in
+  if ih = il then invalid_arg "Diffusion.Rv.fit2: need two distinct currents";
+  if ih *. lh >= il *. ll then
+    invalid_arg
+      "Diffusion.Rv.fit2: no rate-capacity effect in the data (higher current \
+       must deliver less charge)";
+  (* g(beta2) = sigma(ih, lh) - sigma(il, ll) is negative at both extremes
+     (for beta2 -> 0 both sigmas scale with the delivered charge, of which
+     the high-current point has less; for beta2 -> inf the series vanish)
+     and positive for intermediate diffusion rates, so generically two
+     roots exist.  We take the larger one — the faster-diffusion cell,
+     whose alpha (the low-rate apparent capacity) stays closest to the
+     reference cell's nominal capacity. *)
+  let g beta2 = sigma_const ~terms ~i:ih ~l:lh beta2 -. sigma_const ~terms ~i:il ~l:ll beta2 in
+  let grid =
+    List.init 121 (fun k -> 10.0 ** (-6.0 +. (float_of_int k /. 120.0 *. 9.0)))
+  in
+  let rec find_descent = function
+    | b1 :: (b2 :: _ as rest) ->
+        if g b1 > 0.0 && g b2 <= 0.0 then Some (b1, b2) else find_descent rest
+    | _ -> None
+  in
+  match find_descent grid with
+  | None ->
+      invalid_arg
+        "Diffusion.Rv.fit2: no diffusion cell fits these two points (try more \
+         series terms)"
+  | Some (lo, hi) ->
+      let beta2 = Numerics.Rootfind.brent ~tol:1e-12 ~f:g lo hi in
+      let alpha = sigma_const ~terms ~i:ih ~l:lh beta2 in
+      make ~terms ~alpha ~beta2 ()
+
+let itsy_b1 =
+  (* analytic-KiBaM B1 lifetimes at the paper's two job currents *)
+  let l250 = Kibam.Capacity.lifetime_constant Kibam.Params.b1 ~current:0.25 in
+  let l500 = Kibam.Capacity.lifetime_constant Kibam.Params.b1 ~current:0.5 in
+  fit2 (0.25, l250) (0.5, l500)
+
+let pp ppf { alpha; beta2; terms } =
+  Format.fprintf ppf "{ alpha = %g A*min; beta2 = %g min^-1; %d terms }" alpha
+    beta2 terms

@@ -1,0 +1,63 @@
+(** The Rakhmatov–Vrudhula diffusion battery model.
+
+    The analytical model of Rakhmatov, Vrudhula & Wallach (refs. [20, 21]
+    of the paper), against which the KiBaM was benchmarked in the
+    authors' companion study "Which battery model to use?" [16].  The
+    battery is a one-dimensional diffusion medium; the {e apparent} charge
+    drawn by a load [i] up to time [t] is
+
+      σ(t) = ∫₀ᵗ i(τ) dτ
+           + 2 Σ_{m=1..∞} ∫₀ᵗ i(τ) e^(−β²m²(t−τ)) dτ
+
+    and the battery is empty when σ(t) reaches the capacity parameter α.
+    The first addend is the charge actually delivered; the series is the
+    charge temporarily {e unavailable} because the concentration gradient
+    has not evened out — the diffusion analogue of KiBaM's bound-charge
+    well, giving both the rate-capacity and the recovery effect.
+
+    The model is included as the reproduction's model-fidelity ablation:
+    the bench compares KiBaM and diffusion lifetimes on the paper's
+    test loads (DESIGN.md S9). *)
+
+type t = private {
+  alpha : float;  (** capacity parameter, A·min *)
+  beta2 : float;  (** β², min⁻¹ — diffusion rate *)
+  terms : int;  (** series truncation (default 40) *)
+}
+
+val make : ?terms:int -> alpha:float -> beta2:float -> unit -> t
+
+val itsy_b1 : t
+(** Parameters fitted so the diffusion model reproduces the analytic
+    KiBaM lifetimes of battery B1 at the paper's two job currents
+    (250 mA and 500 mA) — see {!fit2}; this makes the two models
+    directly comparable on the DSN'09 loads. *)
+
+val apparent_charge : t -> Kibam.Load_profile.t -> float -> float
+(** σ(t) under a piecewise-constant load (exact per-segment integrals of
+    the truncated series). *)
+
+val unavailable_charge : t -> Kibam.Load_profile.t -> float -> float
+(** The series part of σ(t): charge temporarily locked away. *)
+
+val lifetime : t -> Kibam.Load_profile.t -> float option
+(** First time σ(t) = α, or [None] if the battery survives the load
+    (σ can decrease during idle periods — recovery — so the search scans
+    segment by segment). *)
+
+val lifetime_constant : t -> current:float -> float
+(** Lifetime from full under a constant current > 0. *)
+
+val fit2 :
+  ?terms:int ->
+  (float * float) ->
+  (float * float) ->
+  t
+(** [fit2 (i1, l1) (i2, l2)] finds [alpha, beta2] such that the model's
+    constant-current lifetime at current [i1] is exactly [l1] and at
+    [i2] is [l2] (β² by bisection, α eliminated analytically).  The two
+    points must exhibit a genuine rate-capacity effect — the higher
+    current must deliver {e less} total charge — otherwise no diffusion
+    cell fits and [Invalid_argument] is raised. *)
+
+val pp : Format.formatter -> t -> unit

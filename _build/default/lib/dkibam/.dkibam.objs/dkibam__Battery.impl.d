@@ -1,0 +1,1 @@
+lib/dkibam/battery.ml: Discretization Float Format Kibam Stdlib

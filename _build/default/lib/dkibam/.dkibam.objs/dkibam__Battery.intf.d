@@ -1,0 +1,1 @@
+lib/dkibam/battery.mli: Discretization Format Kibam

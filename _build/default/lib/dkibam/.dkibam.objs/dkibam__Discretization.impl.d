@@ -1,0 +1,1 @@
+lib/dkibam/discretization.ml: Array Float Format Kibam Printf

@@ -1,0 +1,1 @@
+lib/dkibam/discretization.mli: Format Kibam

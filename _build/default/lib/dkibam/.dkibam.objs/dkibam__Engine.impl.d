@@ -1,0 +1,1 @@
+lib/dkibam/engine.ml: Array Battery Discretization List Loads

@@ -1,0 +1,1 @@
+lib/dkibam/engine.mli: Battery Discretization Loads

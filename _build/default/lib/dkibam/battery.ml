@@ -1,0 +1,81 @@
+type t = { n_gamma : int; m_delta : int; recov_clock : int }
+
+let full (d : Discretization.t) =
+  { n_gamma = d.n_units; m_delta = 0; recov_clock = 0 }
+
+let make (d : Discretization.t) ~n_gamma ~m_delta ~recov_clock =
+  if n_gamma < 0 || n_gamma > d.n_units then
+    invalid_arg "Dkibam.Battery.make: n_gamma out of range";
+  if m_delta < 0 || m_delta > d.n_units then
+    invalid_arg "Dkibam.Battery.make: m_delta out of range";
+  if recov_clock < 0 then invalid_arg "Dkibam.Battery.make: negative clock";
+  { n_gamma; m_delta; recov_clock }
+
+(* Re-establish the height automaton's invariant c_recov <= recov_time[m]
+   at the current instant: fire any recovery that is already due.  A single
+   firing resets the clock to 0 < recov_time[m'], so one pass suffices. *)
+let settle d b =
+  if b.m_delta >= 2 && b.recov_clock >= Discretization.recov_time d b.m_delta
+  then { b with m_delta = b.m_delta - 1; recov_clock = 0 }
+  else b
+
+let tick d b =
+  if b.m_delta >= 2 then begin
+    let clock = b.recov_clock + 1 in
+    if clock >= Discretization.recov_time d b.m_delta then
+      { b with m_delta = b.m_delta - 1; recov_clock = 0 }
+    else { b with recov_clock = clock }
+  end
+  else { b with recov_clock = b.recov_clock + 1 }
+
+let tick_many d k b =
+  if k < 0 then invalid_arg "Dkibam.Battery.tick_many: negative step count";
+  (* Jump from recovery event to recovery event instead of stepping. *)
+  let rec go k b =
+    if k = 0 then b
+    else if b.m_delta < 2 then { b with recov_clock = b.recov_clock + k }
+    else begin
+      (* an already-overdue recovery (possible for hand-built states)
+         fires on the next step, like [tick] *)
+      let due = max 1 (Discretization.recov_time d b.m_delta - b.recov_clock) in
+      if due > k then { b with recov_clock = b.recov_clock + k }
+      else go (k - due) { b with m_delta = b.m_delta - 1; recov_clock = 0 }
+    end
+  in
+  go k b
+
+let draw d ~cur b =
+  if cur < 1 then invalid_arg "Dkibam.Battery.draw: cur must be >= 1";
+  if b.n_gamma < cur then
+    invalid_arg "Dkibam.Battery.draw: not enough charge units left";
+  let recov_clock = if b.m_delta <= 1 then 0 else b.recov_clock in
+  settle d { n_gamma = b.n_gamma - cur; m_delta = b.m_delta + cur; recov_clock }
+
+let is_empty d b = Discretization.is_empty d ~n:b.n_gamma ~m:b.m_delta
+
+let available_milli_units d b =
+  Discretization.available_milli_units d ~n:b.n_gamma ~m:b.m_delta
+
+let available_charge (d : Discretization.t) b =
+  float_of_int (available_milli_units d b) *. d.charge_unit /. 1000.0
+
+let total_charge d b = Discretization.charge_of_units d b.n_gamma
+
+let to_continuous (d : Discretization.t) b =
+  {
+    Kibam.State.gamma = float_of_int b.n_gamma *. d.charge_unit;
+    delta = float_of_int b.m_delta *. Discretization.height_unit d;
+  }
+
+let of_continuous (d : Discretization.t) (s : Kibam.State.t) =
+  let n = int_of_float (Float.round (s.gamma /. d.charge_unit)) in
+  let m = int_of_float (Float.round (s.delta /. Discretization.height_unit d)) in
+  make d ~n_gamma:(max 0 (min d.n_units n)) ~m_delta:(max 0 (min d.n_units m))
+    ~recov_clock:0
+
+let pp ppf b =
+  Format.fprintf ppf "{ n = %d; m = %d; c_recov = %d }" b.n_gamma b.m_delta
+    b.recov_clock
+
+let equal a b = a = b
+let compare = Stdlib.compare

@@ -1,0 +1,73 @@
+type t = {
+  params : Kibam.Params.t;
+  time_step : float;
+  charge_unit : float;
+  n_units : int;
+  c_milli : int;
+  recov_time : int array;
+}
+
+let infinite_time = max_int / 4
+
+let make ?(time_step = 0.01) ?(charge_unit = 0.01) (params : Kibam.Params.t) =
+  if time_step <= 0.0 then invalid_arg "Dkibam.Discretization: time_step <= 0";
+  if charge_unit <= 0.0 then
+    invalid_arg "Dkibam.Discretization: charge_unit <= 0";
+  let n_f = params.capacity /. charge_unit in
+  let n_units = int_of_float (Float.round n_f) in
+  if Float.abs (n_f -. float_of_int n_units) > 1e-6 *. n_f || n_units <= 0 then
+    invalid_arg
+      "Dkibam.Discretization: capacity must be an integral number of charge \
+       units";
+  let c_milli = int_of_float (Float.round (1000.0 *. params.c)) in
+  if c_milli <= 0 || c_milli >= 1000 then
+    invalid_arg "Dkibam.Discretization: c out of (0.001, 0.999) after scaling";
+  (* Paper eq. (6): time to fall from height difference m to m-1 is
+     (1/k') * ln(m / (m-1)), rounded to the nearest number of steps. *)
+  let recov_time =
+    Array.init (n_units + 1) (fun m ->
+        if m <= 1 then infinite_time
+        else begin
+          let t =
+            1.0 /. params.k'
+            *. Float.log (float_of_int m /. float_of_int (m - 1))
+          in
+          let steps = int_of_float (Float.round (t /. time_step)) in
+          (* Rounding can reach 0 for very large m at a coarse time step; a
+             zero recovery time would recover infinitely fast, so clamp. *)
+          max steps 1
+        end)
+  in
+  { params; time_step; charge_unit; n_units; c_milli; recov_time }
+
+let paper_b1 = make Kibam.Params.b1
+let paper_b2 = make Kibam.Params.b2
+
+let recov_time t m =
+  if m < 0 || m > t.n_units then
+    invalid_arg
+      (Printf.sprintf "Dkibam.Discretization.recov_time: m = %d out of [0, %d]"
+         m t.n_units);
+  t.recov_time.(m)
+
+let height_unit t = t.charge_unit /. t.params.Kibam.Params.c
+
+let steps_of_minutes t minutes =
+  let f = minutes /. t.time_step in
+  let steps = int_of_float (Float.round f) in
+  if Float.abs (f -. float_of_int steps) > 1e-6 *. Float.max 1.0 f then
+    invalid_arg
+      (Printf.sprintf
+         "Dkibam.Discretization.steps_of_minutes: %g min is off the %g min grid"
+         minutes t.time_step);
+  steps
+
+let minutes_of_steps t steps = float_of_int steps *. t.time_step
+let charge_of_units t n = float_of_int n *. t.charge_unit
+let is_empty t ~n ~m = (1000 - t.c_milli) * m >= t.c_milli * n
+let available_milli_units t ~n ~m = (t.c_milli * n) - ((1000 - t.c_milli) * m)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "{ T = %g min; Gamma = %g A*min; N = %d; c_milli = %d; cell = %a }"
+    t.time_step t.charge_unit t.n_units t.c_milli Kibam.Params.pp t.params

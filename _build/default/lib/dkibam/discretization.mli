@@ -1,0 +1,64 @@
+(** The dKiBaM discretization (paper §2.3 and §4.1).
+
+    Time advances in steps of [time_step] ([T], minutes).  The total charge
+    is held in [n_units] ([N = C/Γ]) units of [charge_unit] ([Γ], A·min);
+    the height difference is held in units of [Γ/c].  The non-linear
+    recovery process (eq. (4)) is pre-tabulated: [recov_time m] is the
+    number of time steps needed to fall from height difference [m] to
+    [m − 1] (eq. (6), rounded to the nearest integer number of steps).
+    Fractions such as the well parameter [c] are scaled by 1000 into
+    integers so that every guard of the timed-automata model is exact
+    integer arithmetic — e.g. the emptiness test (eq. (8)) becomes
+    [(1000 − c_milli)·m ≥ c_milli·n]. *)
+
+type t = private {
+  params : Kibam.Params.t;
+  time_step : float;  (** T, minutes *)
+  charge_unit : float;  (** Γ, A·min *)
+  n_units : int;  (** N = C/Γ, the initial [n_gamma] *)
+  c_milli : int;  (** round(1000·c) *)
+  recov_time : int array;
+      (** [recov_time.(m)], m ≥ 2; entries 0 and 1 are [infinite_time] *)
+}
+
+val infinite_time : int
+(** Sentinel for "never recovers" ([max_int / 4], safely addable). *)
+
+val make :
+  ?time_step:float -> ?charge_unit:float -> Kibam.Params.t -> t
+(** Defaults are the paper's: [time_step = 0.01] min and
+    [charge_unit = 0.01] A·min (§5).  Requires the capacity to be an
+    integral number of charge units (within 1e-6). *)
+
+val paper_b1 : t
+(** B1 at the paper's discretization: N = 550. *)
+
+val paper_b2 : t
+(** B2 at the paper's discretization: N = 1100. *)
+
+val recov_time : t -> int -> int
+(** [recov_time d m]: steps to recover one height unit at height
+    difference [m]; {!infinite_time} for [m <= 1].  The table is sized
+    [n_units + 1] — the height difference can never exceed the number of
+    charge units drawn — and out-of-range [m] raises [Invalid_argument]. *)
+
+val height_unit : t -> float
+(** Γ/c in A·min (≈ 0.06 for the paper's cell). *)
+
+val steps_of_minutes : t -> float -> int
+(** Round a duration to time steps (raises if off-grid by > 1e-6). *)
+
+val minutes_of_steps : t -> int -> float
+
+val charge_of_units : t -> int -> float
+(** n·Γ in A·min. *)
+
+val is_empty : t -> n:int -> m:int -> bool
+(** Paper eq. (8): [(1000 − c_milli)·m ≥ c_milli·n]. *)
+
+val available_milli_units : t -> n:int -> m:int -> int
+(** [c_milli·n − (1000 − c_milli)·m]: available charge in 1/1000ths of a
+    charge unit; positive iff non-empty.  This is the best-of-two
+    scheduler's comparison key. *)
+
+val pp : Format.formatter -> t -> unit

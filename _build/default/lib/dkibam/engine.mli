@@ -1,0 +1,32 @@
+(** Single-battery dKiBaM discharge engine.
+
+    Replays the load arrays against one battery exactly as the TA-KiBaM
+    network would with a single battery (the validation setting of paper
+    §5 / Tables 3–4): during a job epoch [y] a draw of [cur.(y)] units
+    occurs every [cur_times.(y)] steps (the discharge clock resets at each
+    job start, as [go_on] does), recovery runs continuously, and emptiness
+    is observed at draw instants — the battery dies at the draw that makes
+    eq. (8) hold. *)
+
+type outcome =
+  | Dies_at_step of int * Battery.t
+      (** absolute time step of the fatal draw, and the state then *)
+  | Survives of Battery.t  (** the load ended first *)
+
+val run : ?initial:Battery.t -> Discretization.t -> Loads.Arrays.t -> outcome
+
+val lifetime : ?initial:Battery.t -> Discretization.t -> Loads.Arrays.t -> float option
+(** Death time in minutes, [None] if the battery outlives the load. *)
+
+val lifetime_exn : ?initial:Battery.t -> Discretization.t -> Loads.Arrays.t -> float
+
+val trace :
+  ?initial:Battery.t ->
+  ?sample_every:int ->
+  Discretization.t ->
+  Loads.Arrays.t ->
+  max_steps:int ->
+  (int * Battery.t) list
+(** Battery state sampled every [sample_every] steps (default 10) and at
+    every draw, until death, end of load, or [max_steps].  Times are
+    absolute steps. *)

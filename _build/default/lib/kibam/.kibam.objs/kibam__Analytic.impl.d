@@ -1,0 +1,1 @@
+lib/kibam/analytic.ml: Array Float Numerics Params State

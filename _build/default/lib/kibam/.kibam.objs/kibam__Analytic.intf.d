@@ -1,0 +1,1 @@
+lib/kibam/analytic.mli: Numerics Params State

@@ -1,0 +1,1 @@
+lib/kibam/capacity.ml: Analytic List Params State

@@ -1,0 +1,1 @@
+lib/kibam/capacity.mli: Params

@@ -1,0 +1,1 @@
+lib/kibam/charging.ml: Analytic Float Params State

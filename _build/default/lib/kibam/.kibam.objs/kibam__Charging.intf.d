@@ -1,0 +1,1 @@
+lib/kibam/charging.mli: Params State

@@ -1,0 +1,1 @@
+lib/kibam/fit.ml: Capacity Float List Numerics Option Params

@@ -1,0 +1,1 @@
+lib/kibam/fit.mli: Params

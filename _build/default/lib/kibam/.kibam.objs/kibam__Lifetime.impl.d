@@ -1,0 +1,1 @@
+lib/kibam/lifetime.ml: Analytic Float List Load_profile Params State

@@ -1,0 +1,1 @@
+lib/kibam/lifetime.mli: Load_profile Params State

@@ -1,0 +1,1 @@
+lib/kibam/load_profile.ml: Float Format List

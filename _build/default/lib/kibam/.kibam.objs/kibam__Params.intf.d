@@ -1,0 +1,1 @@
+lib/kibam/params.mli: Format

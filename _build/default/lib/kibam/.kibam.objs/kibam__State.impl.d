@@ -1,0 +1,1 @@
+lib/kibam/state.ml: Float Format Params

@@ -1,0 +1,1 @@
+lib/kibam/state.mli: Format Params

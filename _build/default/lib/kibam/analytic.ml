@@ -1,0 +1,37 @@
+let step (p : Params.t) ~current ~elapsed (s : State.t) =
+  if elapsed < 0.0 then invalid_arg "Analytic.step: negative elapsed time";
+  let decay = Float.exp (-.p.k' *. elapsed) in
+  let delta_star = current /. (p.c *. p.k') in
+  {
+    State.delta = (s.delta *. decay) +. (delta_star *. (1.0 -. decay));
+    gamma = s.gamma -. (current *. elapsed);
+  }
+
+let headroom_after p ~current s tau = State.headroom p (step p ~current ~elapsed:tau s)
+
+let time_to_empty (p : Params.t) ~current (s : State.t) =
+  if State.is_empty p s then Some 0.0
+  else if current <= 0.0 then None
+  else begin
+    (* gamma is exhausted at tau_max = gamma / I; headroom there is
+       -(1-c)*delta <= 0, so [0, tau_max] brackets the first death. *)
+    let tau_max = s.gamma /. current in
+    Numerics.Rootfind.find_first_crossing ~coarse:128 ~tol:1e-12
+      ~f:(headroom_after p ~current s) 0.0 tau_max
+  end
+
+let steady_state_delta (p : Params.t) ~current = current /. (p.c *. p.k')
+
+let vector_field (p : Params.t) ~i : Numerics.Ode.system =
+ fun ~t ~y ->
+  let delta = y.(0) in
+  let cur = i t in
+  [| (cur /. p.c) -. (p.k' *. delta); -.cur |]
+
+let vector_field_wells (p : Params.t) ~i : Numerics.Ode.system =
+ fun ~t ~y ->
+  let y1 = y.(0) and y2 = y.(1) in
+  let h1 = y1 /. p.c and h2 = y2 /. (1.0 -. p.c) in
+  let k = Params.k p in
+  let flow = k *. (h2 -. h1) in
+  [| -.i t +. flow; -.flow |]

@@ -1,0 +1,45 @@
+(** Closed-form KiBaM evolution under constant current (paper §2.2).
+
+    For a constant current I, the transformed system (paper eq. (2))
+
+      dδ/dt = I/c − k'·δ        dγ/dt = −I
+
+    has the exact solution
+
+      δ(τ) = δ₀·e^(−k'τ) + (I / (c·k'))·(1 − e^(−k'τ))
+      γ(τ) = γ₀ − I·τ
+
+    which this module exposes, together with the vector field itself (for
+    numerical cross-checks) and the constant-current lifetime solver. *)
+
+val step : Params.t -> current:float -> elapsed:float -> State.t -> State.t
+(** Exact evolution over [elapsed] ≥ 0 minutes of constant [current].
+    Negative currents charge the battery (see {!Charging} for the
+    capacity-aware wrapper).  The state is evolved regardless of
+    emptiness or fullness — callers that care about the battery dying or
+    filling mid-interval should use {!time_to_empty} / {!Charging}. *)
+
+val headroom_after :
+  Params.t -> current:float -> State.t -> float -> float
+(** [headroom_after p ~current s tau] = γ(τ) − (1 − c)·δ(τ): the emptiness
+    margin after τ minutes (paper eq. (3) residual).  Zero crossing =
+    battery death. *)
+
+val time_to_empty :
+  Params.t -> current:float -> State.t -> float option
+(** First time at which the battery becomes empty under the given constant
+    current, or [None] if it never does (always the case for [current = 0],
+    and for currents small enough that the recovery flow keeps up until the
+    charge is fully drained — then death happens exactly at γ depletion and
+    is still reported).  Uses {!Numerics.Rootfind.find_first_crossing}. *)
+
+val steady_state_delta : Params.t -> current:float -> float
+(** The fixpoint δ* = I/(c·k') that δ approaches under constant current. *)
+
+val vector_field : Params.t -> i:(float -> float) -> Numerics.Ode.system
+(** The (δ, γ) vector field of eq. (2) under time-varying current [i],
+    as a 2-vector system [|δ; γ|] for {!Numerics.Ode}. *)
+
+val vector_field_wells : Params.t -> i:(float -> float) -> Numerics.Ode.system
+(** The original two-well field of eq. (1), as [|y1; y2|] — used to verify
+    the coordinate transformation numerically. *)

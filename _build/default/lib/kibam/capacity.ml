@@ -1,0 +1,16 @@
+let lifetime_constant (p : Params.t) ~current =
+  if current <= 0.0 then
+    invalid_arg "Capacity.lifetime_constant: current must be positive";
+  match Analytic.time_to_empty p ~current (State.full p) with
+  | Some t -> t
+  | None -> assert false (* positive constant current always empties *)
+
+let delivered_at p ~current = current *. lifetime_constant p ~current
+let stranded_at (p : Params.t) ~current = p.capacity -. delivered_at p ~current
+let stranded_fraction (p : Params.t) ~current = stranded_at p ~current /. p.capacity
+
+let rate_capacity_curve p ~currents =
+  List.map (fun current -> (current, delivered_at p ~current)) currents
+
+let apparent_capacity_ratio (p : Params.t) ~current =
+  delivered_at p ~current /. p.capacity

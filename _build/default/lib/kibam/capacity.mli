@@ -1,0 +1,28 @@
+(** Rate-capacity analysis: how much charge a constant current can extract.
+
+    The rate-capacity effect (paper §2.1) means the delivered charge at
+    battery death is a strictly decreasing function of the discharge
+    current.  This module quantifies it and provides the stranded-charge
+    figures quoted in paper §6 ("approximately 3.9 A*min, which is 70 % of
+    its original energy"). *)
+
+val lifetime_constant : Params.t -> current:float -> float
+(** Lifetime from full under a constant [current] > 0. *)
+
+val delivered_at : Params.t -> current:float -> float
+(** Charge delivered before death at constant [current] > 0
+    ([current * lifetime]); approaches C as the current tends to 0. *)
+
+val stranded_at : Params.t -> current:float -> float
+(** C minus {!delivered_at}: charge left in the bound well at death. *)
+
+val stranded_fraction : Params.t -> current:float -> float
+(** {!stranded_at} / C. *)
+
+val rate_capacity_curve :
+  Params.t -> currents:float list -> (float * float) list
+(** [(current, delivered)] pairs — the classic rate-capacity plot. *)
+
+val apparent_capacity_ratio : Params.t -> current:float -> float
+(** Delivered charge divided by the ideal C/I prediction's charge, i.e.
+    delivered / C; 1.0 for an ideal (linear) battery. *)

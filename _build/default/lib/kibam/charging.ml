@@ -1,0 +1,35 @@
+let validate ~current ~elapsed =
+  if not (current > 0.0) then
+    invalid_arg "Kibam.Charging: charging current must be positive";
+  if elapsed < 0.0 then invalid_arg "Kibam.Charging: negative elapsed time"
+
+let time_to_full (p : Params.t) ~current (s : State.t) =
+  if not (current > 0.0) then
+    invalid_arg "Kibam.Charging.time_to_full: current must be positive";
+  Float.max 0.0 ((p.capacity -. s.gamma) /. current)
+
+let step (p : Params.t) ~current ~elapsed (s : State.t) =
+  validate ~current ~elapsed;
+  let fill = time_to_full p ~current s in
+  if elapsed <= fill then Analytic.step p ~current:(-.current) ~elapsed s
+  else begin
+    let full = Analytic.step p ~current:(-.current) ~elapsed:fill s in
+    (* remaining time is rest: the wells keep equalizing at zero current *)
+    Analytic.step p ~current:0.0 ~elapsed:(elapsed -. fill) full
+  end
+
+let overflow_current (p : Params.t) (s : State.t) =
+  (* valve flow out of a brim-full available well: k * (h1_max - h2)
+     with h1_max = cC/c = C and h2 the current bound-well height *)
+  let k = Params.k p in
+  Float.max 0.0 (k *. (p.capacity -. State.h2 p s))
+
+let round_trip (p : Params.t) ~discharge_current ~discharge_time
+    ~charge_current (s : State.t) =
+  if not (discharge_current > 0.0 && discharge_time >= 0.0) then
+    invalid_arg "Kibam.Charging.round_trip: bad discharge phase";
+  let drained =
+    Analytic.step p ~current:discharge_current ~elapsed:discharge_time s
+  in
+  let charge_time = time_to_full p ~current:charge_current drained in
+  (step p ~current:charge_current ~elapsed:charge_time drained, charge_time)

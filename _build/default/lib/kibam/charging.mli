@@ -1,0 +1,49 @@
+(** Charging the KiBaM battery.
+
+    Manwell & McGowan's original model (refs. [17–19] of the paper) covers
+    charging with the same two-well differential equations: a negative
+    applied current fills the available well, whence charge seeps into the
+    bound well through the valve.  The paper only discharges its
+    batteries; this module is the natural library extension for usage
+    cycles (e.g. solar-buffered sensor nodes).
+
+    Sign convention: these functions take [current > 0] — the magnitude of
+    the charging current — and apply [-current] internally.  Charging
+    stops exactly at γ = C (the battery accepts no charge beyond its
+    capacity); the available well's own ceiling [y1 ≤ c·C] is respected
+    asymptotically by the dynamics for charge currents that do not exceed
+    the valve's equalization flow, which {!overflow_current} quantifies —
+    pass smaller currents to stay physical. *)
+
+val step :
+  Params.t -> current:float -> elapsed:float -> State.t -> State.t
+(** Charge for [elapsed] minutes at constant [current] > 0, stopping
+    exactly when the battery is full (γ = C; any remaining time passes
+    as rest).  Raises [Invalid_argument] for non-positive current or
+    negative time. *)
+
+val time_to_full : Params.t -> current:float -> State.t -> float
+(** Time until γ reaches C at constant charging [current] > 0 — exact,
+    since γ rises linearly: (C − γ)/current.  0 for a full battery. *)
+
+val overflow_current : Params.t -> State.t -> float
+(** The charging current at which the available well would stop rising
+    only when completely full: [c·k'·(C − γ(t))]-style bound evaluated at
+    the current state, i.e. the valve flow out of a {e brim-full}
+    available well, [k'·c·(1−c)·(h1_max − h2)] with [h1_max = C].
+    Charging below this keeps [y1 < c·C] throughout. *)
+
+val round_trip :
+  Params.t ->
+  discharge_current:float ->
+  discharge_time:float ->
+  charge_current:float ->
+  State.t ->
+  State.t * float
+(** One discharge/charge cycle: discharge for [discharge_time] (the
+    caller must ensure the battery survives; see
+    {!Analytic.time_to_empty}), then charge back to full.  Returns the
+    final state — full total charge, with whatever height difference the
+    cycle left — and the charging time needed; the asymmetry between
+    discharge and charge durations is the kinetic hysteresis the model
+    captures. *)

@@ -1,0 +1,113 @@
+let lifetime ~capacity ~c ~k' ~current =
+  Capacity.lifetime_constant (Params.make ~c ~k' ~capacity) ~current
+
+let k_lo = 1e-5
+let k_hi = 1e4
+
+(* For fixed c the lifetime at a given current is strictly increasing in
+   k' (a faster valve replenishes the available well sooner); invert it
+   by bisection.  None when the target lies outside the achievable
+   range. *)
+let k_for_point ~capacity ~c (current, target) =
+  let f k' = lifetime ~capacity ~c ~k' ~current -. target in
+  if f k_lo > 0.0 || f k_hi < 0.0 then None
+  else Some (Numerics.Rootfind.brent ~tol:1e-12 ~f k_lo k_hi)
+
+let validate_points ~capacity points =
+  List.iter
+    (fun (i, l) ->
+      if not (i > 0.0 && l > 0.0) then
+        invalid_arg "Kibam.Fit: currents and lifetimes must be positive";
+      if i *. l >= capacity then
+        invalid_arg
+          "Kibam.Fit: a point delivers the whole capacity; no kinetic cell \
+           explains it")
+    points
+
+let fit2 ~capacity (i1, l1) (i2, l2) =
+  validate_points ~capacity [ (i1, l1); (i2, l2) ];
+  if i1 = i2 then invalid_arg "Kibam.Fit.fit2: need two distinct currents";
+  let (ih, lh), (il, ll) =
+    if i1 > i2 then ((i1, l1), (i2, l2)) else ((i2, l2), (i1, l1))
+  in
+  if ih *. lh >= il *. ll then
+    invalid_arg "Kibam.Fit.fit2: no rate-capacity effect in the data";
+  (* residual in c, with k' always re-fitted to the high-current point *)
+  let residual c =
+    match k_for_point ~capacity ~c (ih, lh) with
+    | None -> None
+    | Some k' -> Some (lifetime ~capacity ~c ~k' ~current:il -. ll)
+  in
+  let grid = List.init 97 (fun k -> 0.02 +. (float_of_int k /. 100.0)) in
+  let evaluated = List.filter_map (fun c -> Option.map (fun r -> (c, r)) (residual c)) grid in
+  let rec find_bracket = function
+    | (c1, r1) :: ((c2, r2) :: _ as rest) ->
+        if r1 = 0.0 then Some (c1, c1)
+        else if (r1 > 0.0 && r2 < 0.0) || (r1 < 0.0 && r2 > 0.0) then Some (c1, c2)
+        else find_bracket rest
+    | [ (c, r) ] when r = 0.0 -> Some (c, c)
+    | _ -> None
+  in
+  match find_bracket evaluated with
+  | None -> invalid_arg "Kibam.Fit.fit2: no KiBaM cell fits these two points"
+  | Some (clo, chi) ->
+      let c =
+        if clo = chi then clo
+        else
+          Numerics.Rootfind.brent ~tol:1e-10
+            ~f:(fun c ->
+              match residual c with
+              | Some r -> r
+              | None -> invalid_arg "Kibam.Fit.fit2: lost the bracket")
+            clo chi
+      in
+      let k' =
+        match k_for_point ~capacity ~c (ih, lh) with
+        | Some k -> k
+        | None -> invalid_arg "Kibam.Fit.fit2: lost the k' inversion"
+      in
+      Params.make ~c ~k' ~capacity
+
+let lifetime_residual (p : Params.t) points =
+  List.fold_left
+    (fun acc (current, l) ->
+      let got = Capacity.lifetime_constant p ~current in
+      Float.max acc (Float.abs (got -. l) /. l))
+    0.0 points
+
+let fit ~capacity points =
+  if List.length points < 2 then invalid_arg "Kibam.Fit.fit: need >= 2 points";
+  validate_points ~capacity points;
+  (* anchor k' to the highest-current point (the most kinetics-sensitive
+     measurement), then search c for the smallest max relative error *)
+  let anchor =
+    List.fold_left (fun (bi, bl) (i, l) -> if i > bi then (i, l) else (bi, bl))
+      (List.hd points) (List.tl points)
+  in
+  let score c =
+    match k_for_point ~capacity ~c anchor with
+    | None -> infinity
+    | Some k' -> lifetime_residual (Params.make ~c ~k' ~capacity) points
+  in
+  (* golden-section over c after a coarse grid seed *)
+  let grid = List.init 49 (fun k -> 0.02 +. (float_of_int k /. 50.0)) in
+  let c0 =
+    List.fold_left (fun best c -> if score c < score best then c else best)
+      (List.hd grid) (List.tl grid)
+  in
+  let lo = Float.max 0.015 (c0 -. 0.02) and hi = Float.min 0.985 (c0 +. 0.02) in
+  let phi = (Float.sqrt 5.0 -. 1.0) /. 2.0 in
+  let rec golden lo hi n =
+    if n = 0 then 0.5 *. (lo +. hi)
+    else begin
+      let x1 = hi -. (phi *. (hi -. lo)) in
+      let x2 = lo +. (phi *. (hi -. lo)) in
+      if score x1 < score x2 then golden lo x2 (n - 1) else golden x1 hi (n - 1)
+    end
+  in
+  let c = golden lo hi 40 in
+  match k_for_point ~capacity ~c anchor with
+  | None -> invalid_arg "Kibam.Fit.fit: anchor point not fittable"
+  | Some k' ->
+      let p = Params.make ~c ~k' ~capacity in
+      (p, lifetime_residual p points)

@@ -1,0 +1,33 @@
+(** Fitting KiBaM parameters from discharge measurements.
+
+    The paper takes its cell parameters (c = 0.166, k' = 0.122 min⁻¹)
+    from the companion technical report, which fitted them to Itsy
+    discharge data.  This module rebuilds that step: given measured
+    (constant current, lifetime) pairs, recover [c] and [k'] for a known
+    capacity — so the library can be applied to a user's own cells, and
+    so the paper's parameters can be round-tripped as a test.
+
+    The two-point fit is exact (nested bisection: for fixed [c] the
+    lifetime is strictly increasing in [k'], and the resulting
+    one-dimensional residual in [c] is monotone over the physical range);
+    with more points, {!fit} minimizes the maximum relative lifetime
+    error by golden-section refinement over [c]. *)
+
+val fit2 :
+  capacity:float -> float * float -> float * float -> Params.t
+(** [fit2 ~capacity (i1, l1) (i2, l2)] returns parameters whose
+    constant-current lifetimes at [i1] and [i2] are exactly [l1] and
+    [l2].  Requirements: distinct positive currents, lifetimes positive,
+    delivered charge below [capacity] and exhibiting a rate-capacity
+    effect (the higher current delivers less).  Raises
+    [Invalid_argument] when no KiBaM cell fits. *)
+
+val fit :
+  capacity:float -> (float * float) list -> Params.t * float
+(** [fit ~capacity points] with ≥ 2 points: least-max-relative-error fit;
+    returns the parameters and the residual (max relative lifetime
+    error over the points). *)
+
+val lifetime_residual : Params.t -> (float * float) list -> float
+(** Max relative error of the model's constant-current lifetimes against
+    the given points (the quantity {!fit} minimizes). *)

@@ -1,0 +1,65 @@
+type outcome = Dies_at of float | Survives of State.t
+
+let run ?initial (p : Params.t) (load : Load_profile.t) =
+  let initial = match initial with Some s -> s | None -> State.full p in
+  let rec go t_start (s : State.t) = function
+    | [] -> Survives s
+    | (seg : Load_profile.segment) :: rest -> (
+        match Analytic.time_to_empty p ~current:seg.current s with
+        | Some tau when tau <= seg.duration -> Dies_at (t_start +. tau)
+        | Some _ | None ->
+            go (t_start +. seg.duration)
+              (Analytic.step p ~current:seg.current ~elapsed:seg.duration s)
+              rest)
+  in
+  if State.is_empty p initial then Dies_at 0.0
+  else go 0.0 initial (Load_profile.segments load)
+
+let lifetime ?initial p load =
+  match run ?initial p load with Dies_at t -> Some t | Survives _ -> None
+
+let lifetime_exn ?initial p load =
+  match run ?initial p load with
+  | Dies_at t -> t
+  | Survives _ ->
+      failwith
+        "Kibam.Lifetime.lifetime_exn: battery outlived the load; extend the \
+         profile (e.g. Load_profile.cycle_until)"
+
+let state_at ?initial (p : Params.t) (load : Load_profile.t) t =
+  let initial = match initial with Some s -> s | None -> State.full p in
+  let rec go t_remaining s = function
+    | [] -> s
+    | (seg : Load_profile.segment) :: rest ->
+        if t_remaining <= seg.duration then
+          Analytic.step p ~current:seg.current ~elapsed:t_remaining s
+        else
+          go (t_remaining -. seg.duration)
+            (Analytic.step p ~current:seg.current ~elapsed:seg.duration s)
+            rest
+  in
+  if t < 0.0 then invalid_arg "Lifetime.state_at: negative time";
+  go t initial (Load_profile.segments load)
+
+let trace ?initial ?(dt = 0.05) (p : Params.t) load ~horizon =
+  if dt <= 0.0 then invalid_arg "Lifetime.trace: dt must be positive";
+  let initial = match initial with Some s -> s | None -> State.full p in
+  (* Collect grid points plus epoch boundaries, then evolve epoch-wise so
+     each sample is exact (no accumulation of stepping error). *)
+  let grid =
+    let n = int_of_float (Float.floor (horizon /. dt)) in
+    List.init (n + 1) (fun i -> float_of_int i *. dt)
+  in
+  let bounds = List.filter (fun b -> b <= horizon) (Load_profile.boundaries load) in
+  let times =
+    List.sort_uniq compare ((horizon :: grid) @ bounds)
+    |> List.filter (fun t -> t >= 0.0 && t <= horizon)
+  in
+  List.map (fun t -> (t, state_at ~initial p load t)) times
+
+let delivered_charge (p : Params.t) load =
+  match run p load with
+  | Dies_at t ->
+      let final = state_at p load t in
+      p.capacity -. final.State.gamma
+  | Survives final -> p.capacity -. final.State.gamma

@@ -1,0 +1,43 @@
+(** Battery lifetime under piecewise-constant loads.
+
+    Lifetime is the time of one discharge period "from full to empty"
+    (paper §1): the first instant at which the available-charge well runs
+    dry, i.e. γ(t) = (1 − c)·δ(t) (paper eq. (3)).  The computation steps
+    through the load's epochs with the exact constant-current solution of
+    {!Analytic} and locates the in-epoch death instant by root finding, so
+    it is exact up to root-finder tolerance — this is the "analytical
+    KiBaM" column of the paper's Tables 3 and 4. *)
+
+type outcome =
+  | Dies_at of float  (** battery becomes empty at this time (minutes) *)
+  | Survives of State.t
+      (** the load ended first; final state attached *)
+
+val run : ?initial:State.t -> Params.t -> Load_profile.t -> outcome
+(** Evolve a battery (default: full) through the whole profile. *)
+
+val lifetime : ?initial:State.t -> Params.t -> Load_profile.t -> float option
+(** [Some t] iff {!run} dies at [t]. *)
+
+val lifetime_exn : ?initial:State.t -> Params.t -> Load_profile.t -> float
+(** Raises [Failure] if the battery outlives the load — extend the load
+    with {!Load_profile.cycle_until} when that happens. *)
+
+val state_at : ?initial:State.t -> Params.t -> Load_profile.t -> float -> State.t
+(** State after [t] minutes of the profile, evolving even past emptiness
+    (matching the ODE, which is blind to the emptiness condition). *)
+
+val trace :
+  ?initial:State.t ->
+  ?dt:float ->
+  Params.t ->
+  Load_profile.t ->
+  horizon:float ->
+  (float * State.t) list
+(** Sampled evolution on a [dt]-grid (default 0.05 min) up to [horizon],
+    with epoch boundaries included as extra sample points — the raw series
+    behind Figure-6-style charge plots. *)
+
+val delivered_charge : Params.t -> Load_profile.t -> float
+(** Charge (A*min) actually delivered before death (or before the load
+    ends): C minus the stranded charge. *)

@@ -1,0 +1,91 @@
+type segment = { duration : float; current : float }
+type t = segment list
+
+let validate_segment { duration; current } =
+  if not (duration > 0.0) then
+    invalid_arg "Load_profile: segment duration must be positive";
+  if not (current >= 0.0) then
+    invalid_arg "Load_profile: segment current must be non-negative"
+
+let merge segs =
+  let rec go = function
+    | a :: b :: rest when a.current = b.current ->
+        go ({ duration = a.duration +. b.duration; current = a.current } :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go segs
+
+let of_segments segs =
+  List.iter validate_segment segs;
+  merge segs
+
+let segments t = t
+let empty = []
+let job ~current ~duration = of_segments [ { duration; current } ]
+let idle duration = of_segments [ { duration; current = 0.0 } ]
+let append a b = merge (a @ b)
+let concat ps = merge (List.concat ps)
+
+let repeat n p =
+  if n < 0 then invalid_arg "Load_profile.repeat: negative count";
+  let rec go acc n = if n = 0 then acc else go (p :: acc) (n - 1) in
+  concat (go [] n)
+
+let total_duration t =
+  List.fold_left (fun acc s -> acc +. s.duration) 0.0 t
+
+let cycle_until ~horizon p =
+  let d = total_duration p in
+  if d <= 0.0 then invalid_arg "Load_profile.cycle_until: empty profile";
+  let copies = int_of_float (Float.ceil (horizon /. d)) in
+  repeat (max copies 1) p
+
+let current_at t time =
+  let rec go t_start = function
+    | [] -> 0.0
+    | s :: rest ->
+        if time < t_start +. s.duration then s.current
+        else go (t_start +. s.duration) rest
+  in
+  if time < 0.0 then 0.0 else go 0.0 t
+
+let boundaries t =
+  let _, acc =
+    List.fold_left
+      (fun (t_end, acc) s ->
+        let t_end = t_end +. s.duration in
+        (t_end, t_end :: acc))
+      (0.0, []) t
+  in
+  List.rev acc
+
+let fold_epochs t ~init ~f =
+  let _, acc =
+    List.fold_left
+      (fun (t_start, acc) s -> (t_start +. s.duration, f acc ~t_start s))
+      (0.0, init) t
+  in
+  acc
+
+let scale_current f t =
+  if not (f >= 0.0) then invalid_arg "Load_profile.scale_current: negative factor";
+  merge (List.map (fun s -> { s with current = s.current *. f }) t)
+
+let truncate horizon t =
+  let rec go remaining = function
+    | [] -> []
+    | s :: rest ->
+        if remaining <= 0.0 then []
+        else if s.duration <= remaining then s :: go (remaining -. s.duration) rest
+        else [ { s with duration = remaining } ]
+  in
+  go horizon t
+
+let pp ppf t =
+  let pp_seg ppf { duration; current } =
+    Format.fprintf ppf "%gmin@@%gA" duration current
+  in
+  Format.fprintf ppf "[%a]" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_seg) t
+
+let equal = ( = )

@@ -1,0 +1,60 @@
+(** Piecewise-constant continuous load profiles.
+
+    A profile is a finite sequence of segments, each applying a constant
+    current for a positive duration.  The paper's test loads (§5) are all of
+    this shape: jobs of 250 mA or 500 mA, separated by idle segments.
+    Currents are in Ampere, durations and times in minutes, matching the
+    paper's A*min charge unit. *)
+
+type segment = { duration : float; current : float }
+(** One epoch: [current] ≥ 0 drawn for [duration] > 0 minutes. *)
+
+type t
+
+val of_segments : segment list -> t
+(** Validating constructor: all durations must be positive and currents
+    non-negative.  Adjacent segments with equal current are merged. *)
+
+val segments : t -> segment list
+val empty : t
+
+val job : current:float -> duration:float -> t
+(** A single job segment. *)
+
+val idle : float -> t
+(** An idle (zero-current) segment. *)
+
+val append : t -> t -> t
+val concat : t list -> t
+
+val repeat : int -> t -> t
+(** [repeat n p] is [p] concatenated [n] times. *)
+
+val cycle_until : horizon:float -> t -> t
+(** Repeats [p] until the total duration reaches at least [horizon]
+    (the final copy is kept whole, so the result may overshoot).
+    Raises [Invalid_argument] on an empty or zero-length [p]. *)
+
+val total_duration : t -> float
+
+val current_at : t -> float -> float
+(** [current_at p t] is the current at time [t] (0 beyond the end;
+    segments are right-open: the current at a boundary belongs to the
+    later segment). *)
+
+val boundaries : t -> float list
+(** Strictly increasing epoch end times, starting after 0 — the
+    [load_time] array of paper §4.1 in continuous form. *)
+
+val fold_epochs :
+  t -> init:'a -> f:('a -> t_start:float -> segment -> 'a) -> 'a
+(** Left fold over segments with their absolute start times. *)
+
+val scale_current : float -> t -> t
+(** Multiply every segment's current. *)
+
+val truncate : float -> t -> t
+(** [truncate horizon p] cuts the profile at time [horizon]. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

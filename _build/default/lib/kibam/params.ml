@@ -1,0 +1,22 @@
+type t = { c : float; k' : float; capacity : float }
+
+let make ~c ~k' ~capacity =
+  if not (c > 0.0 && c < 1.0) then
+    invalid_arg "Kibam.Params.make: c must lie strictly between 0 and 1";
+  if not (k' > 0.0) then invalid_arg "Kibam.Params.make: k' must be positive";
+  if not (capacity > 0.0) then
+    invalid_arg "Kibam.Params.make: capacity must be positive";
+  { c; k'; capacity }
+
+let k { c; k'; _ } = k' *. c *. (1.0 -. c)
+let with_capacity p capacity = make ~c:p.c ~k':p.k' ~capacity
+let scale_capacity p f = with_capacity p (p.capacity *. f)
+
+(* Itsy pocket-computer lithium-ion cell, [15] of the paper. *)
+let b1 = make ~c:0.166 ~k':0.122 ~capacity:5.5
+let b2 = with_capacity b1 11.0
+
+let pp ppf { c; k'; capacity } =
+  Format.fprintf ppf "{ c = %g; k' = %g min^-1; C = %g A*min }" c k' capacity
+
+let equal a b = a.c = b.c && a.k' = b.k' && a.capacity = b.capacity

@@ -1,0 +1,38 @@
+(** Kinetic Battery Model parameters.
+
+    The KiBaM (Manwell & McGowan) splits the capacity [capacity] over an
+    available-charge well (fraction [c]) and a bound-charge well (fraction
+    [1 - c]) connected through a valve of conductance [k].  Following the
+    paper we parameterize by the transformed rate constant
+    [k' = k / (c * (1 - c))], which is what the companion technical report
+    (Jongerden & Haverkort, TR-CTIT-08-01) tabulates for the Itsy cell. *)
+
+type t = private {
+  c : float;  (** available-charge fraction, 0 < c < 1 *)
+  k' : float;  (** transformed valve conductance, min^-1, > 0 *)
+  capacity : float;  (** total capacity C, A*min, > 0 *)
+}
+
+val make : c:float -> k':float -> capacity:float -> t
+(** Validating constructor; raises [Invalid_argument] when a parameter is
+    out of range. *)
+
+val k : t -> float
+(** The untransformed valve conductance [k = k' * c * (1 - c)]. *)
+
+val with_capacity : t -> float -> t
+(** Same cell chemistry, different capacity (used for the paper's B1 = 5.5
+    A*min vs B2 = 11 A*min cells and the capacity-sweep ablation). *)
+
+val scale_capacity : t -> float -> t
+(** [scale_capacity p f] multiplies the capacity by [f]. *)
+
+val b1 : t
+(** Battery B1 of the paper: 5.5 A*min, c = 0.166, k' = 0.122 min^-1
+    (lithium-ion cell of the Itsy pocket computer). *)
+
+val b2 : t
+(** Battery B2 of the paper: as B1 with 11 A*min. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,22 @@
+type t = { delta : float; gamma : float }
+
+let full (p : Params.t) = { delta = 0.0; gamma = p.capacity }
+let y1 (p : Params.t) { delta; gamma } = p.c *. (gamma -. ((1.0 -. p.c) *. delta))
+let y2 p s = s.gamma -. y1 p s
+
+let of_wells (p : Params.t) ~y1 ~y2 =
+  { delta = (y2 /. (1.0 -. p.c)) -. (y1 /. p.c); gamma = y1 +. y2 }
+
+let h1 (p : Params.t) s = y1 p s /. p.c
+let h2 (p : Params.t) s = y2 p s /. (1.0 -. p.c)
+let headroom (p : Params.t) { delta; gamma } = gamma -. ((1.0 -. p.c) *. delta)
+let is_empty p s = headroom p s <= 0.0
+let charge_fraction_left (p : Params.t) s = s.gamma /. p.capacity
+
+let pp ppf { delta; gamma } =
+  Format.fprintf ppf "{ delta = %g; gamma = %g }" delta gamma
+
+let equal a b = a.delta = b.delta && a.gamma = b.gamma
+
+let close ?(tol = 1e-9) a b =
+  Float.abs (a.delta -. b.delta) <= tol && Float.abs (a.gamma -. b.gamma) <= tol

@@ -1,0 +1,43 @@
+(** Battery state in the transformed (δ, γ) coordinates of paper §2.2.
+
+    [delta] is the height difference between the bound- and available-charge
+    wells ([h2 - h1]); [gamma] is the total remaining charge ([y1 + y2]).
+    The well coordinates [y1] (available) and [y2] (bound) are derived views
+    parameterized by the cell's [c]. *)
+
+type t = { delta : float; gamma : float }
+
+val full : Params.t -> t
+(** A freshly charged battery: δ = 0, γ = C (paper eq. (2) initial
+    conditions). *)
+
+val y1 : Params.t -> t -> float
+(** Available charge [y1 = c * (γ − (1 − c) * δ)]. *)
+
+val y2 : Params.t -> t -> float
+(** Bound charge [y2 = γ − y1]. *)
+
+val of_wells : Params.t -> y1:float -> y2:float -> t
+(** Inverse view: δ = y2/(1−c) − y1/c, γ = y1 + y2. *)
+
+val h1 : Params.t -> t -> float
+(** Height of the available-charge well, [y1 / c]. *)
+
+val h2 : Params.t -> t -> float
+(** Height of the bound-charge well, [y2 / (1 − c)]. *)
+
+val headroom : Params.t -> t -> float
+(** [γ − (1 − c) * δ]: positive while the battery is non-empty, zero on
+    the emptiness boundary of paper eq. (3).  Equals [y1 / c]. *)
+
+val is_empty : Params.t -> t -> bool
+(** Paper eq. (3): γ ≤ (1 − c) δ, i.e. no available charge left. *)
+
+val charge_fraction_left : Params.t -> t -> float
+(** γ / C: the fraction of the original charge still in the battery
+    (the paper reports ~70 % stranded for B1 at death under ILs alt). *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val close : ?tol:float -> t -> t -> bool
+(** Componentwise comparison within [tol] (default 1e-9), for tests. *)

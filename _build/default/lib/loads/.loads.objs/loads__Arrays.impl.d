@@ -1,0 +1,1 @@
+lib/loads/arrays.ml: Array Epoch Float Format List Printf

@@ -1,0 +1,1 @@
+lib/loads/arrays.mli: Epoch Format

@@ -1,0 +1,1 @@
+lib/loads/epoch.ml: Float Format Kibam List

@@ -1,0 +1,1 @@
+lib/loads/epoch.mli: Format Kibam

@@ -1,0 +1,1 @@
+lib/loads/random_load.ml: Epoch List Prng

@@ -1,0 +1,1 @@
+lib/loads/random_load.mli: Epoch

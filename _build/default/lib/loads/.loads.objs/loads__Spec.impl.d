@@ -1,0 +1,1 @@
+lib/loads/spec.ml: Buffer Epoch List Printf String Testloads

@@ -1,0 +1,1 @@
+lib/loads/spec.mli: Epoch

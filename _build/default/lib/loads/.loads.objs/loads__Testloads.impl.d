@@ -1,0 +1,1 @@
+lib/loads/testloads.ml: Array Epoch Float Format List Random_load String

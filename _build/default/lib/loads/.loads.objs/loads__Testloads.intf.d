@@ -1,0 +1,1 @@
+lib/loads/testloads.mli: Epoch Format

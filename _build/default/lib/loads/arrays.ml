@@ -1,0 +1,136 @@
+type t = {
+  load_time : int array;
+  cur_times : int array;
+  cur : int array;
+  time_step : float;
+  charge_unit : float;
+}
+
+exception Not_representable of string
+
+let validate { load_time; cur_times; cur; time_step; charge_unit } =
+  if time_step <= 0.0 || charge_unit <= 0.0 then
+    invalid_arg "Loads.Arrays: discretization constants must be positive";
+  let n = Array.length load_time in
+  if Array.length cur_times <> n || Array.length cur <> n then
+    invalid_arg "Loads.Arrays: the three arrays must have equal length";
+  let prev = ref 0 in
+  for y = 0 to n - 1 do
+    if load_time.(y) <= !prev then
+      invalid_arg "Loads.Arrays: load_time must be strictly increasing";
+    prev := load_time.(y);
+    if cur_times.(y) <= 0 then
+      invalid_arg "Loads.Arrays: cur_times entries must be positive";
+    if cur.(y) < 0 then invalid_arg "Loads.Arrays: cur entries must be >= 0"
+  done
+
+let of_arrays ~time_step ~charge_unit ~load_time ~cur_times ~cur =
+  let t = { load_time; cur_times; cur; time_step; charge_unit } in
+  validate t;
+  t
+
+let check_compatible t ~time_step ~charge_unit =
+  let close a b = Float.abs (a -. b) <= 1e-12 *. Float.max a b in
+  if not (close t.time_step time_step && close t.charge_unit charge_unit) then
+    invalid_arg
+      (Printf.sprintf
+         "Loads.Arrays: load encoded for T=%g Gamma=%g replayed at T=%g           Gamma=%g"
+         t.time_step t.charge_unit time_step charge_unit)
+
+(* Smallest exact fraction p/q = x with small q, via Stern-Brocot descent
+   over all of Q+; returns None when x is not such a fraction. *)
+let to_fraction ~max_den x =
+  let eps = 1e-9 in
+  if x <= 0.0 then None
+  else begin
+    let rec go lo_p lo_q hi_p hi_q depth =
+      if depth > 100_000 then None
+      else begin
+        let p = lo_p + hi_p and q = lo_q + hi_q in
+        if q > max_den then None
+        else begin
+          let v = float_of_int p /. float_of_int q in
+          if Float.abs (v -. x) <= eps *. Float.max 1.0 x then Some (p, q)
+          else if v < x then go p q hi_p hi_q (depth + 1)
+          else go lo_p lo_q p q (depth + 1)
+        end
+      end
+    in
+    go 0 1 1 0 0
+  end
+
+let round_steps ~time_step duration =
+  let steps_f = duration /. time_step in
+  let steps = int_of_float (Float.round steps_f) in
+  if Float.abs (steps_f -. float_of_int steps) > 1e-6 *. Float.max 1.0 steps_f
+  then
+    raise
+      (Not_representable
+         (Printf.sprintf "epoch duration %g is not a multiple of the time step %g"
+            duration time_step));
+  steps
+
+let make ~time_step ~charge_unit load =
+  if time_step <= 0.0 then invalid_arg "Loads.Arrays.make: time_step <= 0";
+  if charge_unit <= 0.0 then invalid_arg "Loads.Arrays.make: charge_unit <= 0";
+  let encode_epoch (e : Epoch.epoch) =
+    match e with
+    | Epoch.Idle d ->
+        let steps = round_steps ~time_step d in
+        (steps, steps, 0)
+    | Epoch.Job { current; duration } ->
+        let steps = round_steps ~time_step duration in
+        (* eq. (7): I = cur * Gamma / (cur_times * T), so
+           cur / cur_times = I * T / Gamma. *)
+        let ratio = current *. time_step /. charge_unit in
+        let cur, cur_times =
+          match to_fraction ~max_den:10_000 ratio with
+          | Some (p, q) -> (p, q)
+          | None ->
+              raise
+                (Not_representable
+                   (Printf.sprintf
+                      "current %g A has no exact cur/cur_times encoding at T=%g \
+                       Gamma=%g"
+                      current time_step charge_unit))
+        in
+        (steps, cur_times, cur)
+  in
+  let encoded = List.map encode_epoch (Epoch.epochs load) in
+  let n = List.length encoded in
+  if n = 0 then invalid_arg "Loads.Arrays.make: empty load";
+  let load_time = Array.make n 0
+  and cur_times = Array.make n 0
+  and cur = Array.make n 0 in
+  let clock = ref 0 in
+  List.iteri
+    (fun y (steps, ct, c) ->
+      clock := !clock + steps;
+      load_time.(y) <- !clock;
+      cur_times.(y) <- ct;
+      cur.(y) <- c)
+    encoded;
+  let t = { load_time; cur_times; cur; time_step; charge_unit } in
+  validate t;
+  t
+
+let epoch_count t = Array.length t.load_time
+
+let current t y =
+  float_of_int t.cur.(y) *. t.charge_unit
+  /. (float_of_int t.cur_times.(y) *. t.time_step)
+
+let epoch_steps t y =
+  if y = 0 then t.load_time.(0) else t.load_time.(y) - t.load_time.(y - 1)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>load_time = [|%a|]@,cur_times = [|%a|]@,cur = [|%a|]@]"
+    (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Format.pp_print_int)
+    (Array.to_seq t.load_time)
+    (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Format.pp_print_int)
+    (Array.to_seq t.cur_times)
+    (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Format.pp_print_int)
+    (Array.to_seq t.cur)

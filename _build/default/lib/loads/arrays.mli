@@ -1,0 +1,67 @@
+(** The paper's integer load encoding (§4.1, Table 1).
+
+    A load is imported into the TA-KiBaM as three equal-length arrays:
+
+    - [load_time.(y)] — absolute time (in time steps) at which epoch [y]
+      ends; strictly increasing;
+    - [cur_times.(y)] — number of time steps it takes to draw [cur.(y)]
+      charge units during epoch [y];
+    - [cur.(y)] — charge units drawn per [cur_times.(y)] steps
+      (0 for idle epochs),
+
+    so the epoch current is [I_y = cur.(y)·Γ / (cur_times.(y)·T)]
+    (paper eq. (7)).  These arrays are produced by "an external program"
+    in the paper; this module (and the [loadgen] binary wrapping it) is
+    that program. *)
+
+type t = private {
+  load_time : int array;
+  cur_times : int array;
+  cur : int array;
+  time_step : float;  (** the T this encoding was produced for *)
+  charge_unit : float;  (** the Γ this encoding was produced for *)
+}
+
+exception Not_representable of string
+(** Raised when an epoch's current admits no exact small-integer
+    [cur/cur_times] encoding, or an epoch boundary does not fall on the
+    time grid (within 1e-6 of a step). *)
+
+val make : time_step:float -> charge_unit:float -> Epoch.t -> t
+(** [make ~time_step ~charge_unit load] encodes [load].  The ratio
+    [I·T/Γ] of each job is converted to the smallest exact fraction
+    [cur/cur_times] with [cur_times <= 10_000] (continued-fraction
+    expansion); idle epochs get [cur = 0] and [cur_times] equal to the
+    epoch length.  Raises {!Not_representable} when exactness is
+    impossible. *)
+
+val epoch_count : t -> int
+
+val current : t -> int -> float
+(** Recover epoch [y]'s current from eq. (7) — inverse of the encoding,
+    used as a round-trip test. *)
+
+val epoch_steps : t -> int -> int
+(** Length of epoch [y] in time steps. *)
+
+val validate : t -> unit
+(** Check the §4.1 invariants (strict monotonicity of [load_time],
+    positive [cur_times], non-negative [cur]); raises [Invalid_argument]
+    on violation.  Exposed because arrays can also be built by hand in
+    tests. *)
+
+val of_arrays :
+  time_step:float ->
+  charge_unit:float ->
+  load_time:int array ->
+  cur_times:int array ->
+  cur:int array ->
+  t
+(** Trusted-ish constructor running {!validate}. *)
+
+val check_compatible : t -> time_step:float -> charge_unit:float -> unit
+(** Raise [Invalid_argument] unless the encoding was produced for these
+    discretization constants — every engine calls this, so a load encoded
+    at one Γ can never be silently replayed at another. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,108 @@
+type epoch = Job of { current : float; duration : float } | Idle of float
+type t = epoch list
+
+let validate = function
+  | Job { current; duration } ->
+      if not (current > 0.0) then
+        invalid_arg "Loads.Epoch: job current must be positive";
+      if not (duration > 0.0) then
+        invalid_arg "Loads.Epoch: job duration must be positive"
+  | Idle duration ->
+      if not (duration > 0.0) then
+        invalid_arg "Loads.Epoch: idle duration must be positive"
+
+(* Only adjacent idle epochs merge; jobs stay distinct scheduling points. *)
+let merge_idle es =
+  let rec go = function
+    | Idle a :: Idle b :: rest -> go (Idle (a +. b) :: rest)
+    | e :: rest -> e :: go rest
+    | [] -> []
+  in
+  go es
+
+let of_epochs es =
+  List.iter validate es;
+  merge_idle es
+
+let epochs t = t
+let empty = []
+let append a b = merge_idle (a @ b)
+let concat ts = merge_idle (List.concat ts)
+
+let repeat n t =
+  if n < 0 then invalid_arg "Loads.Epoch.repeat: negative count";
+  let rec go acc n = if n = 0 then acc else go (t :: acc) (n - 1) in
+  concat (go [] n)
+
+let epoch_duration = function Job { duration; _ } -> duration | Idle d -> d
+let duration t = List.fold_left (fun acc e -> acc +. epoch_duration e) 0.0 t
+
+let cycle_until ~horizon t =
+  let d = duration t in
+  if d <= 0.0 then invalid_arg "Loads.Epoch.cycle_until: empty load";
+  repeat (max 1 (int_of_float (Float.ceil (horizon /. d)))) t
+
+let job ~current ~duration = of_epochs [ Job { current; duration } ]
+let idle d = of_epochs [ Idle d ]
+let epoch_count = List.length
+
+let job_count t =
+  List.length (List.filter (function Job _ -> true | Idle _ -> false) t)
+
+let jobs t =
+  let _, acc =
+    List.fold_left
+      (fun (t_start, acc) e ->
+        match e with
+        | Job { current; duration } ->
+            (t_start +. duration, (t_start, current, duration) :: acc)
+        | Idle d -> (t_start +. d, acc))
+      (0.0, []) t
+  in
+  List.rev acc
+
+let to_profile t =
+  Kibam.Load_profile.of_segments
+    (List.map
+       (fun e ->
+         match e with
+         | Job { current; duration } -> { Kibam.Load_profile.duration; current }
+         | Idle duration -> { Kibam.Load_profile.duration; current = 0.0 })
+       t)
+
+let epoch_at t time =
+  let rec go idx t_start = function
+    | [] -> None
+    | e :: rest ->
+        let d = epoch_duration e in
+        if time < t_start +. d then Some (idx, e) else go (idx + 1) (t_start +. d) rest
+  in
+  if time < 0.0 then None else go 0 0.0 t
+
+let truncate horizon t =
+  let rec go remaining = function
+    | [] -> []
+    | e :: rest ->
+        if remaining <= 0.0 then []
+        else begin
+          let d = epoch_duration e in
+          if d <= remaining then e :: go (remaining -. d) rest
+          else
+            match e with
+            | Job j -> [ Job { j with duration = remaining } ]
+            | Idle _ -> [ Idle remaining ]
+        end
+  in
+  go horizon t
+
+let pp ppf t =
+  let pp_epoch ppf = function
+    | Job { current; duration } ->
+        Format.fprintf ppf "job(%gA,%gmin)" current duration
+    | Idle d -> Format.fprintf ppf "idle(%gmin)" d
+  in
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_epoch)
+    t
+
+let equal = ( = )

@@ -1,0 +1,47 @@
+(** Symbolic load epochs: the job/idle structure the schedulers see.
+
+    The paper's loads (§4.1, §5) are sequences of *epochs*, each either a
+    job drawing a constant current or an idle period.  Schedulers make
+    decisions at job starts, so the job/idle distinction must be preserved
+    symbolically — a plain piecewise-constant profile
+    ({!Kibam.Load_profile.t}) loses it (a zero-current job would merge with
+    idle time).  Currents are in Ampere, durations in minutes. *)
+
+type epoch = Job of { current : float; duration : float } | Idle of float
+
+type t
+(** A finite sequence of epochs. *)
+
+val of_epochs : epoch list -> t
+(** Validating constructor: durations must be positive, job currents
+    strictly positive.  Unlike profiles, adjacent epochs are {e not} merged:
+    two back-to-back jobs are two scheduling points (this is what makes
+    round-robin switch batteries inside the continuous CL loads). *)
+
+val epochs : t -> epoch list
+val empty : t
+val append : t -> t -> t
+val concat : t list -> t
+val repeat : int -> t -> t
+val cycle_until : horizon:float -> t -> t
+val job : current:float -> duration:float -> t
+val idle : float -> t
+
+val duration : t -> float
+val epoch_count : t -> int
+val job_count : t -> int
+
+val jobs : t -> (float * float * float) list
+(** [(t_start, current, duration)] for each job epoch, in order. *)
+
+val to_profile : t -> Kibam.Load_profile.t
+(** Forget the job structure; used by the continuous-model lifetime
+    computations of Tables 3 and 4. *)
+
+val epoch_at : t -> float -> (int * epoch) option
+(** Epoch index and epoch covering the given time (right-open intervals);
+    [None] past the end of the load. *)
+
+val truncate : float -> t -> t
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

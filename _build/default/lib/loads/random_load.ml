@@ -1,0 +1,15 @@
+let job_sequence ~seed ~jobs ~currents =
+  if jobs < 0 then invalid_arg "Random_load: negative job count";
+  let g = Prng.Splitmix.create seed in
+  List.init jobs (fun _ -> Prng.Splitmix.choose g currents)
+
+let intermitted ~seed ~jobs ?(currents = [| 0.25; 0.5 |]) ?(job_duration = 1.0)
+    ?(idle_duration = 1.0) () =
+  let picks = job_sequence ~seed ~jobs ~currents in
+  Epoch.concat
+    (List.map
+       (fun current ->
+         Epoch.append
+           (Epoch.job ~current ~duration:job_duration)
+           (Epoch.idle idle_duration))
+       picks)

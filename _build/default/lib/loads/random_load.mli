@@ -1,0 +1,26 @@
+(** Random intermitted loads ("the job is randomly chosen", paper §5).
+
+    The paper's ILs r1 / ILs r2 loads pick each job's current uniformly at
+    random from the low/high pair.  Their seeds were never published, so the
+    exact sequences are irreproducible; this module regenerates loads of the
+    same *family* from a documented SplitMix64 seed (see DESIGN.md
+    "Substitutions"). *)
+
+val intermitted :
+  seed:int64 ->
+  jobs:int ->
+  ?currents:float array ->
+  ?job_duration:float ->
+  ?idle_duration:float ->
+  unit ->
+  Epoch.t
+(** [intermitted ~seed ~jobs ()] builds [jobs] jobs, each drawing a current
+    chosen uniformly from [currents] (default [| 0.25; 0.5 |] A, the paper's
+    250/500 mA pair), of [job_duration] (default 1.0 min), separated by
+    [idle_duration] idles (default 1.0 min, the paper's short idle period).
+    The load ends with a trailing idle so that cycling concatenations stay
+    intermitted. *)
+
+val job_sequence : seed:int64 -> jobs:int -> currents:float array -> float list
+(** The bare random current choices — exposed so tests can pin down the
+    exact sequences behind r1/r2. *)

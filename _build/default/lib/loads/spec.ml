@@ -1,0 +1,98 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Tokenize: split on whitespace, but keep ';', '(' and ')' as their own
+   tokens even when glued to neighbours. *)
+let tokenize input =
+  let buf = Buffer.create 16 in
+  let tokens = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> flush ()
+      | ';' | '(' | ')' ->
+          flush ();
+          tokens := String.make 1 c :: !tokens
+      | c -> Buffer.add_char buf c)
+    input;
+  flush ();
+  List.rev !tokens
+
+let float_token what = function
+  | Some tok -> (
+      match float_of_string_opt tok with
+      | Some f when f > 0.0 -> f
+      | Some f -> fail "%s must be positive, got %g" what f
+      | None -> fail "expected a number for %s, got %S" what tok)
+  | None -> fail "missing %s" what
+
+let int_token what = function
+  | Some tok -> (
+      match int_of_string_opt tok with
+      | Some n when n > 0 -> n
+      | Some n -> fail "%s must be positive, got %d" what n
+      | None -> fail "expected an integer for %s, got %S" what tok)
+  | None -> fail "missing %s" what
+
+(* Recursive descent over the token list. *)
+let parse input =
+  let tokens = ref (tokenize input) in
+  let peek () = match !tokens with t :: _ -> Some t | [] -> None in
+  let next () =
+    match !tokens with
+    | t :: rest ->
+        tokens := rest;
+        Some t
+    | [] -> None
+  in
+  let expect tok =
+    match next () with
+    | Some t when t = tok -> ()
+    | Some t -> fail "expected %S, got %S" tok t
+    | None -> fail "expected %S, got end of input" tok
+  in
+  let rec seq () =
+    let first = item () in
+    match peek () with
+    | Some ";" ->
+        ignore (next ());
+        Epoch.append first (seq ())
+    | _ -> first
+  and item () =
+    match next () with
+    | Some "job" ->
+        let current = float_token "job current (amperes)" (next ()) in
+        let duration = float_token "job duration (minutes)" (next ()) in
+        Epoch.job ~current ~duration
+    | Some "idle" -> Epoch.idle (float_token "idle duration (minutes)" (next ()))
+    | Some "repeat" ->
+        let n = int_token "repeat count" (next ()) in
+        expect "(";
+        let body = seq () in
+        expect ")";
+        Epoch.repeat n body
+    | Some name -> (
+        match Testloads.of_string name with
+        | Some load -> Testloads.load load
+        | None -> fail "unknown item %S (expected job/idle/repeat or a load name)" name)
+    | None -> fail "empty specification"
+  in
+  let result = seq () in
+  (match peek () with
+  | Some t -> fail "trailing input starting at %S" t
+  | None -> ());
+  result
+
+let to_string load =
+  Epoch.epochs load
+  |> List.map (function
+       | Epoch.Job { current; duration } -> Printf.sprintf "job %g %g" current duration
+       | Epoch.Idle d -> Printf.sprintf "idle %g" d)
+  |> String.concat "; "

@@ -1,0 +1,28 @@
+(** A tiny textual language for load specifications.
+
+    Lets loads travel through CLI flags and files instead of OCaml code —
+    [loadgen --spec "..."] and test fixtures use it.  Grammar (tokens are
+    whitespace-separated; [;] separates items):
+
+    {v
+    spec   ::= item (';' item)*
+    item   ::= 'job' AMPS MINUTES      one job epoch
+             | 'idle' MINUTES          one idle epoch
+             | 'repeat' N '(' spec ')' the bracketed spec, N times
+             | LOADNAME                a named test load, e.g. ils_alt
+    v}
+
+    Examples:
+    - ["job 0.5 1; idle 1; job 0.25 1; idle 1"] — one ILs-alt period;
+    - ["repeat 40 (job 0.5 1; idle 1)"] — 80 minutes of ILs 500;
+    - ["ils_alt"] — the built-in test load at its default horizon. *)
+
+exception Parse_error of string
+(** Carries a human-readable message with the offending token. *)
+
+val parse : string -> Epoch.t
+(** Raises {!Parse_error} on malformed input. *)
+
+val to_string : Epoch.t -> string
+(** Render a load back into the language ([parse (to_string l)] equals
+    [l] up to idle merging). *)

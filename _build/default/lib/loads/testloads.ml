@@ -1,0 +1,88 @@
+type name =
+  | CL_250
+  | CL_500
+  | CL_alt
+  | ILs_250
+  | ILs_500
+  | ILs_alt
+  | ILs_r1
+  | ILs_r2
+  | ILl_250
+  | ILl_500
+
+let all_names =
+  [ CL_250; CL_500; CL_alt; ILs_250; ILs_500; ILs_alt; ILs_r1; ILs_r2; ILl_250; ILl_500 ]
+
+let to_string = function
+  | CL_250 -> "CL 250"
+  | CL_500 -> "CL 500"
+  | CL_alt -> "CL alt"
+  | ILs_250 -> "ILs 250"
+  | ILs_500 -> "ILs 500"
+  | ILs_alt -> "ILs alt"
+  | ILs_r1 -> "ILs r1"
+  | ILs_r2 -> "ILs r2"
+  | ILl_250 -> "ILl 250"
+  | ILl_500 -> "ILl 500"
+
+let of_string s =
+  let canon =
+    String.lowercase_ascii s |> String.map (function '_' | '-' -> ' ' | c -> c)
+  in
+  List.find_opt (fun n -> String.lowercase_ascii (to_string n) = canon) all_names
+
+let low_current = 0.25
+let high_current = 0.5
+let job_duration = 1.0
+
+(* The paper's random loads, reconstructed.  Their seeds were never
+   published, but the job sequences are short enough to recover from the
+   published lifetimes: enumerating all 250/500 mA sequences and keeping
+   those that reproduce the Tables 3/4/5 rows pins down every job up to
+   the last battery death uniquely (see EXPERIMENTS.md "Random loads").
+   Beyond the reconstructed prefix the choices are unobservable; we
+   continue with a fixed SplitMix64 stream so longer horizons stay
+   deterministic. *)
+let r1_prefix = [| 0.25; 0.5; 0.5; 0.25; 0.5; 0.25; 0.25; 0.25; 0.5; 0.25; 0.25; 0.5 |]
+let r2_prefix = [| 0.25; 0.5; 0.5; 0.25; 0.25; 0.5; 0.5; 0.5 |]
+let r1_seed = 0xDD5109B1L
+let r2_seed = 0xBA77E21EL
+
+let low = Epoch.job ~current:low_current ~duration:job_duration
+let high = Epoch.job ~current:high_current ~duration:job_duration
+let short_idle = Epoch.idle 1.0
+let long_idle = Epoch.idle 2.0
+
+let base = function
+  | CL_250 -> Epoch.concat [ low ]
+  | CL_500 -> Epoch.concat [ high ]
+  | CL_alt -> Epoch.concat [ high; low ]
+  | ILs_250 -> Epoch.concat [ low; short_idle ]
+  | ILs_500 -> Epoch.concat [ high; short_idle ]
+  | ILs_alt -> Epoch.concat [ high; short_idle; low; short_idle ]
+  | ILl_250 -> Epoch.concat [ low; long_idle ]
+  | ILl_500 -> Epoch.concat [ high; long_idle ]
+  | ILs_r1 | ILs_r2 -> assert false (* handled in [load] *)
+
+let intermitted_of_currents currents =
+  Epoch.concat
+    (List.map
+       (fun current ->
+         Epoch.append (Epoch.job ~current ~duration:1.0) (Epoch.idle 1.0))
+       (Array.to_list currents))
+
+let load ?(horizon = 400.0) name =
+  match name with
+  | ILs_r1 | ILs_r2 ->
+      let prefix, seed =
+        if name = ILs_r1 then (r1_prefix, r1_seed) else (r2_prefix, r2_seed)
+      in
+      (* One job + one idle take 2 minutes. *)
+      let jobs = max 1 (int_of_float (Float.ceil (horizon /. 2.0))) in
+      let tail_jobs = max 0 (jobs - Array.length prefix) in
+      Epoch.append
+        (intermitted_of_currents prefix)
+        (Random_load.intermitted ~seed ~jobs:tail_jobs ())
+  | deterministic -> Epoch.cycle_until ~horizon (base deterministic)
+
+let pp_name ppf n = Format.pp_print_string ppf (to_string n)

@@ -1,0 +1,47 @@
+type t = { xs : float array; ys : float array }
+
+let of_points pts =
+  let n = Array.length pts in
+  if n < 1 then invalid_arg "Interp.of_points: need at least one point";
+  let xs = Array.map fst pts and ys = Array.map snd pts in
+  for i = 1 to n - 1 do
+    if xs.(i) <= xs.(i - 1) then
+      invalid_arg "Interp.of_points: abscissae must be strictly increasing"
+  done;
+  { xs; ys }
+
+let domain { xs; _ } = (xs.(0), xs.(Array.length xs - 1))
+
+let eval { xs; ys } x =
+  let n = Array.length xs in
+  if x <= xs.(0) then ys.(0)
+  else if x >= xs.(n - 1) then ys.(n - 1)
+  else begin
+    (* binary search for the segment containing x *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    let x0 = xs.(!lo) and x1 = xs.(!hi) in
+    let y0 = ys.(!lo) and y1 = ys.(!hi) in
+    y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
+  end
+
+let resample f ~lo ~hi ~n =
+  if n < 2 then invalid_arg "Interp.resample: need n >= 2";
+  Array.init n (fun i ->
+      let x = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)) in
+      (x, eval f x))
+
+let max_abs_diff f g ~lo ~hi ~n =
+  if n < 1 then invalid_arg "Interp.max_abs_diff: need n >= 1";
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    let x =
+      if n = 1 then lo
+      else lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1))
+    in
+    worst := Float.max !worst (Float.abs (eval f x -. eval g x))
+  done;
+  !worst

@@ -1,0 +1,28 @@
+(** Piecewise-linear interpolation over sampled series.
+
+    Used to compare sampled charge traces (e.g. the discretized model's
+    staircase output) against continuous reference curves, and to resample
+    Figure-6-style series onto a common time grid. *)
+
+type t
+(** An interpolant over strictly increasing sample abscissae. *)
+
+val of_points : (float * float) array -> t
+(** [of_points pts] builds an interpolant.  Raises [Invalid_argument] if
+    fewer than one point is given or the abscissae are not strictly
+    increasing. *)
+
+val eval : t -> float -> float
+(** [eval f x] evaluates with linear interpolation; constant extrapolation
+    outside the sampled range. *)
+
+val domain : t -> float * float
+(** Smallest and largest abscissa. *)
+
+val resample : t -> lo:float -> hi:float -> n:int -> (float * float) array
+(** [resample f ~lo ~hi ~n] samples [f] at [n] equally spaced points
+    (inclusive of both endpoints; [n >= 2]). *)
+
+val max_abs_diff : t -> t -> lo:float -> hi:float -> n:int -> float
+(** Maximum absolute difference of two interpolants over [n] probe
+    points in [\[lo, hi\]]. *)

@@ -1,0 +1,55 @@
+type system = t:float -> y:float array -> float array
+
+let axpy alpha x y =
+  Array.init (Array.length y) (fun i -> y.(i) +. (alpha *. x.(i)))
+
+let euler_step ~f ~t ~dt y = axpy dt (f ~t ~y) y
+
+let rk4_step ~f ~t ~dt y =
+  let k1 = f ~t ~y in
+  let k2 = f ~t:(t +. (0.5 *. dt)) ~y:(axpy (0.5 *. dt) k1 y) in
+  let k3 = f ~t:(t +. (0.5 *. dt)) ~y:(axpy (0.5 *. dt) k2 y) in
+  let k4 = f ~t:(t +. dt) ~y:(axpy dt k3 y) in
+  Array.init (Array.length y) (fun i ->
+      y.(i) +. (dt /. 6.0 *. (k1.(i) +. (2.0 *. k2.(i)) +. (2.0 *. k3.(i)) +. k4.(i))))
+
+let integrate ?(step = rk4_step) ~f ~t0 ~t1 ~dt y0 =
+  if dt <= 0.0 then invalid_arg "Ode.integrate: dt must be positive";
+  let rec go t y =
+    if t >= t1 then y
+    else begin
+      let h = Float.min dt (t1 -. t) in
+      go (t +. h) (step ~f ~t ~dt:h y)
+    end
+  in
+  go t0 y0
+
+let integrate_until ?(step = rk4_step) ~f ~t0 ~t_max ~dt ~stop y0 =
+  if dt <= 0.0 then invalid_arg "Ode.integrate_until: dt must be positive";
+  (* Refine the event time inside [t, t + h] by bisecting on the stop
+     predicate; the state is re-integrated from the step start each probe,
+     which is cheap for the small systems this module targets. *)
+  let refine t y h =
+    let rec go lo hi =
+      if hi -. lo <= dt /. 1024.0 then begin
+        let y_hi = step ~f ~t ~dt:hi y in
+        (t +. hi, y_hi)
+      end
+      else begin
+        let mid = 0.5 *. (lo +. hi) in
+        let y_mid = step ~f ~t ~dt:mid y in
+        if stop ~t:(t +. mid) ~y:y_mid then go lo mid else go mid hi
+      end
+    in
+    go 0.0 h
+  in
+  let rec go t y =
+    if stop ~t ~y then (t, y)
+    else if t >= t_max then (t, y)
+    else begin
+      let h = Float.min dt (t_max -. t) in
+      let y' = step ~f ~t ~dt:h y in
+      if stop ~t:(t +. h) ~y:y' then refine t y h else go (t +. h) y'
+    end
+  in
+  go t0 y0

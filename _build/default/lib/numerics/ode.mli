@@ -1,0 +1,43 @@
+(** Fixed-step explicit integrators for small ODE systems.
+
+    The KiBaM is a two-dimensional linear system with a closed-form
+    solution; the integrators here serve as an independent cross-check of
+    the analytic solution (used heavily in the test suite) and as the
+    solver for models without closed forms (e.g. the diffusion model's
+    discretized variants). *)
+
+type system = t:float -> y:float array -> float array
+(** A first-order vector field: [f ~t ~y] returns dy/dt. The returned array
+    must have the same length as [y]. *)
+
+val euler_step : f:system -> t:float -> dt:float -> float array -> float array
+(** One forward-Euler step. Primarily a baseline for convergence tests. *)
+
+val rk4_step : f:system -> t:float -> dt:float -> float array -> float array
+(** One classical Runge–Kutta 4 step. *)
+
+val integrate :
+  ?step:(f:system -> t:float -> dt:float -> float array -> float array) ->
+  f:system ->
+  t0:float ->
+  t1:float ->
+  dt:float ->
+  float array ->
+  float array
+(** [integrate ~f ~t0 ~t1 ~dt y0] advances [y0] from [t0] to [t1] with
+    fixed step [dt] (the final step is shortened to land exactly on [t1]).
+    [step] defaults to {!rk4_step}. *)
+
+val integrate_until :
+  ?step:(f:system -> t:float -> dt:float -> float array -> float array) ->
+  f:system ->
+  t0:float ->
+  t_max:float ->
+  dt:float ->
+  stop:(t:float -> y:float array -> bool) ->
+  float array ->
+  float * float array
+(** [integrate_until ~f ~t0 ~t_max ~dt ~stop y0] integrates until [stop]
+    first holds (the event time is refined by bisection on the last step to
+    [dt /. 1024] resolution) or [t_max] is reached.  Returns the final time
+    and state. *)

@@ -1,0 +1,135 @@
+exception No_bracket
+
+let sign x = if x > 0.0 then 1 else if x < 0.0 then -1 else 0
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else if sign flo = sign fhi then raise No_bracket
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let iter = ref 0 in
+    while !hi -. !lo > tol && !iter < max_iter do
+      incr iter;
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      if fmid = 0.0 then begin
+        lo := mid;
+        hi := mid
+      end
+      else if sign fmid = sign !flo then begin
+        lo := mid;
+        flo := fmid
+      end
+      else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+(* Brent's method, following the classical Brent (1973) formulation:
+   [b] is the current best iterate, [a] the previous one, and [c] the
+   bracket counterpart of [b]; inverse quadratic interpolation is attempted
+   and rejected in favour of bisection whenever it would leave the bracket
+   or converge too slowly. *)
+let brent ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
+  let fa = f lo and fb = f hi in
+  if fa = 0.0 then lo
+  else if fb = 0.0 then hi
+  else if sign fa = sign fb then raise No_bracket
+  else begin
+    let a = ref lo and b = ref hi and fa = ref fa and fb = ref fb in
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in
+      a := !b;
+      b := t;
+      let t = !fa in
+      fa := !fb;
+      fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and e = ref (!b -. !a) in
+    let iter = ref 0 in
+    let result = ref None in
+    while !result = None && !iter < max_iter do
+      incr iter;
+      if sign !fb = sign !fc then begin
+        c := !a;
+        fc := !fa;
+        d := !b -. !a;
+        e := !d
+      end;
+      if Float.abs !fc < Float.abs !fb then begin
+        a := !b;
+        b := !c;
+        c := !a;
+        fa := !fb;
+        fb := !fc;
+        fc := !fa
+      end;
+      let tol1 = (2.0 *. epsilon_float *. Float.abs !b) +. (0.5 *. tol) in
+      let xm = 0.5 *. (!c -. !b) in
+      if Float.abs xm <= tol1 || !fb = 0.0 then result := Some !b
+      else begin
+        if Float.abs !e >= tol1 && Float.abs !fa > Float.abs !fb then begin
+          (* Attempt inverse quadratic interpolation (secant when a = c). *)
+          let s = !fb /. !fa in
+          let p, q =
+            if !a = !c then
+              let p = 2.0 *. xm *. s in
+              (p, 1.0 -. s)
+            else begin
+              let q = !fa /. !fc and r = !fb /. !fc in
+              let p =
+                s *. ((2.0 *. xm *. q *. (q -. r)) -. ((!b -. !a) *. (r -. 1.0)))
+              in
+              (p, (q -. 1.0) *. (r -. 1.0) *. (s -. 1.0))
+            end
+          in
+          let p, q = if p > 0.0 then (p, -.q) else (-.p, q) in
+          let min1 = (3.0 *. xm *. q) -. Float.abs (tol1 *. q) in
+          let min2 = Float.abs (!e *. q) in
+          if 2.0 *. p < Float.min min1 min2 then begin
+            e := !d;
+            d := p /. q
+          end
+          else begin
+            d := xm;
+            e := !d
+          end
+        end
+        else begin
+          d := xm;
+          e := !d
+        end;
+        a := !b;
+        fa := !fb;
+        if Float.abs !d > tol1 then b := !b +. !d
+        else b := !b +. (if xm >= 0.0 then tol1 else -.tol1);
+        fb := f !b
+      end
+    done;
+    match !result with Some r -> r | None -> !b
+  end
+
+let find_first_crossing ?(coarse = 64) ?(tol = 1e-12) ~f lo hi =
+  if hi <= lo then None
+  else begin
+    let step = (hi -. lo) /. float_of_int coarse in
+    let f_lo = f lo in
+    if f_lo = 0.0 then Some lo
+    else begin
+      let s0 = sign f_lo in
+      let rec scan i x =
+        if i > coarse then None
+        else begin
+          let x' = if i = coarse then hi else lo +. (float_of_int i *. step) in
+          let fx' = f x' in
+          if fx' = 0.0 then Some x'
+          else if sign fx' <> s0 then Some (brent ~tol ~f x x')
+          else scan (i + 1) x'
+        end
+      in
+      scan 1 lo
+    end
+  end

@@ -1,0 +1,35 @@
+(** One-dimensional root finding on continuous functions.
+
+    These routines underpin the lifetime computations of the battery models:
+    a battery-empty event is the root of a monotone "remaining available
+    charge" function of time within a load epoch. *)
+
+exception No_bracket
+(** Raised when the supplied interval does not bracket a sign change. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [bisect ~f lo hi] returns a root of [f] in [\[lo, hi\]] located by
+    bisection.  Requires [f lo] and [f hi] to have opposite (or zero) signs;
+    raises {!No_bracket} otherwise.  [tol] is the absolute width of the final
+    bracket (default [1e-12]); [max_iter] defaults to 200. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [brent ~f lo hi] returns a root of [f] in [\[lo, hi\]] using Brent's
+    method (inverse quadratic interpolation with bisection fallback).  Same
+    bracketing requirement and defaults as {!bisect}, but converges
+    superlinearly on smooth functions. *)
+
+val find_first_crossing :
+  ?coarse:int ->
+  ?tol:float ->
+  f:(float -> float) ->
+  float ->
+  float ->
+  float option
+(** [find_first_crossing ~f lo hi] scans [\[lo, hi\]] in [coarse] equal
+    sub-intervals (default 64) for the first sign change of [f] and refines
+    it with {!brent}.  Returns [None] when [f] keeps the sign of [f lo]
+    throughout.  Used to detect the first battery-empty event inside an
+    epoch even when the emptiness function is not monotone. *)

@@ -1,0 +1,1 @@
+lib/pta/automaton.ml: Expr List Printf String

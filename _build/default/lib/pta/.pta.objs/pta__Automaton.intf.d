@@ -1,0 +1,1 @@
+lib/pta/automaton.mli: Expr

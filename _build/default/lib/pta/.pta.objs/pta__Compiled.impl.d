@@ -1,0 +1,1 @@
+lib/pta/compiled.ml: Array Automaton Env Expr Format Hashtbl List Network Option Printf String

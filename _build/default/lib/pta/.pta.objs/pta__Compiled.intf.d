@@ -1,0 +1,1 @@
+lib/pta/compiled.mli: Env Expr Network

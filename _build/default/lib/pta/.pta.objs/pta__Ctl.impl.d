@@ -1,0 +1,1 @@
+lib/pta/ctl.ml: Array Compiled Discrete Env Expr Format Fun Hashtbl List Queue

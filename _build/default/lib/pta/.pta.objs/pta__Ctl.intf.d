@@ -1,0 +1,1 @@
+lib/pta/ctl.mli: Compiled Discrete Expr Format

@@ -1,0 +1,1 @@
+lib/pta/dbm.ml: Array Expr Format Int

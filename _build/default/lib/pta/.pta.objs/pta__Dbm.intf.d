@@ -1,0 +1,1 @@
+lib/pta/dbm.mli: Expr Format

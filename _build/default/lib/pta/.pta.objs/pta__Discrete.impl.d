@@ -1,0 +1,1 @@
+lib/pta/discrete.ml: Array Compiled Env Expr Format List Printf String

@@ -1,0 +1,1 @@
+lib/pta/discrete.mli: Compiled Format

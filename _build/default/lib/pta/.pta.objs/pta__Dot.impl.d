@@ -1,0 +1,1 @@
+lib/pta/dot.ml: Automaton Buffer Expr Format List Network Printf String

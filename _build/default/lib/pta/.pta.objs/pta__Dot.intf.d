@@ -1,0 +1,1 @@
+lib/pta/dot.mli: Automaton Format Network

@@ -1,0 +1,1 @@
+lib/pta/env.ml: Array Expr Format Hashtbl List

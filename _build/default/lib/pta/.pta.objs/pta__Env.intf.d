@@ -1,0 +1,1 @@
+lib/pta/env.mli: Expr Format

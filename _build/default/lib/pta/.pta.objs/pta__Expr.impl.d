@@ -1,0 +1,1 @@
+lib/pta/expr.ml: Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/pta/expr.mli: Format

@@ -1,0 +1,1 @@
+lib/pta/network.ml: Automaton Env Expr List Printf String

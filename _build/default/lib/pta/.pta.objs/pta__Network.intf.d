@@ -1,0 +1,1 @@
+lib/pta/network.mli: Automaton Env

@@ -1,0 +1,1 @@
+lib/pta/priced.ml: Array Compiled Discrete Hashtbl List

@@ -1,0 +1,1 @@
+lib/pta/priced.mli: Compiled Discrete

@@ -1,0 +1,1 @@
+lib/pta/reachability.ml: Array Compiled Dbm Env Expr Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/pta/reachability.mli: Compiled Dbm

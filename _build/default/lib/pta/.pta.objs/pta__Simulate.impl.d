@@ -1,0 +1,1 @@
+lib/pta/simulate.ml: Compiled Discrete List Prng

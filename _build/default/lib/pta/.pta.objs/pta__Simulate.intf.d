@@ -1,0 +1,1 @@
+lib/pta/simulate.mli: Compiled Discrete

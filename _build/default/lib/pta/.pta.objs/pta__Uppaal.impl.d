@@ -1,0 +1,1 @@
+lib/pta/uppaal.ml: Array Automaton Buffer Env Expr Format Fun List Network Printf String

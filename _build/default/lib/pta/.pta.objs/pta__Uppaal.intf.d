@@ -1,0 +1,1 @@
+lib/pta/uppaal.mli: Network

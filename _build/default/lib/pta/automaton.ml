@@ -1,0 +1,93 @@
+type clock_atom = { clock : string; op : Expr.cmp; bound : Expr.t }
+type guard = { data : Expr.bexpr; clocks : clock_atom list }
+
+let tt = { data = Expr.True; clocks = [] }
+let guard_data b = { data = b; clocks = [] }
+let guard_clock clock op bound = { data = Expr.True; clocks = [ { clock; op; bound } ] }
+
+let guard_and a b =
+  let data =
+    match (a.data, b.data) with
+    | Expr.True, d | d, Expr.True -> d
+    | da, db -> Expr.And (da, db)
+  in
+  { data; clocks = a.clocks @ b.clocks }
+
+type sync =
+  | Tau
+  | Send of string * Expr.t option
+  | Recv of string * Expr.t option
+
+type edge = {
+  src : string;
+  dst : string;
+  guard : guard;
+  sync : sync;
+  updates : Expr.update list;
+  resets : string list;
+  cost : Expr.t;
+  label : string;
+}
+
+let edge ?(guard = tt) ?(sync = Tau) ?(updates = []) ?(resets = [])
+    ?(cost = Expr.Int 0) ?(label = "") ~src ~dst () =
+  { src; dst; guard; sync; updates; resets; cost; label }
+
+type location = {
+  loc_name : string;
+  invariant : guard;
+  cost_rate : Expr.t;
+  committed : bool;
+  urgent : bool;
+}
+
+let location ?(invariant = tt) ?(cost_rate = Expr.Int 0) ?(committed = false)
+    ?(urgent = false) loc_name =
+  { loc_name; invariant; cost_rate; committed; urgent }
+
+type t = {
+  name : string;
+  clocks : string list;
+  locations : location list;
+  initial : string;
+  edges : edge list;
+}
+
+let make ~name ?(clocks = []) ~locations ~initial ~edges () =
+  let loc_names = List.map (fun l -> l.loc_name) locations in
+  let dup =
+    List.exists
+      (fun n -> List.length (List.filter (String.equal n) loc_names) > 1)
+      loc_names
+  in
+  if dup then invalid_arg (name ^ ": duplicate location names");
+  let has_loc n = List.mem n loc_names in
+  if not (has_loc initial) then
+    invalid_arg (name ^ ": unknown initial location " ^ initial);
+  let check_clock where c =
+    if not (List.mem c clocks) then
+      invalid_arg (Printf.sprintf "%s: undeclared clock %s in %s" name c where)
+  in
+  let check_guard where (g : guard) =
+    List.iter (fun (atom : clock_atom) -> check_clock where atom.clock) g.clocks
+  in
+  List.iter (fun l -> check_guard ("invariant of " ^ l.loc_name) l.invariant) locations;
+  List.iter
+    (fun e ->
+      if not (has_loc e.src) then
+        invalid_arg (name ^ ": edge from unknown location " ^ e.src);
+      if not (has_loc e.dst) then
+        invalid_arg (name ^ ": edge to unknown location " ^ e.dst);
+      check_guard (e.src ^ " -> " ^ e.dst) e.guard;
+      List.iter (check_clock ("resets of " ^ e.src ^ " -> " ^ e.dst)) e.resets)
+    edges;
+  { name; clocks; locations; initial; edges }
+
+let location_index t n =
+  let rec go i = function
+    | [] -> invalid_arg (t.name ^ ": unknown location " ^ n)
+    | l :: rest -> if String.equal l.loc_name n then i else go (i + 1) rest
+  in
+  go 0 t.locations
+
+let num_locations t = List.length t.locations

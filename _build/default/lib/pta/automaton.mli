@@ -1,0 +1,90 @@
+(** A single linear priced timed automaton (paper §3).
+
+    Locations carry invariants, cost rates and the committed flag; edges
+    ("switches") carry a guard, an optional channel synchronization, a
+    list of assignments, and a cost increment.  Clocks are declared per
+    automaton and referenced by name; guards may compare a clock against
+    any data expression (the TA-KiBaM compares [c_recov] against
+    [recov_time\[m_delta\[id\]\]]) — the zone-based engine, which needs
+    constant bounds, rejects such models at compile time while the
+    discrete engine evaluates the bound in the current environment. *)
+
+type clock_atom = { clock : string; op : Expr.cmp; bound : Expr.t }
+
+type guard = { data : Expr.bexpr; clocks : clock_atom list }
+
+val tt : guard
+(** The trivial guard. *)
+
+val guard_data : Expr.bexpr -> guard
+val guard_clock : string -> Expr.cmp -> Expr.t -> guard
+val guard_and : guard -> guard -> guard
+
+type sync =
+  | Tau  (** internal step *)
+  | Send of string * Expr.t option  (** [c!] or [c\[e\]!] *)
+  | Recv of string * Expr.t option  (** [c?] or [c\[e\]?] *)
+
+type edge = {
+  src : string;
+  dst : string;
+  guard : guard;
+  sync : sync;
+  updates : Expr.update list;
+  resets : string list;  (** clocks set to 0 *)
+  cost : Expr.t;  (** cost increment, usually [Int 0] *)
+  label : string;  (** free-form, surfaces in traces and dot output *)
+}
+
+val edge :
+  ?guard:guard ->
+  ?sync:sync ->
+  ?updates:Expr.update list ->
+  ?resets:string list ->
+  ?cost:Expr.t ->
+  ?label:string ->
+  src:string ->
+  dst:string ->
+  unit ->
+  edge
+
+type location = {
+  loc_name : string;
+  invariant : guard;
+  cost_rate : Expr.t;  (** cost accrued per time unit spent here *)
+  committed : bool;
+  urgent : bool;
+      (** time may not pass while this location is occupied, but — unlike
+          a committed location — other automata may still interleave *)
+}
+
+val location :
+  ?invariant:guard ->
+  ?cost_rate:Expr.t ->
+  ?committed:bool ->
+  ?urgent:bool ->
+  string ->
+  location
+
+type t = {
+  name : string;
+  clocks : string list;
+  locations : location list;
+  initial : string;
+  edges : edge list;
+}
+
+val make :
+  name:string ->
+  ?clocks:string list ->
+  locations:location list ->
+  initial:string ->
+  edges:edge list ->
+  unit ->
+  t
+(** Validates that location names are distinct, the initial location and
+    every edge endpoint exist, and every reset/clock-atom clock is
+    declared. *)
+
+val location_index : t -> string -> int
+val num_locations : t -> int

@@ -1,0 +1,339 @@
+type csync = CTau | CSend of int * Expr.t option | CRecv of int * Expr.t option
+type catom = { ca_clock : int; ca_op : Expr.cmp; ca_bound : Expr.t }
+type cguard = { cg_data : Expr.bexpr; cg_atoms : catom list }
+
+type cedge = {
+  e_auto : int;
+  e_id : int;
+  e_src : int;
+  e_dst : int;
+  e_guard : cguard;
+  e_sync : csync;
+  e_updates : Expr.update list;
+  e_resets : int list;
+  e_cost : Expr.t;
+  e_label : string;
+}
+
+type cloc = {
+  l_name : string;
+  l_inv : cguard;
+  l_rate : Expr.t;
+  l_committed : bool;
+  l_urgent : bool;
+}
+
+type cauto = {
+  a_name : string;
+  a_locs : cloc array;
+  a_init : int;
+  a_out : cedge list array;
+}
+
+type t = {
+  symtab : Env.symtab;
+  autos : cauto array;
+  clock_names : string array;
+  chan_kinds : Network.channel_kind array;
+  chan_names : string array;
+  clock_caps : int array;
+}
+
+let compile (net : Network.t) =
+  let symtab = Env.declare net.decls in
+  let automata = Array.of_list net.automata in
+  let channels = Array.of_list net.channels in
+  let chan_index name =
+    let rec go k =
+      if k >= Array.length channels then assert false
+      else if String.equal channels.(k).Network.chan_name name then k
+      else go (k + 1)
+    in
+    go 0
+  in
+  (* Global clock numbering: automaton order, then declaration order. *)
+  let clock_names = ref [] and clock_base = Array.make (Array.length automata) 0 in
+  let n_clocks = ref 0 in
+  Array.iteri
+    (fun ai (auto : Automaton.t) ->
+      clock_base.(ai) <- !n_clocks;
+      List.iter
+        (fun c ->
+          clock_names := (auto.name ^ "." ^ c) :: !clock_names;
+          incr n_clocks)
+        auto.clocks)
+    automata;
+  let clock_id ai (auto : Automaton.t) name =
+    let rec go k = function
+      | [] -> assert false (* validated by Automaton.make *)
+      | c :: rest -> if String.equal c name then k else go (k + 1) rest
+    in
+    clock_base.(ai) + go 0 auto.clocks
+  in
+  let compile_guard ai auto (g : Automaton.guard) =
+    {
+      cg_data = g.data;
+      cg_atoms =
+        List.map
+          (fun (a : Automaton.clock_atom) ->
+            { ca_clock = clock_id ai auto a.clock; ca_op = a.op; ca_bound = a.bound })
+          g.clocks;
+    }
+  in
+  let autos =
+    Array.mapi
+      (fun ai (auto : Automaton.t) ->
+        let locs =
+          Array.of_list
+            (List.map
+               (fun (l : Automaton.location) ->
+                 {
+                   l_name = l.loc_name;
+                   l_inv = compile_guard ai auto l.invariant;
+                   l_rate = l.cost_rate;
+                   l_committed = l.committed;
+                   l_urgent = l.urgent;
+                 })
+               auto.locations)
+        in
+        let a_out = Array.make (Array.length locs) [] in
+        List.iteri
+          (fun ei (e : Automaton.edge) ->
+            let csync =
+              match e.sync with
+              | Automaton.Tau -> CTau
+              | Send (c, idx) -> CSend (chan_index c, idx)
+              | Recv (c, idx) -> CRecv (chan_index c, idx)
+            in
+            let ce =
+              {
+                e_auto = ai;
+                e_id = ei;
+                e_src = Automaton.location_index auto e.src;
+                e_dst = Automaton.location_index auto e.dst;
+                e_guard = compile_guard ai auto e.guard;
+                e_sync = csync;
+                e_updates = e.updates;
+                e_resets = List.map (clock_id ai auto) e.resets;
+                e_cost = e.cost;
+                e_label = e.label;
+              }
+            in
+            a_out.(ce.e_src) <- ce :: a_out.(ce.e_src))
+          auto.edges;
+        (* keep declaration order *)
+        Array.iteri (fun k l -> a_out.(k) <- List.rev l) a_out;
+        {
+          a_name = auto.name;
+          a_locs = locs;
+          a_init = Automaton.location_index auto auto.initial;
+          a_out;
+        })
+      automata
+  in
+  (* Default caps: max constant + 1 per clock when all bounds on that
+     clock are literals; no cap (max_int) as soon as one bound is a data
+     expression, since its runtime value is unknown here. *)
+  let clock_caps = Array.make !n_clocks 0 in
+  let widen (atoms : catom list) =
+    List.iter
+      (fun a ->
+        if clock_caps.(a.ca_clock) = max_int then ()
+        else
+          match a.ca_bound with
+          | Expr.Int k -> clock_caps.(a.ca_clock) <- max clock_caps.(a.ca_clock) (abs k + 1)
+          | _ -> clock_caps.(a.ca_clock) <- max_int)
+      atoms
+  in
+  Array.iter
+    (fun (a : cauto) ->
+      Array.iter (fun (l : cloc) -> widen l.l_inv.cg_atoms) a.a_locs;
+      Array.iter (fun edges -> List.iter (fun e -> widen e.e_guard.cg_atoms) edges) a.a_out)
+    autos;
+  {
+    symtab;
+    autos;
+    clock_names = Array.of_list (List.rev !clock_names);
+    chan_kinds = Array.map (fun c -> c.Network.kind) channels;
+    chan_names = Array.map (fun c -> c.Network.chan_name) channels;
+    clock_caps;
+  }
+
+let set_clock_cap t ~clock ~cap =
+  if clock < 0 || clock >= Array.length t.clock_caps then
+    invalid_arg "Pta.Compiled.set_clock_cap: clock index out of range";
+  if cap < 1 then invalid_arg "Pta.Compiled.set_clock_cap: cap must be >= 1";
+  t.clock_caps.(clock) <- cap
+
+let auto_index t name =
+  let rec go k =
+    if k >= Array.length t.autos then
+      invalid_arg ("Pta.Compiled: unknown automaton " ^ name)
+    else if String.equal t.autos.(k).a_name name then k
+    else go (k + 1)
+  in
+  go 0
+
+let clock_index t ~auto ~clock =
+  let qualified = auto ^ "." ^ clock in
+  let rec go k =
+    if k >= Array.length t.clock_names then
+      invalid_arg ("Pta.Compiled: unknown clock " ^ qualified)
+    else if String.equal t.clock_names.(k) qualified then k
+    else go (k + 1)
+  in
+  go 0
+
+let location_index t ~auto ~loc =
+  let a = t.autos.(auto_index t auto) in
+  let rec go k =
+    if k >= Array.length a.a_locs then
+      invalid_arg ("Pta.Compiled: unknown location " ^ auto ^ "." ^ loc)
+    else if String.equal a.a_locs.(k).l_name loc then k
+    else go (k + 1)
+  in
+  go 0
+
+let n_clocks t = Array.length t.clock_names
+
+type action = { act_edges : cedge list; act_chan : string option }
+
+let committed_active t ~locs =
+  let n = Array.length t.autos in
+  let rec go k =
+    if k >= n then false
+    else if t.autos.(k).a_locs.(locs.(k)).l_committed then true
+    else go (k + 1)
+  in
+  go 0
+
+let urgent_active t ~locs =
+  let n = Array.length t.autos in
+  let rec go k =
+    if k >= n then false
+    else
+      (let l = t.autos.(k).a_locs.(locs.(k)) in
+       l.l_urgent || l.l_committed)
+      || go (k + 1)
+  in
+  go 0
+
+(* Runtime channel key: (channel id, evaluated index or -1). *)
+let chan_key t vars cid idx_expr =
+  match idx_expr with
+  | None -> (cid, -1)
+  | Some e -> (cid, Env.eval t.symtab vars e)
+
+let chan_label t (cid, idx) =
+  if idx < 0 then t.chan_names.(cid)
+  else Printf.sprintf "%s[%d]" t.chan_names.(cid) idx
+
+let enabled_actions t ~locs ~vars ~edge_ok =
+  let n = Array.length t.autos in
+  let committed = committed_active t ~locs in
+  (* Per automaton: data-enabled outgoing edges, pre-filtered by edge_ok. *)
+  let enabled ai =
+    List.filter
+      (fun e ->
+        Env.eval_bexpr t.symtab vars e.e_guard.cg_data && edge_ok e)
+      t.autos.(ai).a_out.(locs.(ai))
+  in
+  let all_enabled = Array.init n enabled in
+  let from_committed e = t.autos.(e.e_auto).a_locs.(e.e_src).l_committed in
+  let action_ok a =
+    (not committed) || List.exists from_committed a.act_edges
+  in
+  let taus =
+    Array.to_list all_enabled
+    |> List.concat_map
+         (List.filter_map (fun e ->
+              match e.e_sync with
+              | CTau -> Some { act_edges = [ e ]; act_chan = None }
+              | CSend _ | CRecv _ -> None))
+  in
+  (* Group senders/receivers per runtime channel key. *)
+  let sends = Hashtbl.create 8 and recvs = Hashtbl.create 8 in
+  Array.iter
+    (fun edges ->
+      List.iter
+        (fun e ->
+          match e.e_sync with
+          | CTau -> ()
+          | CSend (cid, idx) ->
+              let key = chan_key t vars cid idx in
+              Hashtbl.replace sends key (e :: (Option.value ~default:[] (Hashtbl.find_opt sends key)))
+          | CRecv (cid, idx) ->
+              let key = chan_key t vars cid idx in
+              Hashtbl.replace recvs key (e :: (Option.value ~default:[] (Hashtbl.find_opt recvs key))))
+        edges)
+    all_enabled;
+  let syncs = ref [] in
+  Hashtbl.iter
+    (fun ((cid, _) as key) senders ->
+      let receivers = Option.value ~default:[] (Hashtbl.find_opt recvs key) in
+      match t.chan_kinds.(cid) with
+      | Network.Binary ->
+          List.iter
+            (fun s ->
+              List.iter
+                (fun r ->
+                  if r.e_auto <> s.e_auto then
+                    syncs :=
+                      { act_edges = [ s; r ]; act_chan = Some (chan_label t key) }
+                      :: !syncs)
+                receivers)
+            senders
+      | Network.Broadcast ->
+          List.iter
+            (fun s ->
+              (* Every automaton (other than the sender) with an enabled
+                 receiving edge must participate with exactly one of them;
+                 enumerate the cartesian product of its choices. *)
+              let by_auto = Array.make n [] in
+              List.iter
+                (fun r ->
+                  if r.e_auto <> s.e_auto then
+                    by_auto.(r.e_auto) <- r :: by_auto.(r.e_auto))
+                receivers;
+              let groups =
+                Array.to_list by_auto |> List.filter (fun g -> g <> [])
+              in
+              let rec product acc = function
+                | [] ->
+                    syncs :=
+                      {
+                        act_edges = s :: List.rev acc;
+                        act_chan = Some (chan_label t key);
+                      }
+                      :: !syncs
+                | g :: rest -> List.iter (fun r -> product (r :: acc) rest) g
+              in
+              product [] groups)
+            senders)
+    sends;
+  List.filter action_ok (taus @ List.rev !syncs)
+
+let max_clock_constant t =
+  let worst = ref 0 in
+  let scan_guard where (g : cguard) =
+    List.iter
+      (fun a ->
+        match a.ca_bound with
+        | Expr.Int k -> worst := max !worst (abs k)
+        | e ->
+            invalid_arg
+              (Format.asprintf
+                 "Pta.Compiled.max_clock_constant: non-constant clock bound %a \
+                  in %s"
+                 Expr.pp e where))
+      g.cg_atoms
+  in
+  Array.iter
+    (fun a ->
+      Array.iter (fun l -> scan_guard (a.a_name ^ "." ^ l.l_name) l.l_inv) a.a_locs;
+      Array.iter
+        (fun edges ->
+          List.iter (fun e -> scan_guard (a.a_name ^ " edge") e.e_guard) edges)
+        a.a_out)
+    t.autos;
+  !worst

@@ -1,0 +1,112 @@
+(** Compiled networks: names resolved to dense indices.
+
+    Compilation assigns every automaton, location, clock and channel an
+    integer index, groups edges by source location, and pre-resolves all
+    variable references against the network's symbol table.  Both
+    execution engines ({!Discrete} and {!Reachability}) work on this
+    representation; the shared synchronization-matching logic
+    ({!enabled_actions}) lives here so the two engines cannot drift
+    apart. *)
+
+type csync = CTau | CSend of int * Expr.t option | CRecv of int * Expr.t option
+
+type catom = { ca_clock : int; ca_op : Expr.cmp; ca_bound : Expr.t }
+(** Clock atom with the clock resolved to its global index. *)
+
+type cguard = { cg_data : Expr.bexpr; cg_atoms : catom list }
+
+type cedge = {
+  e_auto : int;
+  e_id : int;  (** position in the automaton's edge list, for traces *)
+  e_src : int;
+  e_dst : int;
+  e_guard : cguard;
+  e_sync : csync;
+  e_updates : Expr.update list;
+  e_resets : int list;  (** global clock indices *)
+  e_cost : Expr.t;
+  e_label : string;
+}
+
+type cloc = {
+  l_name : string;
+  l_inv : cguard;
+  l_rate : Expr.t;
+  l_committed : bool;
+  l_urgent : bool;
+}
+
+type cauto = {
+  a_name : string;
+  a_locs : cloc array;
+  a_init : int;
+  a_out : cedge list array;  (** outgoing edges indexed by source location *)
+}
+
+type t = {
+  symtab : Env.symtab;
+  autos : cauto array;
+  clock_names : string array;  (** ["auto.clock"], indexed by global id *)
+  chan_kinds : Network.channel_kind array;
+  chan_names : string array;
+  clock_caps : int array;
+      (** Per-clock saturation value for the discrete engine: values are
+          clamped here during delays, which keeps the digitized state
+          space finite.  Values strictly above every constant a clock is
+          compared against are behaviourally equivalent (the region
+          construction's M+1), so {!compile} defaults each cap to
+          max-constant+1 when all of the clock's comparison bounds are
+          literal constants, and to [max_int] (no cap) otherwise —
+          override the latter with {!set_clock_cap} when an external
+          bound is known (e.g. the TA-KiBaM's recovery clock is bounded
+          by the largest entry of [recov_time]). *)
+}
+
+val compile : Network.t -> t
+
+val set_clock_cap : t -> clock:int -> cap:int -> unit
+(** Override a clock's saturation value.  Unsound if some reachable state
+    compares the clock against a constant [>= cap]. *)
+
+val auto_index : t -> string -> int
+val clock_index : t -> auto:string -> clock:string -> int
+val location_index : t -> auto:string -> loc:string -> int
+val n_clocks : t -> int
+
+(** {2 Action matching} *)
+
+type action = {
+  act_edges : cedge list;
+      (** participating edges in firing order: the single tau edge, or the
+          sender followed by the receivers in automaton order *)
+  act_chan : string option;  (** channel label including index, e.g. "go_on[1]" *)
+}
+
+val enabled_actions :
+  t ->
+  locs:int array ->
+  vars:int array ->
+  edge_ok:(cedge -> bool) ->
+  action list
+(** All synchronization-complete actions from the location vector [locs]:
+    tau edges, binary sender/receiver pairings, and broadcast
+    constellations (sender plus one enabled receiving edge from {e every}
+    automaton that has one).  [edge_ok] decides per-edge enabledness
+    {e beyond} the data guard (clock feasibility — evaluated by the
+    calling engine); data guards and channel indices are evaluated here
+    against [vars].  Respects committedness: if any automaton is in a
+    committed location, only actions with at least one participating edge
+    leaving a committed location are returned. *)
+
+val committed_active : t -> locs:int array -> bool
+
+val urgent_active : t -> locs:int array -> bool
+(** Is some automaton in an urgent (or committed) location?  Delay is
+    forbidden while this holds. *)
+
+val max_clock_constant : t -> int
+(** Largest absolute value a clock is ever compared against — the
+    extrapolation constant for the zone engine.  Raises
+    [Invalid_argument] if any clock bound is not a literal constant
+    ([Expr.Int]): the zone engine requires constant clock constraints
+    (the discrete engine has no such restriction). *)

@@ -1,0 +1,228 @@
+type formula =
+  | True
+  | Loc of string * string
+  | Data of Expr.bexpr
+  | Pred of string * (Discrete.state -> bool)
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | EX of formula
+  | AX of formula
+  | EF of formula
+  | AF of formula
+  | EG of formula
+  | AG of formula
+  | EU of formula * formula
+  | AU of formula * formula
+  | Leads_to of formula * formula
+
+type result = { holds : bool; states : int; witness : Discrete.state option }
+
+exception State_space_too_large of int
+
+module Tbl = Hashtbl.Make (struct
+  type t = Discrete.state
+
+  let equal = Discrete.state_equal
+  let hash = Discrete.state_hash
+end)
+
+(* Explicit reachable graph: states indexed densely, successor lists by
+   index; deadlocks totalized with self-loops. *)
+type graph = {
+  states : Discrete.state array;
+  succs : int list array;
+  preds : int list array;
+  deadlocked : bool array;
+}
+
+let build_graph ?(max_states = 1_000_000) (net : Compiled.t) =
+  let index : int Tbl.t = Tbl.create 4096 in
+  let states = ref [] and n = ref 0 in
+  let edges = ref [] in
+  let queue = Queue.create () in
+  let intern s =
+    match Tbl.find_opt index s with
+    | Some i -> i
+    | None ->
+        let i = !n in
+        incr n;
+        if !n > max_states then raise (State_space_too_large !n);
+        Tbl.replace index s i;
+        states := s :: !states;
+        Queue.push (i, s) queue;
+        i
+  in
+  ignore (intern (Discrete.initial net));
+  let deadlocks = ref [] in
+  while not (Queue.is_empty queue) do
+    let i, s = Queue.pop queue in
+    let ts = Discrete.successors net s in
+    if ts = [] then deadlocks := i :: !deadlocks;
+    List.iter
+      (fun (t : Discrete.transition) -> edges := (i, intern t.target) :: !edges)
+      ts
+  done;
+  let size = !n in
+  let states_arr = Array.make size (Discrete.initial net) in
+  List.iteri (fun k s -> states_arr.(size - 1 - k) <- s) !states;
+  let succs = Array.make size [] and preds = Array.make size [] in
+  List.iter
+    (fun (a, b) ->
+      succs.(a) <- b :: succs.(a);
+      preds.(b) <- a :: preds.(b))
+    !edges;
+  let deadlocked = Array.make size false in
+  List.iter
+    (fun i ->
+      deadlocked.(i) <- true;
+      (* totalize with a self-loop *)
+      succs.(i) <- [ i ];
+      preds.(i) <- i :: preds.(i))
+    !deadlocks;
+  { states = states_arr; succs; preds; deadlocked }
+
+(* Set operations on dense boolean labellings. *)
+let label_atom (net : Compiled.t) g = function
+  | True -> Array.make (Array.length g.states) true
+  | Loc (auto, loc) ->
+      let ai = Compiled.auto_index net auto in
+      let li = Compiled.location_index net ~auto ~loc in
+      Array.map (fun (s : Discrete.state) -> s.locs.(ai) = li) g.states
+  | Data b ->
+      Array.map
+        (fun (s : Discrete.state) -> Env.eval_bexpr net.symtab s.vars b)
+        g.states
+  | Pred (_, f) -> Array.map f g.states
+  | _ -> assert false
+
+(* EU(p, q): least fixpoint — backward from q through p-states. *)
+let eval_eu g p q =
+  let n = Array.length g.states in
+  let sat = Array.make n false in
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if q.(i) then begin
+      sat.(i) <- true;
+      Queue.push i queue
+    end
+  done;
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    List.iter
+      (fun j ->
+        if (not sat.(j)) && p.(j) then begin
+          sat.(j) <- true;
+          Queue.push j queue
+        end)
+      g.preds.(i)
+  done;
+  sat
+
+(* EG p: greatest fixpoint — restrict to p-states, keep those with a
+   successor inside the remaining set, iterate. Classic O(n·m) worklist. *)
+let eval_eg g p =
+  let n = Array.length g.states in
+  let sat = Array.copy p in
+  (* count p-successors of each state *)
+  let count = Array.make n 0 in
+  for i = 0 to n - 1 do
+    List.iter (fun j -> if sat.(j) then count.(i) <- count.(i) + 1) g.succs.(i)
+  done;
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if sat.(i) && count.(i) = 0 then Queue.push i queue
+  done;
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    if sat.(i) then begin
+      sat.(i) <- false;
+      List.iter
+        (fun j ->
+          if sat.(j) then begin
+            count.(j) <- count.(j) - 1;
+            if count.(j) = 0 then Queue.push j queue
+          end)
+        g.preds.(i)
+    end
+  done;
+  sat
+
+let eval_ex g p =
+  Array.mapi (fun i _ -> List.exists (fun j -> p.(j)) g.succs.(i)) g.states
+
+let lnot = Array.map not
+let land_ a b = Array.mapi (fun i x -> x && b.(i)) a
+let lor_ a b = Array.mapi (fun i x -> x || b.(i)) a
+
+let rec eval net g (f : formula) : bool array =
+  match f with
+  | True | Loc _ | Data _ | Pred _ -> label_atom net g f
+  | Not x -> lnot (eval net g x)
+  | And (x, y) -> land_ (eval net g x) (eval net g y)
+  | Or (x, y) -> lor_ (eval net g x) (eval net g y)
+  | Implies (x, y) -> lor_ (lnot (eval net g x)) (eval net g y)
+  | EX x -> eval_ex g (eval net g x)
+  | AX x -> lnot (eval_ex g (lnot (eval net g x)))
+  | EF x -> eval_eu g (label_atom net g True) (eval net g x)
+  | AG x -> lnot (eval_eu g (label_atom net g True) (lnot (eval net g x)))
+  | EG x -> eval_eg g (eval net g x)
+  | AF x -> lnot (eval_eg g (lnot (eval net g x)))
+  | EU (x, y) -> eval_eu g (eval net g x) (eval net g y)
+  | AU (x, y) ->
+      (* A(p U q) = not (E(not q U (not p and not q))) and not EG (not q) *)
+      let p = eval net g x and q = eval net g y in
+      land_
+        (lnot (eval_eu g (lnot q) (land_ (lnot p) (lnot q))))
+        (lnot (eval_eg g (lnot q)))
+  | Leads_to (x, y) -> eval net g (AG (Implies (x, AF y)))
+
+(* a state witnessing failure of AG p / success of EF p, for diagnostics *)
+let find_witness net g f =
+  match f with
+  | AG p ->
+      let bad = lnot (eval net g p) in
+      let reach = eval_eu g (label_atom net g True) bad in
+      if reach.(0) then begin
+        let i = ref (-1) in
+        Array.iteri (fun k b -> if b && !i < 0 then i := k) bad;
+        if !i >= 0 then Some g.states.(!i) else None
+      end
+      else None
+  | EF p ->
+      let sat = eval net g p in
+      let i = ref (-1) in
+      Array.iteri (fun k b -> if b && !i < 0 then i := k) sat;
+      if !i >= 0 then Some g.states.(!i) else None
+  | _ -> None
+
+let check ?max_states (net : Compiled.t) f =
+  let g = build_graph ?max_states net in
+  let sat = eval net g f in
+  { holds = sat.(0); states = Array.length g.states; witness = find_witness net g f }
+
+let holds ?max_states net f = (check ?max_states net f).holds
+
+let has_deadlock ?max_states net =
+  let g = build_graph ?max_states net in
+  Array.exists Fun.id g.deadlocked
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | Loc (a, l) -> Format.fprintf ppf "%s.%s" a l
+  | Data b -> Expr.pp_bexpr ppf b
+  | Pred (name, _) -> Format.fprintf ppf "<%s>" name
+  | Not x -> Format.fprintf ppf "not (%a)" pp x
+  | And (x, y) -> Format.fprintf ppf "(%a and %a)" pp x pp y
+  | Or (x, y) -> Format.fprintf ppf "(%a or %a)" pp x pp y
+  | Implies (x, y) -> Format.fprintf ppf "(%a => %a)" pp x pp y
+  | EX x -> Format.fprintf ppf "EX (%a)" pp x
+  | AX x -> Format.fprintf ppf "AX (%a)" pp x
+  | EF x -> Format.fprintf ppf "E<> (%a)" pp x
+  | AF x -> Format.fprintf ppf "A<> (%a)" pp x
+  | EG x -> Format.fprintf ppf "EG (%a)" pp x
+  | AG x -> Format.fprintf ppf "A[] (%a)" pp x
+  | EU (x, y) -> Format.fprintf ppf "E (%a U %a)" pp x pp y
+  | AU (x, y) -> Format.fprintf ppf "A (%a U %a)" pp x pp y
+  | Leads_to (x, y) -> Format.fprintf ppf "(%a --> %a)" pp x pp y

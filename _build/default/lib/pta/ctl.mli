@@ -1,0 +1,61 @@
+(** CTL model checking over the digitized state space.
+
+    The paper drives Cora with a single query, [A\[\] not max.done]
+    (§4.3).  This module generalizes that interface: full computation-tree
+    logic over the finite digitized graph of a compiled network (clock
+    saturation makes it finite — see {!Compiled.t.clock_caps}), with
+    atoms over locations, data variables and arbitrary state predicates.
+
+    Semantics notes:
+    - formulas are evaluated on the graph of {!Discrete.successors}
+      (delays and actions alike are transitions);
+    - deadlocked states (no successor at all) are completed with a
+      self-loop, the standard totalization for CTL on finite structures —
+      so [AG p] means "p along every maximal behaviour" and [AF p] cannot
+      be satisfied by simply stopping;
+    - digitization is exact for closed (non-strict) clock constraints;
+      for models with strict comparisons prefer the zone engine for plain
+      reachability and treat these results as integer-time semantics. *)
+
+type formula =
+  | True
+  | Loc of string * string  (** automaton is in location *)
+  | Data of Expr.bexpr  (** over the network's variables *)
+  | Pred of string * (Discrete.state -> bool)
+      (** named arbitrary predicate (the name appears in error messages) *)
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | EX of formula
+  | AX of formula
+  | EF of formula  (** Uppaal's [E<>] *)
+  | AF of formula  (** Uppaal's [A<>] *)
+  | EG of formula
+  | AG of formula  (** Uppaal's [A\[\]] *)
+  | EU of formula * formula
+  | AU of formula * formula
+  | Leads_to of formula * formula
+      (** Uppaal's [p --> q], sugar for [AG (p => AF q)] *)
+
+type result = {
+  holds : bool;  (** at the initial state *)
+  states : int;  (** size of the explored graph *)
+  witness : Discrete.state option;
+      (** for a failed [AG p]: a reachable state violating [p]; for a
+          satisfied [EF p]: a state satisfying [p] *)
+}
+
+exception State_space_too_large of int
+
+val check : ?max_states:int -> Compiled.t -> formula -> result
+(** Build the reachable digitized graph (default cap 1 million states;
+    {!State_space_too_large} beyond) and evaluate the formula at the
+    initial state. *)
+
+val holds : ?max_states:int -> Compiled.t -> formula -> bool
+
+val has_deadlock : ?max_states:int -> Compiled.t -> bool
+(** Is a state with no successor (before totalization) reachable? *)
+
+val pp : Format.formatter -> formula -> unit

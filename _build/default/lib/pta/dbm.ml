@@ -1,0 +1,186 @@
+(* Bounds are encoded in a single int: +∞ is max_int, and a finite bound
+   (m, ≺) is 2m with ≺ = "<" or 2m+1 with ≺ = "≤".  The encoding is
+   monotone (tighter bound = smaller int) and makes min/addition cheap —
+   the standard trick from the UPPAAL DBM library. *)
+
+type bound = int
+
+let inf = max_int
+let le m = (2 * m) + 1
+let lt m = 2 * m
+let is_strict b = b land 1 = 0
+let bound_value b = b asr 1
+let bound_compare = Int.compare
+
+let add_bound a b =
+  if a = inf || b = inf then inf
+  else ((bound_value a + bound_value b) * 2) lor (a land b land 1)
+
+let pp_bound ppf b =
+  if b = inf then Format.pp_print_string ppf "inf"
+  else
+    Format.fprintf ppf "(%d,%s)" (bound_value b) (if is_strict b then "<" else "<=")
+
+type t = { n : int; m : int array }
+(* m has (n+1)^2 entries, row-major; always kept canonical. *)
+
+let dim t = t.n
+let idx t i j = (i * (t.n + 1)) + j
+let get t i j = t.m.(idx t i j)
+
+let close t =
+  let d = t.m and n = t.n in
+  let sz = n + 1 in
+  for k = 0 to n do
+    for i = 0 to n do
+      let dik = d.((i * sz) + k) in
+      if dik <> inf then
+        for j = 0 to n do
+          let v = add_bound dik d.((k * sz) + j) in
+          if v < d.((i * sz) + j) then d.((i * sz) + j) <- v
+        done
+    done
+  done;
+  t
+
+let is_empty t =
+  let rec go i = i <= t.n && (get t i i < le 0 || go (i + 1)) in
+  go 0
+
+let zero n =
+  if n < 0 then invalid_arg "Dbm.zero: negative dimension";
+  { n; m = Array.make ((n + 1) * (n + 1)) (le 0) }
+
+let top n =
+  if n < 0 then invalid_arg "Dbm.top: negative dimension";
+  let t = { n; m = Array.make ((n + 1) * (n + 1)) inf } in
+  for i = 0 to n do
+    t.m.(idx t i i) <- le 0;
+    (* x_0 - x_i <= 0, i.e. clocks are non-negative *)
+    t.m.(idx t 0 i) <- le 0
+  done;
+  t
+
+let copy t = { t with m = Array.copy t.m }
+
+let check_index t i name =
+  if i < 0 || i > t.n then invalid_arg ("Dbm." ^ name ^ ": clock index out of range")
+
+let constrain t i j b =
+  check_index t i "constrain";
+  check_index t j "constrain";
+  let t = copy t in
+  if b < t.m.(idx t i j) then begin
+    t.m.(idx t i j) <- b;
+    close t
+  end
+  else t
+
+let constrain_cmp t ~clock op m =
+  check_index t clock "constrain_cmp";
+  match (op : Expr.cmp) with
+  | Le -> constrain t clock 0 (le m)
+  | Lt -> constrain t clock 0 (lt m)
+  | Ge -> constrain t 0 clock (le (-m))
+  | Gt -> constrain t 0 clock (lt (-m))
+  | Eq -> constrain (constrain t clock 0 (le m)) 0 clock (le (-m))
+  | Ne -> invalid_arg "Dbm.constrain_cmp: != is not a convex constraint"
+
+let up t =
+  let t = copy t in
+  for i = 1 to t.n do
+    t.m.(idx t i 0) <- inf
+  done;
+  (* Canonicity is preserved by up: d(i,j) entries still tightest since
+     only upper bounds on clocks were dropped.  (Standard result.) *)
+  t
+
+let reset t x v =
+  check_index t x "reset";
+  if x = 0 then invalid_arg "Dbm.reset: cannot reset the reference clock";
+  let t = copy t in
+  for i = 0 to t.n do
+    t.m.(idx t x i) <- add_bound (le v) (get t 0 i);
+    t.m.(idx t i x) <- add_bound (get t i 0) (le (-v))
+  done;
+  t.m.(idx t x x) <- le 0;
+  t
+
+let equal a b = a.n = b.n && a.m = b.m
+
+let includes a b =
+  if a.n <> b.n then invalid_arg "Dbm.includes: dimension mismatch";
+  if is_empty b then true
+  else if is_empty a then false
+  else begin
+    (* canonical forms: inclusion is pointwise comparison *)
+    let rec go k = k >= Array.length a.m || (b.m.(k) <= a.m.(k) && go (k + 1)) in
+    go 0
+  end
+
+let intersects a b =
+  if a.n <> b.n then invalid_arg "Dbm.intersects: dimension mismatch";
+  let t = copy a in
+  Array.iteri (fun k v -> if v < t.m.(k) then t.m.(k) <- v) b.m;
+  not (is_empty (close t))
+
+let extrapolate t k =
+  if k < 0 then invalid_arg "Dbm.extrapolate: negative constant";
+  let t = copy t in
+  let changed = ref false in
+  for i = 0 to t.n do
+    for j = 0 to t.n do
+      if i <> j then begin
+        let b = get t i j in
+        if b <> inf && bound_value b > k then begin
+          t.m.(idx t i j) <- inf;
+          changed := true
+        end
+        else if b <> inf && bound_value b < -k then begin
+          t.m.(idx t i j) <- lt (-k);
+          changed := true
+        end
+      end
+    done
+  done;
+  if !changed then close t else t
+
+let hash t =
+  let h = ref 0x3bf29ce484222325 in
+  Array.iter (fun v -> h := (!h lxor v) * 0x100000001b3 land max_int) t.m;
+  !h
+
+let sat t v =
+  let value i = if i = 0 then 0 else v i in
+  let ok = ref true in
+  for i = 0 to t.n do
+    for j = 0 to t.n do
+      let b = get t i j in
+      if b <> inf then begin
+        let diff = value i - value j in
+        if is_strict b then begin
+          if diff >= bound_value b then ok := false
+        end
+        else if diff > bound_value b then ok := false
+      end
+    done
+  done;
+  !ok
+
+let pp ppf t =
+  if is_empty t then Format.pp_print_string ppf "empty"
+  else begin
+    Format.fprintf ppf "@[<v>";
+    for i = 0 to t.n do
+      for j = 0 to t.n do
+        if i <> j then begin
+          let b = get t i j in
+          if b <> inf && not (i = 0 && b = le 0) then
+            Format.fprintf ppf "x%d - x%d %s %d;@ " i j
+              (if is_strict b then "<" else "<=")
+              (bound_value b)
+        end
+      done
+    done;
+    Format.fprintf ppf "@]"
+  end

@@ -1,0 +1,71 @@
+(** Difference Bound Matrices: the canonical symbolic representation of
+    clock zones (convex sets of clock valuations).
+
+    A DBM over [n] clocks is an [(n+1) × (n+1)] matrix of bounds
+    [d(i,j) = (m, ≺)] meaning [x_i − x_j ≺ m], with [x_0 = 0] the
+    reference clock.  This powers the zone-based reachability engine
+    ({!Reachability}) — the same machinery inside Uppaal — and is kept
+    canonical (all-pairs tightest) by Floyd–Warshall closure after each
+    constraining operation.
+
+    The API is functional: every operation returns a fresh DBM.  Clock
+    indices are 1-based ([1..n]); index 0 is the reference. *)
+
+type t
+
+type bound
+(** An upper bound [(m, ≺)] with [≺ ∈ {<, ≤}], or +∞. *)
+
+val inf : bound
+val le : int -> bound
+val lt : int -> bound
+val bound_compare : bound -> bound -> int
+val pp_bound : Format.formatter -> bound -> unit
+
+val dim : t -> int
+(** Number of real clocks [n]. *)
+
+val zero : int -> t
+(** [zero n]: all [n] clocks equal to 0 — the initial valuation. *)
+
+val top : int -> t
+(** All clock valuations with non-negative clocks. *)
+
+val get : t -> int -> int -> bound
+(** Entry [(i, j)] of the canonical form. *)
+
+val is_empty : t -> bool
+
+val constrain : t -> int -> int -> bound -> t
+(** [constrain z i j b] adds [x_i − x_j ≺ m]; result is canonical (and
+    possibly empty). *)
+
+val constrain_cmp : t -> clock:int -> Expr.cmp -> int -> t
+(** [constrain_cmp z ~clock op m] adds [x_clock op m].  [Ne] is not
+    convex and raises [Invalid_argument]. *)
+
+val up : t -> t
+(** Delay (future): remove all upper bounds on clocks — the zone reachable
+    by letting time pass. *)
+
+val reset : t -> int -> int -> t
+(** [reset z x v]: clock [x] set to the constant [v]. *)
+
+val equal : t -> t -> bool
+val includes : t -> t -> bool
+(** [includes a b]: every valuation of [b] is in [a]. *)
+
+val intersects : t -> t -> bool
+
+val extrapolate : t -> int -> t
+(** Classical max-constant (k-)extrapolation: abstract away bounds beyond
+    [k], guaranteeing a finite zone graph.  Sound and complete for
+    reachability when [k] is at least the largest constant any clock is
+    compared against. *)
+
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val sat : t -> (int -> int) -> bool
+(** [sat z v] checks whether the integer valuation [v] (indexed 1..n)
+    lies in the zone — a test oracle used by the property-based tests. *)

@@ -1,0 +1,212 @@
+type state = { locs : int array; vars : int array; clocks : int array }
+type step = Delay of int | Fire of Compiled.action
+type transition = { step : step; cost : int; target : state }
+
+let initial (t : Compiled.t) =
+  {
+    locs = Array.map (fun (a : Compiled.cauto) -> a.a_init) t.autos;
+    vars = Env.initial t.symtab;
+    clocks = Array.make (Compiled.n_clocks t) 0;
+  }
+
+let atom_holds (t : Compiled.t) s (a : Compiled.catom) =
+  Expr.eval_cmp a.ca_op s.clocks.(a.ca_clock) (Env.eval t.symtab s.vars a.ca_bound)
+
+let guard_holds t s (g : Compiled.cguard) =
+  Env.eval_bexpr t.Compiled.symtab s.vars g.cg_data
+  && List.for_all (atom_holds t s) g.cg_atoms
+
+let invariants_hold (t : Compiled.t) s =
+  let n = Array.length t.autos in
+  let rec go k =
+    if k >= n then true
+    else
+      guard_holds t s t.autos.(k).a_locs.(s.locs.(k)).l_inv && go (k + 1)
+  in
+  go 0
+
+(* Largest k such that every automaton's invariant still holds after k
+   time units, capped at [cap]; data parts are delay-invariant and were
+   checked when the state was created. *)
+let invariant_slack (t : Compiled.t) s ~cap =
+  let slack = ref cap in
+  Array.iteri
+    (fun ai (a : Compiled.cauto) ->
+      List.iter
+        (fun (atom : Compiled.catom) ->
+          let c = s.clocks.(atom.ca_clock) in
+          let b = Env.eval t.symtab s.vars atom.ca_bound in
+          match atom.ca_op with
+          | Expr.Le -> slack := min !slack (b - c)
+          | Expr.Lt -> slack := min !slack (b - c - 1)
+          | Expr.Eq -> slack := min !slack 0
+          | Expr.Ge | Expr.Gt | Expr.Ne -> ())
+        a.a_locs.(s.locs.(ai)).l_inv.cg_atoms)
+    t.autos;
+  max !slack 0
+
+let delay_allowed (t : Compiled.t) s k =
+  (not (Compiled.urgent_active t ~locs:s.locs))
+  && invariant_slack t s ~cap:k >= k
+
+let delayed (t : Compiled.t) s k =
+  {
+    s with
+    clocks =
+      Array.mapi
+        (fun i c ->
+          let cap = t.clock_caps.(i) in
+          if c >= cap then c else min (c + k) cap)
+        s.clocks;
+  }
+
+let check_cost what c =
+  if c < 0 then
+    invalid_arg (Printf.sprintf "Pta.Discrete: negative %s cost %d" what c);
+  c
+
+let rate_sum (t : Compiled.t) s =
+  let acc = ref 0 in
+  Array.iteri
+    (fun ai (a : Compiled.cauto) ->
+      acc := !acc + Env.eval t.symtab s.vars a.a_locs.(s.locs.(ai)).l_rate)
+    t.autos;
+  check_cost "rate" !acc
+
+let apply_action (t : Compiled.t) s (action : Compiled.action) =
+  (* Guards were checked during matching except the clock atoms of
+     receiver edges in broadcast constellations — check everything again
+     for safety; it is cheap relative to search. *)
+  if not (List.for_all (fun e -> guard_holds t s e.Compiled.e_guard) action.act_edges)
+  then None
+  else begin
+    let locs = Array.copy s.locs in
+    let vars = Array.copy s.vars in
+    let clocks = Array.copy s.clocks in
+    let cost = ref 0 in
+    List.iter
+      (fun (e : Compiled.cedge) ->
+        locs.(e.e_auto) <- e.e_dst;
+        cost := !cost + check_cost "edge" (Env.eval t.symtab vars e.e_cost);
+        Env.apply_in_place t.symtab vars e.e_updates;
+        List.iter (fun c -> clocks.(c) <- 0) e.e_resets)
+      action.act_edges;
+    let target = { locs; vars; clocks } in
+    if invariants_hold t target then Some (!cost, target) else None
+  end
+
+(* Offsets (within (0, cap]) at which some clock atom of an outgoing edge
+   of a current location can change truth value: candidate instants for new
+   behaviour while delaying. *)
+let flip_offsets (t : Compiled.t) s ~cap =
+  let best = ref cap in
+  let consider d = if d > 0 && d < !best then best := d in
+  Array.iteri
+    (fun ai (a : Compiled.cauto) ->
+      List.iter
+        (fun (e : Compiled.cedge) ->
+          List.iter
+            (fun (atom : Compiled.catom) ->
+              let c = s.clocks.(atom.ca_clock) in
+              let b = Env.eval t.symtab s.vars atom.ca_bound in
+              (* truth of (c + d) op b flips at d = b - c and d = b - c + 1 *)
+              consider (b - c);
+              consider (b - c + 1))
+            e.e_guard.cg_atoms)
+        a.a_out.(s.locs.(ai)))
+    t.autos;
+  !best
+
+let successors (t : Compiled.t) s =
+  let edge_ok e = List.for_all (atom_holds t s) e.Compiled.e_guard.cg_atoms in
+  let actions = Compiled.enabled_actions t ~locs:s.locs ~vars:s.vars ~edge_ok in
+  let fires =
+    List.filter_map
+      (fun a ->
+        match apply_action t s a with
+        | Some (cost, target) -> Some { step = Fire a; cost; target }
+        | None -> None)
+      actions
+  in
+  if Compiled.urgent_active t ~locs:s.locs then fires
+  else begin
+    let slack = invariant_slack t s ~cap:max_int in
+    if slack <= 0 then fires
+    else begin
+      let k =
+        if fires <> [] then 1
+        else begin
+          (* No action enabled: jump to the next possible enabledness
+             change (or as far as invariants allow). *)
+          let cap = if slack = max_int then 1 lsl 30 else slack in
+          flip_offsets t s ~cap
+        end
+      in
+      let rate = rate_sum t s in
+      let target = delayed t s k in
+      fires @ [ { step = Delay k; cost = rate * k; target } ]
+    end
+  end
+
+let state_equal a b =
+  a.locs = b.locs && a.vars = b.vars && a.clocks = b.clocks
+
+(* FNV-1a over all three arrays; the polymorphic Hashtbl.hash truncates
+   deep structures, which would wreck the search's hash table. *)
+let state_hash s =
+  let h = ref 0x3bf29ce484222325 in
+  let mix v =
+    h := (!h lxor v) * 0x100000001b3 land max_int
+  in
+  Array.iter mix s.locs;
+  mix 0x9e3779b9;
+  Array.iter mix s.vars;
+  mix 0x85ebca6b;
+  Array.iter mix s.clocks;
+  !h
+
+let pp_state (t : Compiled.t) ppf s =
+  let loc_names =
+    Array.to_list
+      (Array.mapi
+         (fun ai (a : Compiled.cauto) -> a.a_name ^ "." ^ a.a_locs.(s.locs.(ai)).l_name)
+         t.autos)
+  in
+  Format.fprintf ppf "@[<hv 2>{ %a;@ %a;@ clocks = %a }@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Format.pp_print_string)
+    loc_names
+    (Env.pp_storage t.symtab) s.vars
+    (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Format.pp_print_int)
+    (Array.to_seq s.clocks)
+
+let pp_step (t : Compiled.t) ppf = function
+  | Delay k -> Format.fprintf ppf "delay %d" k
+  | Fire a ->
+      let edges =
+        List.map
+          (fun (e : Compiled.cedge) ->
+            let auto = t.autos.(e.e_auto) in
+            Printf.sprintf "%s:%s->%s%s" auto.a_name
+              auto.a_locs.(e.e_src).l_name auto.a_locs.(e.e_dst).l_name
+              (if e.e_label = "" then "" else "(" ^ e.e_label ^ ")"))
+          a.Compiled.act_edges
+      in
+      Format.fprintf ppf "fire%s %s"
+        (match a.act_chan with None -> "" | Some c -> " on " ^ c)
+        (String.concat ", " edges)
+
+let run (t : Compiled.t) ?(max_steps = 1_000_000) ~choose ~stop s0 =
+  let rec go steps cost s acc =
+    if stop s || steps >= max_steps then (cost, s, List.rev acc)
+    else begin
+      match successors t s with
+      | [] -> (cost, s, List.rev acc)
+      | succs -> (
+          match choose s succs with
+          | None -> (cost, s, List.rev acc)
+          | Some tr -> go (steps + 1) (cost + tr.cost) tr.target (tr.step :: acc))
+    end
+  in
+  go 0 0 s0 []

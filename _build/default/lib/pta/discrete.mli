@@ -1,0 +1,68 @@
+(** Discrete-time (digitized) semantics of a compiled network.
+
+    Time advances in integer steps; clocks are integer-valued.  For
+    networks whose guards and invariants are {e closed} (no strict
+    comparisons on clocks) and whose constants are integers, digitization
+    preserves reachability and optimal costs (Henzinger–Manna–Pnueli;
+    Behrmann et al. use the corner-point abstraction for the same
+    conclusion on priced TA) — the TA-KiBaM is such a network, which is
+    what justifies replacing Uppaal Cora's priced-zone search with this
+    engine plus {!Priced}.
+
+    Delay acceleration: when no action is enabled, the engine emits one
+    [Delay k] to the nearest instant at which any clock atom can change
+    truth value or an invariant expires — exact, because data guards are
+    delay-invariant and clock-atom truth is monotone between those
+    flip points.
+
+    Restriction: invariants may use [Le]/[Lt] upper bounds (plus
+    delay-invariant data); an [Eq] invariant pins the instant, and
+    [Ge]/[Gt]/[Ne] invariant atoms are treated as delay-invariant —
+    use guards for lower-bound urgency instead. *)
+
+type state = { locs : int array; vars : int array; clocks : int array }
+
+type step =
+  | Delay of int
+  | Fire of Compiled.action
+
+type transition = { step : step; cost : int; target : state }
+
+val initial : Compiled.t -> state
+
+val successors : Compiled.t -> state -> transition list
+(** All one-step successors: enabled actions, plus at most one delay
+    ([Delay 1] when an action is also enabled — finer granularity is
+    never needed at integer time — or the accelerated [Delay k] when
+    none is).  Delay is omitted when a committed location is active or an
+    invariant pins the current instant.  Rates and edge costs are
+    evaluated in the current environment; a negative value raises
+    [Invalid_argument], since min-cost search requires non-negative
+    costs. *)
+
+val apply_action : Compiled.t -> state -> Compiled.action -> (int * state) option
+(** Fire one action if its guards and target invariants hold: returns
+    [cost, target].  Exposed for policy-driven simulation. *)
+
+val delay_allowed : Compiled.t -> state -> int -> bool
+(** Can the network let [k] time units pass? *)
+
+val invariants_hold : Compiled.t -> state -> bool
+
+val state_equal : state -> state -> bool
+val state_hash : state -> int
+val pp_state : Compiled.t -> Format.formatter -> state -> unit
+val pp_step : Compiled.t -> Format.formatter -> step -> unit
+
+val run :
+  Compiled.t ->
+  ?max_steps:int ->
+  choose:(state -> transition list -> transition option) ->
+  stop:(state -> bool) ->
+  state ->
+  int * state * step list
+(** Deterministic execution under an external resolver: repeatedly offer
+    {!successors} to [choose] until [stop] holds, [choose] returns [None],
+    no successor exists, or [max_steps] (default 1_000_000) transitions
+    fired.  Returns accumulated cost, final state and the steps taken (in
+    order). *)

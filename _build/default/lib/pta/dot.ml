@@ -1,0 +1,103 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let guard_to_string (g : Automaton.guard) =
+  let data =
+    match g.data with Expr.True -> [] | b -> [ Format.asprintf "%a" Expr.pp_bexpr b ]
+  in
+  let atoms =
+    List.map
+      (fun (a : Automaton.clock_atom) ->
+        Format.asprintf "%s %a %a" a.clock Expr.pp_cmp a.op Expr.pp a.bound)
+      g.clocks
+  in
+  String.concat " && " (data @ atoms)
+
+let sync_to_string = function
+  | Automaton.Tau -> ""
+  | Automaton.Send (c, None) -> c ^ "!"
+  | Automaton.Send (c, Some e) -> Format.asprintf "%s[%a]!" c Expr.pp e
+  | Automaton.Recv (c, None) -> c ^ "?"
+  | Automaton.Recv (c, Some e) -> Format.asprintf "%s[%a]?" c Expr.pp e
+
+let edge_label (e : Automaton.edge) =
+  let parts =
+    List.filter
+      (fun s -> s <> "")
+      [
+        (let g = guard_to_string e.guard in
+         if g = "" then "" else g);
+        sync_to_string e.sync;
+        String.concat ", "
+          (List.map (Format.asprintf "%a" Expr.pp_update) e.updates
+          @ List.map (fun c -> c ^ " := 0") e.resets);
+        (match e.cost with
+        | Expr.Int 0 -> ""
+        | c -> Format.asprintf "cost += %a" Expr.pp c);
+      ]
+  in
+  String.concat "\\n" (List.map escape parts)
+
+let loc_label (l : Automaton.location) =
+  let parts =
+    List.filter
+      (fun s -> s <> "")
+      [
+        l.loc_name;
+        (let inv = guard_to_string l.invariant in
+         if inv = "" then "" else "inv: " ^ inv);
+        (match l.cost_rate with
+        | Expr.Int 0 -> ""
+        | r -> Format.asprintf "cost' == %a" Expr.pp r);
+      ]
+  in
+  String.concat "\\n" (List.map escape parts)
+
+let emit_body ppf ~prefix (auto : Automaton.t) =
+  let node_id n = Printf.sprintf "\"%s%s\"" prefix n in
+  List.iter
+    (fun (l : Automaton.location) ->
+      let shape =
+        if l.committed then "octagon"
+        else if l.urgent then "diamond"
+        else if String.equal l.loc_name auto.initial then "doublecircle"
+        else "ellipse"
+      in
+      Format.fprintf ppf "  %s [label=\"%s\", shape=%s];@." (node_id l.loc_name)
+        (loc_label l) shape)
+    auto.locations;
+  List.iter
+    (fun (e : Automaton.edge) ->
+      Format.fprintf ppf "  %s -> %s [label=\"%s\"];@." (node_id e.src)
+        (node_id e.dst) (edge_label e))
+    auto.edges
+
+let automaton ppf (auto : Automaton.t) =
+  Format.fprintf ppf "digraph \"%s\" {@." (escape auto.name);
+  Format.fprintf ppf "  rankdir=LR;@.";
+  emit_body ppf ~prefix:"" auto;
+  Format.fprintf ppf "}@."
+
+let network ppf (net : Network.t) =
+  Format.fprintf ppf "digraph network {@.";
+  Format.fprintf ppf "  rankdir=LR;@.";
+  List.iteri
+    (fun k (auto : Automaton.t) ->
+      Format.fprintf ppf "  subgraph cluster_%d {@." k;
+      Format.fprintf ppf "    label=\"%s\";@." (escape auto.name);
+      emit_body ppf ~prefix:(auto.name ^ ".") auto;
+      Format.fprintf ppf "  }@.")
+    net.automata;
+  Format.fprintf ppf "}@."
+
+let automaton_to_string a = Format.asprintf "%a" automaton a
+let network_to_string n = Format.asprintf "%a" network n

@@ -1,0 +1,14 @@
+(** Graphviz export of automata and networks.
+
+    Renders locations (initial = double circle, committed = octagon),
+    invariants, cost rates, and edges with guard / sync / update / cost
+    annotations — the textual equivalent of the paper's Figures 2–5. *)
+
+val automaton : Format.formatter -> Automaton.t -> unit
+(** One automaton as a complete [digraph]. *)
+
+val network : Format.formatter -> Network.t -> unit
+(** All automata of a network as clustered subgraphs of one [digraph]. *)
+
+val automaton_to_string : Automaton.t -> string
+val network_to_string : Network.t -> string

@@ -1,0 +1,133 @@
+type entry = { offset : int; length : int; array : bool }
+
+type symtab = {
+  table : (string, entry) Hashtbl.t;
+  order : (string * entry) list;  (** declaration order, for printing *)
+  total : int;
+  init : int array;
+}
+
+type decl = Scalar of string * int | Array of string * int array
+
+exception Eval_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+let declare decls =
+  let table = Hashtbl.create 16 in
+  let order = ref [] in
+  let total = ref 0 in
+  let chunks = ref [] in
+  List.iter
+    (fun d ->
+      let name, contents, array =
+        match d with
+        | Scalar (n, v) -> (n, [| v |], false)
+        | Array (n, vs) ->
+            if Array.length vs = 0 then
+              invalid_arg ("Pta.Env.declare: empty array " ^ n);
+            (n, vs, true)
+      in
+      if Hashtbl.mem table name then
+        invalid_arg ("Pta.Env.declare: duplicate name " ^ name);
+      let entry = { offset = !total; length = Array.length contents; array } in
+      Hashtbl.add table name entry;
+      order := (name, entry) :: !order;
+      chunks := contents :: !chunks;
+      total := !total + Array.length contents)
+    decls;
+  let init = Array.concat (List.rev !chunks) in
+  { table; order = List.rev !order; total = !total; init }
+
+let initial t = Array.copy t.init
+let size t = t.total
+let mem t name = Hashtbl.mem t.table name
+
+let entry t name =
+  match Hashtbl.find_opt t.table name with
+  | Some e -> e
+  | None -> err "unknown variable %s" name
+
+let is_array t name = (entry t name).array
+let length_of t name = (entry t name).length
+
+let read t store name =
+  let e = entry t name in
+  if e.array then err "%s is an array, not a scalar" name;
+  store.(e.offset)
+
+let read_elem t store name idx =
+  let e = entry t name in
+  if not e.array then err "%s is a scalar, not an array" name;
+  if idx < 0 || idx >= e.length then
+    err "index %d out of bounds for %s[%d]" idx name e.length;
+  store.(e.offset + idx)
+
+let rec eval t store (e : Expr.t) =
+  match e with
+  | Int n -> n
+  | Var n -> read t store n
+  | Arr (n, idx) -> read_elem t store n (eval t store idx)
+  | Sum n ->
+      let en = entry t n in
+      let acc = ref 0 in
+      for k = en.offset to en.offset + en.length - 1 do
+        acc := !acc + store.(k)
+      done;
+      !acc
+  | Neg x -> -eval t store x
+  | Add (x, y) -> eval t store x + eval t store y
+  | Sub (x, y) -> eval t store x - eval t store y
+  | Mul (x, y) -> eval t store x * eval t store y
+  | Div (x, y) ->
+      let d = eval t store y in
+      if d = 0 then err "division by zero in %a" Expr.pp e;
+      eval t store x / d
+
+let rec eval_bexpr t store (b : Expr.bexpr) =
+  match b with
+  | True -> true
+  | False -> false
+  | Cmp (x, op, y) -> Expr.eval_cmp op (eval t store x) (eval t store y)
+  | And (x, y) -> eval_bexpr t store x && eval_bexpr t store y
+  | Or (x, y) -> eval_bexpr t store x || eval_bexpr t store y
+  | Not x -> not (eval_bexpr t store x)
+
+let apply_in_place t store updates =
+  List.iter
+    (fun ((target, rhs) : Expr.update) ->
+      let value = eval t store rhs in
+      match target with
+      | Expr.Lvar n ->
+          let e = entry t n in
+          if e.array then err "cannot assign to array %s without index" n;
+          store.(e.offset) <- value
+      | Expr.Larr (n, idx) ->
+          let e = entry t n in
+          if not e.array then err "cannot index scalar %s" n;
+          let k = eval t store idx in
+          if k < 0 || k >= e.length then
+            err "index %d out of bounds assigning %s[%d]" k n e.length;
+          store.(e.offset + k) <- value)
+    updates
+
+let apply t store updates =
+  let copy = Array.copy store in
+  apply_in_place t copy updates;
+  copy
+
+let pp_storage t ppf store =
+  let pp_one ppf (name, e) =
+    if e.array then begin
+      Format.fprintf ppf "%s = [|" name;
+      for k = 0 to e.length - 1 do
+        if k > 0 then Format.fprintf ppf "; ";
+        Format.pp_print_int ppf store.(e.offset + k)
+      done;
+      Format.fprintf ppf "|]"
+    end
+    else Format.fprintf ppf "%s = %d" name store.(e.offset)
+  in
+  Format.fprintf ppf "@[<hv>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_one)
+    t.order

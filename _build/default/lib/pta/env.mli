@@ -1,0 +1,50 @@
+(** Variable environments: declarations, storage and expression evaluation.
+
+    A network declares its integer state once ({!declare}); the resulting
+    symbol table maps every scalar and array to a slot range in one flat
+    [int array].  States of the discrete engine then carry just the flat
+    array, which makes copying, hashing and equality cheap — the search
+    explores millions of states. *)
+
+type symtab
+(** Immutable layout: name → (offset, length). Scalars have length 1. *)
+
+type decl =
+  | Scalar of string * int  (** name, initial value *)
+  | Array of string * int array  (** name, initial contents *)
+
+val declare : decl list -> symtab
+(** Build a layout; raises [Invalid_argument] on duplicate names. *)
+
+val initial : symtab -> int array
+(** Fresh storage holding the declared initial values. *)
+
+val size : symtab -> int
+val mem : symtab -> string -> bool
+val is_array : symtab -> string -> bool
+val length_of : symtab -> string -> int
+
+val read : symtab -> int array -> string -> int
+(** Scalar read; raises [Invalid_argument] on arrays or unknown names. *)
+
+val read_elem : symtab -> int array -> string -> int -> int
+(** Array element read with bounds check. *)
+
+exception Eval_error of string
+
+val eval : symtab -> int array -> Expr.t -> int
+(** Evaluate an expression; raises {!Eval_error} on unknown names, array
+    misuse, out-of-bounds indices, or division by zero. *)
+
+val eval_bexpr : symtab -> int array -> Expr.bexpr -> bool
+
+val apply : symtab -> int array -> Expr.update list -> int array
+(** Apply updates left to right to a {e copy} of the storage: later
+    updates see the effect of earlier ones, as in Uppaal assignment
+    sequences. *)
+
+val apply_in_place : symtab -> int array -> Expr.update list -> unit
+(** Same, mutating the given storage. *)
+
+val pp_storage : symtab -> Format.formatter -> int array -> unit
+(** Human-readable [name = value] dump, for traces and debugging. *)

@@ -1,0 +1,102 @@
+type t =
+  | Int of int
+  | Var of string
+  | Arr of string * t
+  | Sum of string
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+
+type cmp = Le | Lt | Ge | Gt | Eq | Ne
+
+type bexpr =
+  | True
+  | False
+  | Cmp of t * cmp * t
+  | And of bexpr * bexpr
+  | Or of bexpr * bexpr
+  | Not of bexpr
+
+type lhs = Lvar of string | Larr of string * t
+type update = lhs * t
+
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)
+let ( * ) a b = Mul (a, b)
+let i n = Int n
+let v name = Var name
+let a name idx = Arr (name, idx)
+let ( <= ) a b = Cmp (a, Le, b)
+let ( < ) a b = Cmp (a, Lt, b)
+let ( >= ) a b = Cmp (a, Ge, b)
+let ( > ) a b = Cmp (a, Gt, b)
+let ( == ) a b = Cmp (a, Eq, b)
+let ( != ) a b = Cmp (a, Ne, b)
+let ( && ) a b = And (a, b)
+let ( || ) a b = Or (a, b)
+let set name e = (Lvar name, e)
+let set_arr name idx e = (Larr (name, idx), e)
+
+let rec vars_of_expr = function
+  | Int _ -> []
+  | Var n -> [ n ]
+  | Arr (n, idx) -> n :: vars_of_expr idx
+  | Sum n -> [ n ]
+  | Neg e -> vars_of_expr e
+  | Add (x, y) | Sub (x, y) | Mul (x, y) | Div (x, y) ->
+      vars_of_expr x @ vars_of_expr y
+
+let vars_of_expr e = List.sort_uniq String.compare (vars_of_expr e)
+
+let rec vars_of_bexpr_raw = function
+  | True | False -> []
+  | Cmp (x, _, y) -> vars_of_expr x @ vars_of_expr y
+  | And (x, y) | Or (x, y) -> vars_of_bexpr_raw x @ vars_of_bexpr_raw y
+  | Not x -> vars_of_bexpr_raw x
+
+let vars_of_bexpr b = List.sort_uniq String.compare (vars_of_bexpr_raw b)
+
+let eval_cmp op (x : int) (y : int) =
+  match op with
+  | Le -> Stdlib.( <= ) x y
+  | Lt -> Stdlib.( < ) x y
+  | Ge -> Stdlib.( >= ) x y
+  | Gt -> Stdlib.( > ) x y
+  | Eq -> Stdlib.( = ) x y
+  | Ne -> Stdlib.( <> ) x y
+
+let rec pp ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Var n -> Format.pp_print_string ppf n
+  | Arr (n, idx) -> Format.fprintf ppf "%s[%a]" n pp idx
+  | Sum n -> Format.fprintf ppf "sum(%s)" n
+  | Neg e -> Format.fprintf ppf "-(%a)" pp e
+  | Add (x, y) -> Format.fprintf ppf "(%a + %a)" pp x pp y
+  | Sub (x, y) -> Format.fprintf ppf "(%a - %a)" pp x pp y
+  | Mul (x, y) -> Format.fprintf ppf "(%a * %a)" pp x pp y
+  | Div (x, y) -> Format.fprintf ppf "(%a / %a)" pp x pp y
+
+let pp_cmp ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Le -> "<="
+    | Lt -> "<"
+    | Ge -> ">="
+    | Gt -> ">"
+    | Eq -> "=="
+    | Ne -> "!=")
+
+let rec pp_bexpr ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Cmp (x, op, y) -> Format.fprintf ppf "%a %a %a" pp x pp_cmp op pp y
+  | And (x, y) -> Format.fprintf ppf "(%a && %a)" pp_bexpr x pp_bexpr y
+  | Or (x, y) -> Format.fprintf ppf "(%a || %a)" pp_bexpr x pp_bexpr y
+  | Not x -> Format.fprintf ppf "!(%a)" pp_bexpr x
+
+let pp_update ppf (target, e) =
+  match target with
+  | Lvar n -> Format.fprintf ppf "%s := %a" n pp e
+  | Larr (n, idx) -> Format.fprintf ppf "%s[%a] := %a" n pp idx pp e

@@ -1,0 +1,69 @@
+(** Integer expressions, boolean guards and updates over model variables.
+
+    This is the data language of the automata: guards, invariants,
+    assignments and cost terms are all built from it.  Variables are
+    referenced by name and resolved against an {!Env.t} at evaluation
+    time; names can denote scalars or integer arrays (the paper's models
+    use arrays indexed by battery id and by the load epoch, e.g.
+    [n_gamma\[id\]], [cur\[j\]]). *)
+
+type t =
+  | Int of int
+  | Var of string  (** scalar variable *)
+  | Arr of string * t  (** array element *)
+  | Sum of string  (** sum of all elements of an array — the paper's
+                       [sum_gamma()] helper *)
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t  (** truncating; division by zero is an evaluation error *)
+
+type cmp = Le | Lt | Ge | Gt | Eq | Ne
+
+type bexpr =
+  | True
+  | False
+  | Cmp of t * cmp * t
+  | And of bexpr * bexpr
+  | Or of bexpr * bexpr
+  | Not of bexpr
+
+type lhs = Lvar of string | Larr of string * t
+(** Assignment targets. *)
+
+type update = lhs * t
+(** [lhs := rhs]. *)
+
+(* Convenience constructors, so models read close to the Uppaal syntax. *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val i : int -> t
+val v : string -> t
+val a : string -> t -> t
+
+val ( <= ) : t -> t -> bexpr
+val ( < ) : t -> t -> bexpr
+val ( >= ) : t -> t -> bexpr
+val ( > ) : t -> t -> bexpr
+val ( == ) : t -> t -> bexpr
+val ( != ) : t -> t -> bexpr
+val ( && ) : bexpr -> bexpr -> bexpr
+val ( || ) : bexpr -> bexpr -> bexpr
+
+val set : string -> t -> update
+val set_arr : string -> t -> t -> update
+
+val vars_of_expr : t -> string list
+(** Names (scalars and arrays) referenced, without duplicates. *)
+
+val vars_of_bexpr : bexpr -> string list
+
+val pp : Format.formatter -> t -> unit
+val pp_cmp : Format.formatter -> cmp -> unit
+val pp_bexpr : Format.formatter -> bexpr -> unit
+val pp_update : Format.formatter -> update -> unit
+
+val eval_cmp : cmp -> int -> int -> bool

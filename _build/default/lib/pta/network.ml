@@ -1,0 +1,93 @@
+type channel_kind = Binary | Broadcast
+type channel_decl = { chan_name : string; kind : channel_kind; arity : int }
+
+let chan ?(kind = Binary) ?(arity = 0) chan_name =
+  if arity < 0 then invalid_arg "Pta.Network.chan: negative arity";
+  { chan_name; kind; arity }
+
+type t = {
+  decls : Env.decl list;
+  channels : channel_decl list;
+  automata : Automaton.t list;
+}
+
+let make ?(decls = []) ?(channels = []) ~automata () =
+  let symtab = Env.declare decls in
+  (* validated for side effect only *)
+  let names = List.map (fun (a : Automaton.t) -> a.name) automata in
+  List.iter
+    (fun n ->
+      if List.length (List.filter (String.equal n) names) > 1 then
+        invalid_arg ("Pta.Network.make: duplicate automaton name " ^ n))
+    names;
+  let chan_names = List.map (fun c -> c.chan_name) channels in
+  List.iter
+    (fun n ->
+      if List.length (List.filter (String.equal n) chan_names) > 1 then
+        invalid_arg ("Pta.Network.make: duplicate channel " ^ n))
+    chan_names;
+  let find_chan n = List.find_opt (fun c -> String.equal c.chan_name n) channels in
+  let check_vars where names_used =
+    List.iter
+      (fun v ->
+        if not (Env.mem symtab v) then
+          invalid_arg
+            (Printf.sprintf "Pta.Network.make: undeclared variable %s in %s" v
+               where))
+      names_used
+  in
+  let check_expr where e = check_vars where (Expr.vars_of_expr e) in
+  let check_guard where (g : Automaton.guard) =
+    check_vars where (Expr.vars_of_bexpr g.data);
+    List.iter (fun (a : Automaton.clock_atom) -> check_expr where a.bound) g.clocks
+  in
+  let check_sync where (s : Automaton.sync) =
+    match s with
+    | Automaton.Tau -> ()
+    | Send (c, idx) | Recv (c, idx) -> (
+        match find_chan c with
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Pta.Network.make: undeclared channel %s in %s" c
+                 where)
+        | Some decl -> (
+            match (decl.arity, idx) with
+            | 0, Some _ ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Pta.Network.make: plain channel %s indexed in %s" c where)
+            | 0, None -> ()
+            | _, None ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Pta.Network.make: channel array %s used without index in \
+                      %s"
+                     c where)
+            | _, Some e -> check_expr where e))
+  in
+  List.iter
+    (fun (auto : Automaton.t) ->
+      List.iter
+        (fun (l : Automaton.location) ->
+          let where = auto.name ^ "." ^ l.loc_name in
+          check_guard where l.invariant;
+          check_expr where l.cost_rate)
+        auto.locations;
+      List.iter
+        (fun (e : Automaton.edge) ->
+          let where = auto.name ^ ": " ^ e.src ^ " -> " ^ e.dst in
+          check_guard where e.guard;
+          check_sync where e.sync;
+          check_expr where e.cost;
+          List.iter
+            (fun ((target, rhs) : Expr.update) ->
+              check_expr where rhs;
+              match target with
+              | Expr.Lvar n -> check_vars where [ n ]
+              | Expr.Larr (n, idx) ->
+                  check_vars where [ n ];
+                  check_expr where idx)
+            e.updates)
+        auto.edges)
+    automata;
+  { decls; channels; automata }

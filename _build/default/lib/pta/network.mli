@@ -1,0 +1,35 @@
+(** Networks of priced timed automata (NLPTA, paper §3.1).
+
+    A network is a set of automata running in parallel, communicating over
+    declared channels, and sharing the declared integer variables.
+    Channels are either {e binary} (one sender synchronizes with exactly
+    one receiver, both blocking) or {e broadcast} (a sender never blocks;
+    every automaton with an enabled receiving edge participates).
+    Channels may be arrays ([arity > 0]) indexed by data expressions, as
+    in the TA-KiBaM's [use_charge\[id\]] and [go_on\[id\]]. *)
+
+type channel_kind = Binary | Broadcast
+
+type channel_decl = { chan_name : string; kind : channel_kind; arity : int }
+(** [arity = 0] declares a plain channel; [arity = n > 0] an array of [n]
+    channels. *)
+
+val chan : ?kind:channel_kind -> ?arity:int -> string -> channel_decl
+(** Defaults: binary, arity 0. *)
+
+type t = {
+  decls : Env.decl list;
+  channels : channel_decl list;
+  automata : Automaton.t list;
+}
+
+val make :
+  ?decls:Env.decl list ->
+  ?channels:channel_decl list ->
+  automata:Automaton.t list ->
+  unit ->
+  t
+(** Validates: automaton names distinct; every variable mentioned in any
+    guard, invariant, update, cost term or channel index is declared;
+    every synchronization refers to a declared channel, with an index
+    expression iff the channel is an array. *)

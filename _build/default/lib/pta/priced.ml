@@ -1,0 +1,159 @@
+type result = {
+  cost : int;
+  trace : Discrete.step list;
+  final : Discrete.state;
+  stats : stats;
+}
+
+and stats = { expanded : int; generated : int; duplicates : int }
+
+exception Search_exhausted of stats
+exception Limit_reached of stats
+
+(* Minimal binary min-heap on (priority, payload); grows by doubling. *)
+module Heap = struct
+  type 'a t = {
+    mutable keys : int array;
+    mutable vals : 'a array;
+    mutable size : int;
+    dummy : 'a;
+  }
+
+  let create dummy =
+    { keys = Array.make 64 0; vals = Array.make 64 dummy; size = 0; dummy }
+
+  let is_empty h = h.size = 0
+
+  let grow h =
+    let cap = Array.length h.keys in
+    let keys = Array.make (2 * cap) 0 and vals = Array.make (2 * cap) h.dummy in
+    Array.blit h.keys 0 keys 0 cap;
+    Array.blit h.vals 0 vals 0 cap;
+    h.keys <- keys;
+    h.vals <- vals
+
+  let push h key v =
+    if h.size = Array.length h.keys then grow h;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    h.keys.(!i) <- key;
+    h.vals.(!i) <- v;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if h.keys.(parent) > h.keys.(!i) then begin
+        let tk = h.keys.(parent) and tv = h.vals.(parent) in
+        h.keys.(parent) <- h.keys.(!i);
+        h.vals.(parent) <- h.vals.(!i);
+        h.keys.(!i) <- tk;
+        h.vals.(!i) <- tv;
+        i := parent
+      end
+      else continue := false
+    done
+
+  let pop h =
+    if h.size = 0 then invalid_arg "Heap.pop: empty";
+    let key = h.keys.(0) and v = h.vals.(0) in
+    h.size <- h.size - 1;
+    h.keys.(0) <- h.keys.(h.size);
+    h.vals.(0) <- h.vals.(h.size);
+    h.vals.(h.size) <- h.dummy;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+      if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tk = h.keys.(!smallest) and tv = h.vals.(!smallest) in
+        h.keys.(!smallest) <- h.keys.(!i);
+        h.vals.(!smallest) <- h.vals.(!i);
+        h.keys.(!i) <- tk;
+        h.vals.(!i) <- tv;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    (key, v)
+end
+
+module Tbl = Hashtbl.Make (struct
+  type t = Discrete.state
+
+  let equal = Discrete.state_equal
+  let hash = Discrete.state_hash
+end)
+
+type node = {
+  state : Discrete.state;
+  g : int;  (** cost from the initial state *)
+  parent : (node * Discrete.step) option;
+}
+
+let rebuild node =
+  let rec go acc = function
+    | { parent = None; _ } -> acc
+    | { parent = Some (p, step); _ } as _n -> go (step :: acc) p
+  in
+  go [] node
+
+let search ?(max_expansions = 10_000_000) ?heuristic ~goal (net : Compiled.t) =
+  let h = match heuristic with Some f -> f | None -> fun _ -> 0 in
+  let best : int Tbl.t = Tbl.create 4096 in
+  let start = Discrete.initial net in
+  let dummy = { state = start; g = 0; parent = None } in
+  let frontier = Heap.create dummy in
+  let expanded = ref 0 and generated = ref 0 and duplicates = ref 0 in
+  let stats () =
+    { expanded = !expanded; generated = !generated; duplicates = !duplicates }
+  in
+  Tbl.replace best start 0;
+  Heap.push frontier (h start) dummy;
+  let rec loop () =
+    if Heap.is_empty frontier then raise (Search_exhausted (stats ()))
+    else begin
+      let _f, node = Heap.pop frontier in
+      (* Lazy deletion: skip if a cheaper path to this state was found
+         after this entry was pushed. *)
+      match Tbl.find_opt best node.state with
+      | Some g when g < node.g -> loop ()
+      | _ ->
+          if goal node.state then
+            {
+              cost = node.g;
+              trace = rebuild node;
+              final = node.state;
+              stats = stats ();
+            }
+          else begin
+            incr expanded;
+            if !expanded > max_expansions then raise (Limit_reached (stats ()));
+            List.iter
+              (fun (tr : Discrete.transition) ->
+                incr generated;
+                let g' = node.g + tr.cost in
+                match Tbl.find_opt best tr.target with
+                | Some g when g <= g' -> incr duplicates
+                | _ ->
+                    Tbl.replace best tr.target g';
+                    Heap.push frontier
+                      (g' + h tr.target)
+                      { state = tr.target; g = g'; parent = Some (node, tr.step) })
+              (Discrete.successors net node.state);
+            loop ()
+          end
+    end
+  in
+  loop ()
+
+let reachable ?max_expansions ~goal net =
+  match search ?max_expansions ~goal net with
+  | _ -> true
+  | exception Search_exhausted _ -> false
+
+let loc_goal (net : Compiled.t) ~auto ~loc =
+  let ai = Compiled.auto_index net auto in
+  let li = Compiled.location_index net ~auto ~loc in
+  fun (s : Discrete.state) -> s.locs.(ai) = li

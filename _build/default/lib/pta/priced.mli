@@ -1,0 +1,47 @@
+(** Minimum-cost reachability on the discrete semantics.
+
+    This is the library's replacement for Uppaal Cora's priced-zone
+    branch-and-bound: a uniform-cost (Dijkstra) search over the digitized
+    state space, with an optional admissible remaining-cost heuristic
+    that turns it into A*.  Costs must be non-negative (enforced by
+    {!Discrete}).  The returned witness trace plays the same role as
+    Cora's counterexample to [A\[\] not goal] (paper §4.3): for the
+    TA-KiBaM it {e is} the optimal battery schedule. *)
+
+type result = {
+  cost : int;  (** minimal accumulated cost to reach the goal *)
+  trace : Discrete.step list;  (** witness run from the initial state *)
+  final : Discrete.state;
+  stats : stats;
+}
+
+and stats = {
+  expanded : int;  (** states popped from the frontier *)
+  generated : int;  (** successor states produced *)
+  duplicates : int;  (** successors pruned by the closed/best table *)
+}
+
+exception Search_exhausted of stats
+(** Raised when the whole reachable space was explored without hitting
+    the goal. *)
+
+exception Limit_reached of stats
+(** Raised when [max_expansions] was hit first. *)
+
+val search :
+  ?max_expansions:int ->
+  ?heuristic:(Discrete.state -> int) ->
+  goal:(Discrete.state -> bool) ->
+  Compiled.t ->
+  result
+(** [search ~goal net] runs Dijkstra/A* from {!Discrete.initial}.
+    [heuristic] must be admissible (never overestimate the true remaining
+    cost) for the result to be optimal; it defaults to the zero
+    heuristic.  [max_expansions] defaults to 10 million. *)
+
+val reachable :
+  ?max_expansions:int -> goal:(Discrete.state -> bool) -> Compiled.t -> bool
+(** Plain reachability on the discrete semantics (costs ignored). *)
+
+val loc_goal : Compiled.t -> auto:string -> loc:string -> Discrete.state -> bool
+(** Convenience goal: automaton [auto] is in location [loc]. *)

@@ -1,0 +1,172 @@
+type symbolic_state = { locs : int array; vars : int array; zone : Dbm.t }
+
+type result = {
+  trace : (Compiled.action option * symbolic_state) list;
+  stats : stats;
+}
+
+and stats = { explored : int; stored : int }
+
+(* Discrete part of a symbolic state, the passed-list key. *)
+module Key = struct
+  type t = int array * int array
+
+  let equal (l1, v1) (l2, v2) = l1 = l2 && v1 = v2
+
+  let hash (l, v) =
+    let h = ref 0x3bf29ce484222325 in
+    let mix x = h := (!h lxor x) * 0x100000001b3 land max_int in
+    Array.iter mix l;
+    mix 0x9e3779b9;
+    Array.iter mix v;
+    !h
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+let bound_of_atom (a : Compiled.catom) =
+  match a.ca_bound with
+  | Expr.Int k -> k
+  | _ -> assert false (* ruled out by the max_clock_constant check *)
+
+let apply_guard_atoms zone (atoms : Compiled.catom list) =
+  List.fold_left
+    (fun z (a : Compiled.catom) ->
+      (* DBM clock indices are 1-based; compiled ids are 0-based. *)
+      Dbm.constrain_cmp z ~clock:(a.ca_clock + 1) a.ca_op (bound_of_atom a))
+    zone atoms
+
+let invariant_atoms (net : Compiled.t) locs =
+  let acc = ref [] in
+  Array.iteri
+    (fun ai (a : Compiled.cauto) ->
+      acc := a.a_locs.(locs.(ai)).l_inv.cg_atoms @ !acc)
+    net.autos;
+  !acc
+
+let data_invariants_hold (net : Compiled.t) locs vars =
+  let n = Array.length net.autos in
+  let rec go k =
+    k >= n
+    || Env.eval_bexpr net.symtab vars net.autos.(k).a_locs.(locs.(k)).l_inv.cg_data
+       && go (k + 1)
+  in
+  go 0
+
+type node = {
+  state : symbolic_state;
+  parent : (node * Compiled.action) option;
+}
+
+let rebuild node =
+  let rec go acc n =
+    match n.parent with
+    | None -> (None, n.state) :: acc
+    | Some (p, act) -> go ((Some act, n.state) :: acc) p
+  in
+  go [] node
+
+let search ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
+  let k_const = Compiled.max_clock_constant net in
+  let n_clocks = Compiled.n_clocks net in
+  let passed : (Dbm.t * node) list ref Tbl.t = Tbl.create 1024 in
+  let stored = ref 0 and explored = ref 0 in
+  let queue = Queue.create () in
+  let add_state node =
+    let key = (node.state.locs, node.state.vars) in
+    let cell =
+      match Tbl.find_opt passed key with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Tbl.replace passed key l;
+          l
+    in
+    if List.exists (fun (z, _) -> Dbm.includes z node.state.zone) !cell then false
+    else begin
+      cell := (node.state.zone, node) :: !cell;
+      incr stored;
+      if !stored > max_states then
+        failwith "Pta.Reachability.search: state limit exceeded";
+      Queue.push node queue;
+      true
+    end
+  in
+  (* Initial symbolic state: clocks at zero, delayed, within invariants. *)
+  let locs0 = Array.map (fun (a : Compiled.cauto) -> a.a_init) net.autos in
+  let vars0 = Env.initial net.symtab in
+  let initial_zone =
+    let z = Dbm.zero n_clocks in
+    let z = apply_guard_atoms z (invariant_atoms net locs0) in
+    let z =
+      if Compiled.urgent_active net ~locs:locs0 then z
+      else apply_guard_atoms (Dbm.up z) (invariant_atoms net locs0)
+    in
+    Dbm.extrapolate z k_const
+  in
+  if Dbm.is_empty initial_zone || not (data_invariants_hold net locs0 vars0) then
+    None
+  else begin
+    let root =
+      { state = { locs = locs0; vars = vars0; zone = initial_zone }; parent = None }
+    in
+    ignore (add_state root);
+    let result = ref None in
+    (try
+       while !result = None && not (Queue.is_empty queue) do
+         let node = Queue.pop queue in
+         let { locs; vars; zone } = node.state in
+         incr explored;
+         if goal ~locs ~vars then
+           result := Some { trace = rebuild node; stats = { explored = !explored; stored = !stored } }
+         else begin
+           let edge_ok (e : Compiled.cedge) =
+             not (Dbm.is_empty (apply_guard_atoms zone e.e_guard.cg_atoms))
+           in
+           let actions = Compiled.enabled_actions net ~locs ~vars ~edge_ok in
+           List.iter
+             (fun (act : Compiled.action) ->
+               (* conjoin all participating guards *)
+               let z_guarded =
+                 List.fold_left
+                   (fun z (e : Compiled.cedge) ->
+                     apply_guard_atoms z e.e_guard.cg_atoms)
+                   zone act.act_edges
+               in
+               if not (Dbm.is_empty z_guarded) then begin
+                 let locs' = Array.copy locs in
+                 let vars' = Array.copy vars in
+                 let z = ref z_guarded in
+                 List.iter
+                   (fun (e : Compiled.cedge) ->
+                     locs'.(e.e_auto) <- e.e_dst;
+                     Env.apply_in_place net.symtab vars' e.e_updates;
+                     List.iter (fun c -> z := Dbm.reset !z (c + 1) 0) e.e_resets)
+                   act.act_edges;
+                 if data_invariants_hold net locs' vars' then begin
+                   let inv = invariant_atoms net locs' in
+                   let z_in = apply_guard_atoms !z inv in
+                   if not (Dbm.is_empty z_in) then begin
+                     let z_delayed =
+                       if Compiled.urgent_active net ~locs:locs' then z_in
+                       else apply_guard_atoms (Dbm.up z_in) inv
+                     in
+                     let z_final = Dbm.extrapolate z_delayed k_const in
+                     if not (Dbm.is_empty z_final) then
+                       ignore
+                         (add_state
+                            {
+                              state = { locs = locs'; vars = vars'; zone = z_final };
+                              parent = Some (node, act);
+                            })
+                   end
+                 end
+               end)
+             actions
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let reachable ?max_states ~goal net = Option.is_some (search ?max_states ~goal net)

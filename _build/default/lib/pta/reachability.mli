@@ -1,0 +1,45 @@
+(** Zone-based symbolic reachability for (unpriced) networks.
+
+    The classic forward algorithm used inside Uppaal: symbolic states are
+    (location vector, variable valuation, zone) triples; zones are DBMs,
+    delayed with [up], constrained by guards and invariants, and
+    abstracted by max-constant extrapolation; a passed-list with zone
+    inclusion guarantees termination.  This engine demands {e constant}
+    clock bounds (checked up front via {!Compiled.max_clock_constant});
+    models that compare clocks against data expressions — like the
+    TA-KiBaM — must use the {!Discrete} engine instead.
+
+    Its role in this reproduction is validation: it double-checks the
+    discrete engine on the paper's Figures 2–4 lamp models and anchors the
+    PTA substrate's correctness with property-based tests. *)
+
+type symbolic_state = {
+  locs : int array;
+  vars : int array;
+  zone : Dbm.t;
+}
+
+type result = {
+  trace : (Compiled.action option * symbolic_state) list;
+      (** initial state first ([None]), then one entry per action fired *)
+  stats : stats;
+}
+
+and stats = { explored : int; stored : int }
+
+val search :
+  ?max_states:int ->
+  goal:(locs:int array -> vars:int array -> bool) ->
+  Compiled.t ->
+  result option
+(** [search ~goal net] returns a witness trace to a goal state, or [None]
+    if none is reachable.  [max_states] (default 1 million) bounds the
+    passed list; exceeding it raises [Failure].  Goals are data-level
+    (locations + variables) — time-constrained goals can be encoded with
+    an observer automaton, which is also what Uppaal users do. *)
+
+val reachable :
+  ?max_states:int ->
+  goal:(locs:int array -> vars:int array -> bool) ->
+  Compiled.t ->
+  bool

@@ -1,0 +1,47 @@
+type run = {
+  steps : Discrete.step list;
+  final : Discrete.state;
+  cost : int;
+  elapsed : int;
+  deadlocked : bool;
+}
+
+let run ?(seed = 1L) ?(max_transitions = 10_000) ?(stop = fun _ -> false)
+    (net : Compiled.t) =
+  let g = Prng.Splitmix.create seed in
+  let rec go n cost elapsed acc s =
+    if stop s || n >= max_transitions then
+      { steps = List.rev acc; final = s; cost; elapsed; deadlocked = false }
+    else begin
+      match Discrete.successors net s with
+      | [] -> { steps = List.rev acc; final = s; cost; elapsed; deadlocked = true }
+      | ts ->
+          let t = List.nth ts (Prng.Splitmix.int g (List.length ts)) in
+          let elapsed =
+            match t.Discrete.step with
+            | Discrete.Delay k -> elapsed + k
+            | Discrete.Fire _ -> elapsed
+          in
+          go (n + 1) (cost + t.cost) elapsed (t.step :: acc) t.target
+    end
+  in
+  go 0 0 0 [] (Discrete.initial net)
+
+let estimate ?(seed = 1L) ?(runs = 200) ?max_transitions ~pred net =
+  if runs <= 0 then invalid_arg "Pta.Simulate.estimate: runs must be positive";
+  let g = Prng.Splitmix.create seed in
+  let hits = ref 0 in
+  for _ = 1 to runs do
+    let walk_seed = Prng.Splitmix.next_int64 g in
+    let hit = ref false in
+    let r =
+      run ~seed:walk_seed ?max_transitions
+        ~stop:(fun s ->
+          if pred s then hit := true;
+          !hit)
+        net
+    in
+    ignore r;
+    if !hit then incr hits
+  done;
+  float_of_int !hits /. float_of_int runs

@@ -1,0 +1,39 @@
+(** Randomized simulation of a network (Uppaal's "simulator" pane).
+
+    Resolves the nondeterminism of the discrete semantics with a seeded
+    SplitMix64 generator: at each state one enabled transition (action or
+    delay) is drawn uniformly.  Useful to smoke-test a model before
+    paying for exhaustive exploration, to estimate how often a predicate
+    holds along random behaviours, and to produce varied traces for
+    documentation.
+
+    Determinism: equal seeds produce equal runs. *)
+
+type run = {
+  steps : Discrete.step list;  (** in execution order *)
+  final : Discrete.state;
+  cost : int;
+  elapsed : int;  (** total time units of the run's delays *)
+  deadlocked : bool;  (** stopped because no transition was enabled *)
+}
+
+val run :
+  ?seed:int64 ->
+  ?max_transitions:int ->
+  ?stop:(Discrete.state -> bool) ->
+  Compiled.t ->
+  run
+(** One random walk from the initial state, until [stop] holds (default:
+    never), deadlock, or [max_transitions] (default 10_000). *)
+
+val estimate :
+  ?seed:int64 ->
+  ?runs:int ->
+  ?max_transitions:int ->
+  pred:(Discrete.state -> bool) ->
+  Compiled.t ->
+  float
+(** Fraction of [runs] (default 200) random walks that reach a state
+    satisfying [pred] — a cheap Monte-Carlo probe, {e not} a statistical
+    model checker (no confidence bounds; walks are uniform over
+    transitions, not over time). *)

@@ -1,0 +1,159 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Uppaal's plain [int] is 16-bit; declare every variable with an explicit
+   range wide enough for its initial contents (and then some, for growth).
+   Sentinel values beyond [huge] — e.g. this library's "never recovers"
+   recovery time — are clamped to [huge], which is behaviourally identical
+   for any run shorter than a billion time units. *)
+let huge = 1_000_000_000
+
+let global_declarations (net : Network.t) =
+  let buf = Buffer.create 256 in
+  let clamp v = if v > huge then huge else if v < -huge then -huge else v in
+  let int_type vs =
+    let lo = Array.fold_left (fun acc v -> min acc (clamp v)) 0 vs in
+    let hi = Array.fold_left (fun acc v -> max acc (clamp v)) 32767 vs in
+    (* headroom for run-time growth beyond the initial values *)
+    Printf.sprintf "int[%d,%d]" (min (2 * lo) (-32768)) (max (2 * hi) 32767)
+  in
+  List.iter
+    (fun decl ->
+      match decl with
+      | Env.Scalar (name, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s = %d;\n" (int_type [| v |]) name (clamp v))
+      | Env.Array (name, vs) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s[%d] = { %s };\n" (int_type vs) name
+               (Array.length vs)
+               (String.concat ", "
+                  (Array.to_list (Array.map (fun v -> string_of_int (clamp v)) vs)))))
+    net.decls;
+  List.iter
+    (fun (c : Network.channel_decl) ->
+      let kw =
+        match c.kind with Network.Binary -> "chan" | Network.Broadcast -> "broadcast chan"
+      in
+      if c.arity = 0 then Buffer.add_string buf (Printf.sprintf "%s %s;\n" kw c.chan_name)
+      else Buffer.add_string buf (Printf.sprintf "%s %s[%d];\n" kw c.chan_name c.arity))
+    net.channels;
+  Buffer.contents buf
+
+let guard_text (g : Automaton.guard) =
+  let data =
+    match g.data with
+    | Expr.True -> []
+    | b -> [ Format.asprintf "%a" Expr.pp_bexpr b ]
+  in
+  let atoms =
+    List.map
+      (fun (a : Automaton.clock_atom) ->
+        Format.asprintf "%s %a %a" a.clock Expr.pp_cmp a.op Expr.pp a.bound)
+      g.clocks
+  in
+  String.concat " && " (data @ atoms)
+
+let invariant_text (l : Automaton.location) =
+  let inv = guard_text l.invariant in
+  let rate =
+    match l.cost_rate with
+    | Expr.Int 0 -> []
+    | r -> [ Format.asprintf "cost' == %a" Expr.pp r ]
+  in
+  String.concat " && " (List.filter (fun s -> s <> "") [ inv ] @ rate)
+
+let assignment_text (e : Automaton.edge) =
+  let updates = List.map (Format.asprintf "%a" Expr.pp_update) e.updates in
+  let resets = List.map (fun c -> c ^ " := 0") e.resets in
+  let cost =
+    match e.cost with
+    | Expr.Int 0 -> []
+    | c -> [ Format.asprintf "cost += %a" Expr.pp c ]
+  in
+  String.concat ", " (updates @ resets @ cost)
+
+let sync_text = function
+  | Automaton.Tau -> ""
+  | Automaton.Send (c, None) -> c ^ "!"
+  | Automaton.Send (c, Some e) -> Format.asprintf "%s[%a]!" c Expr.pp e
+  | Automaton.Recv (c, None) -> c ^ "?"
+  | Automaton.Recv (c, Some e) -> Format.asprintf "%s[%a]?" c Expr.pp e
+
+let template buf (auto : Automaton.t) =
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "  <template>\n";
+  add "    <name>%s</name>\n" (escape auto.name);
+  if auto.clocks <> [] then
+    add "    <declaration>clock %s;</declaration>\n"
+      (escape (String.concat ", " auto.clocks));
+  let loc_id name = "id_" ^ auto.name ^ "_" ^ name in
+  List.iteri
+    (fun k (l : Automaton.location) ->
+      let x = 200 * (k mod 4) and y = 150 * (k / 4) in
+      add "    <location id=\"%s\" x=\"%d\" y=\"%d\">\n" (escape (loc_id l.loc_name)) x y;
+      add "      <name>%s</name>\n" (escape l.loc_name);
+      let inv = invariant_text l in
+      if inv <> "" then
+        add "      <label kind=\"invariant\">%s</label>\n" (escape inv);
+      if l.committed then add "      <committed/>\n";
+      if l.urgent then add "      <urgent/>\n";
+      add "    </location>\n")
+    auto.locations;
+  add "    <init ref=\"%s\"/>\n" (escape (loc_id auto.initial));
+  List.iter
+    (fun (e : Automaton.edge) ->
+      add "    <transition>\n";
+      add "      <source ref=\"%s\"/>\n" (escape (loc_id e.src));
+      add "      <target ref=\"%s\"/>\n" (escape (loc_id e.dst));
+      let g = guard_text e.guard in
+      if g <> "" then add "      <label kind=\"guard\">%s</label>\n" (escape g);
+      let s = sync_text e.sync in
+      if s <> "" then
+        add "      <label kind=\"synchronisation\">%s</label>\n" (escape s);
+      let a = assignment_text e in
+      if a <> "" then add "      <label kind=\"assignment\">%s</label>\n" (escape a);
+      add "    </transition>\n")
+    auto.edges;
+  add "  </template>\n"
+
+let network ?(queries = []) (net : Network.t) =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n";
+  add
+    "<!DOCTYPE nta PUBLIC '-//Uppaal Team//DTD Flat System 1.1//EN' \
+     'http://www.it.uu.se/research/group/darts/uppaal/flat-1_1.dtd'>\n";
+  add "<nta>\n";
+  add "  <declaration>%s</declaration>\n" (escape (global_declarations net));
+  List.iter (template buf) net.automata;
+  add "  <system>system %s;</system>\n"
+    (escape (String.concat ", " (List.map (fun (a : Automaton.t) -> a.name) net.automata)));
+  if queries <> [] then begin
+    add "  <queries>\n";
+    List.iter
+      (fun q ->
+        add "    <query>\n      <formula>%s</formula>\n      <comment/>\n    </query>\n"
+          (escape q))
+      queries;
+    add "  </queries>\n"
+  end;
+  add "</nta>\n";
+  Buffer.contents buf
+
+let write_file ?queries ~path net =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (network ?queries net))

@@ -1,0 +1,25 @@
+(** Export networks to Uppaal's XML model format.
+
+    Writes a [.xml] document loadable by Uppaal 4.x (and, for priced
+    models, by Uppaal Cora): global declarations for the network's
+    variables and channels, one [<template>] per automaton with its local
+    clocks, grid-laid-out locations, and transitions with
+    guard/synchronisation/assignment labels; plus the [system] line.
+
+    This closes the loop with the paper's own toolchain: the TA-KiBaM
+    built by {!Takibam.Model} can be dumped and opened in the very tool
+    the authors used.  Cora specifics are emitted in Cora's dialect —
+    cost rates as [cost' == r] conjuncts in invariants and cost updates
+    as [cost += e] in assignments.
+
+    Restrictions: clock bounds and cost terms are printed verbatim in
+    this library's expression syntax, which coincides with Uppaal's for
+    everything the library can express. *)
+
+val network : ?queries:string list -> Network.t -> string
+(** The complete XML document.  [queries] (e.g.
+    [\["A\[\] not max_finder.done_"\]]) are embedded in the trailing
+    [<queries>] block. *)
+
+val write_file : ?queries:string list -> path:string -> Network.t -> unit
+(** {!network} written to [path]. *)

@@ -1,0 +1,1 @@
+lib/sched/analysis.ml: Array Dkibam Format List Loads Optimal Policy Printf Simulator

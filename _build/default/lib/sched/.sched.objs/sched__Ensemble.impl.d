@@ -1,0 +1,1 @@
+lib/sched/ensemble.ml: Array Dkibam Float Hashtbl List Loads Optimal Option Policy Prng Simulator

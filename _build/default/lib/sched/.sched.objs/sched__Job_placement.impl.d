@@ -1,0 +1,1 @@
+lib/sched/job_placement.ml: Array Dkibam Float Hashtbl List Loads

@@ -1,0 +1,1 @@
+lib/sched/job_placement.mli: Dkibam

@@ -1,0 +1,1 @@
+lib/sched/optimal.ml: Array Dkibam Fun Hashtbl List Loads Policy

@@ -1,0 +1,1 @@
+lib/sched/optimal.mli: Dkibam Loads Policy

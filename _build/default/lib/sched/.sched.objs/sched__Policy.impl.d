@@ -1,0 +1,1 @@
+lib/sched/policy.ml: Array Dkibam List Printf

@@ -1,0 +1,1 @@
+lib/sched/simulator.ml: Array Dkibam Fun List Loads Policy

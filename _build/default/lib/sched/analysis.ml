@@ -1,0 +1,85 @@
+type entry = {
+  policy_name : string;
+  lifetime : float;
+  lifetime_steps : int;
+  stranded_units : int;
+  gain_over_baseline : float;
+}
+
+type t = { n_batteries : int; entries : entry list }
+
+let default_policies =
+  [
+    ("sequential", Policy.Sequential);
+    ("round robin", Policy.Round_robin);
+    ("best-of", Policy.Best_of);
+  ]
+
+let stranded batteries =
+  Array.fold_left
+    (fun acc (b : Dkibam.Battery.t) -> acc + b.n_gamma)
+    0 batteries
+
+let compare_policies ?switch_delay ?(policies = default_policies)
+    ?(baseline = "round robin") ?(include_optimal = true) ~n_batteries
+    (disc : Dkibam.Discretization.t) (load : Loads.Arrays.t) =
+  let run_policy (name, policy) =
+    let o = Simulator.simulate ?switch_delay ~n_batteries ~policy disc load in
+    match o.lifetime_steps with
+    | None ->
+        failwith
+          (Printf.sprintf
+             "Sched.Analysis: policy %S outlived the load; extend the horizon"
+             name)
+    | Some steps ->
+        ( name,
+          steps,
+          stranded o.final,
+          Dkibam.Discretization.minutes_of_steps disc steps )
+  in
+  let deterministic = List.map run_policy policies in
+  let optimal =
+    if include_optimal then begin
+      let r = Optimal.search ?switch_delay ~n_batteries disc load in
+      [
+        ( "optimal",
+          r.lifetime_steps,
+          r.stranded_units,
+          Dkibam.Discretization.minutes_of_steps disc r.lifetime_steps );
+      ]
+    end
+    else []
+  in
+  let rows = deterministic @ optimal in
+  let base_lifetime =
+    match List.find_opt (fun (n, _, _, _) -> n = baseline) rows with
+    | Some (_, _, _, lt) -> lt
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Sched.Analysis: baseline %S not among the policies"
+             baseline)
+  in
+  {
+    n_batteries;
+    entries =
+      List.map
+        (fun (policy_name, lifetime_steps, stranded_units, lifetime) ->
+          {
+            policy_name;
+            lifetime;
+            lifetime_steps;
+            stranded_units;
+            gain_over_baseline =
+              100.0 *. (lifetime -. base_lifetime) /. base_lifetime;
+          })
+        rows;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d batteries:@," t.n_batteries;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %-12s %8.2f min  (%+.1f%%, %d units stranded)@,"
+        e.policy_name e.lifetime e.gain_over_baseline e.stranded_units)
+    t.entries;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** Side-by-side policy analysis on one load.
+
+    Packages the Table-5 computation as a reusable query: run every
+    deterministic policy plus the optimal search on [n] batteries and
+    report lifetimes, gains over a baseline, and the stranded charge —
+    for any discretization, battery count and load. *)
+
+type entry = {
+  policy_name : string;
+  lifetime : float;  (** minutes *)
+  lifetime_steps : int;
+  stranded_units : int;  (** total charge units left at system death *)
+  gain_over_baseline : float;  (** percent, vs the [baseline] policy *)
+}
+
+type t = {
+  n_batteries : int;
+  entries : entry list;  (** deterministic policies in the given order,
+                             then ["optimal"] last *)
+}
+
+val default_policies : (string * Policy.t) list
+(** The paper's three deterministic policies. *)
+
+val compare_policies :
+  ?switch_delay:int ->
+  ?policies:(string * Policy.t) list ->
+  ?baseline:string ->
+  ?include_optimal:bool ->
+  n_batteries:int ->
+  Dkibam.Discretization.t ->
+  Loads.Arrays.t ->
+  t
+(** Defaults: the paper's three deterministic policies
+    (["sequential"], ["round robin"], ["best-of"]), baseline
+    ["round robin"] (the paper's reference column), optimal included.
+    Raises [Failure] if any policy outlives the load (extend the
+    horizon) and [Invalid_argument] if [baseline] names no policy. *)
+
+val pp : Format.formatter -> t -> unit

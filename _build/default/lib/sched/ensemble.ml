@@ -1,0 +1,103 @@
+type stats = {
+  mean : float;
+  stddev : float;
+  minimum : float;
+  q25 : float;
+  median : float;
+  q75 : float;
+  maximum : float;
+}
+
+let stats_of samples =
+  match samples with
+  | [] -> invalid_arg "Sched.Ensemble.stats_of: empty sample"
+  | _ ->
+      let sorted = List.sort compare samples in
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      let quantile q =
+        let rank = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+        arr.(max 0 (min (n - 1) rank))
+      in
+      let mean = List.fold_left ( +. ) 0.0 samples /. float_of_int n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 samples
+        /. float_of_int n
+      in
+      {
+        mean;
+        stddev = sqrt var;
+        minimum = arr.(0);
+        q25 = quantile 0.25;
+        median = quantile 0.5;
+        q75 = quantile 0.75;
+        maximum = arr.(n - 1);
+      }
+
+type t = {
+  n_loads : int;
+  n_batteries : int;
+  per_policy : (string * stats) list;
+  optimal_gain_over_rr : stats;
+  best_of_is_optimal_fraction : float;
+}
+
+let run ?(seed = 42L) ?(n_loads = 50) ?(jobs_per_load = 60) ?(n_batteries = 2)
+    ?(include_optimal = true) (disc : Dkibam.Discretization.t) () =
+  if n_loads < 1 then invalid_arg "Sched.Ensemble.run: need >= 1 load";
+  let g = Prng.Splitmix.create seed in
+  let policies =
+    [
+      ("sequential", Policy.Sequential);
+      ("round robin", Policy.Round_robin);
+      ("best-of", Policy.Best_of);
+    ]
+  in
+  let results = Hashtbl.create 8 in
+  let push name v =
+    Hashtbl.replace results name
+      (v :: Option.value ~default:[] (Hashtbl.find_opt results name))
+  in
+  let gains = ref [] in
+  let best_hits = ref 0 in
+  for _ = 1 to n_loads do
+    let load_seed = Prng.Splitmix.next_int64 g in
+    let load =
+      Loads.Random_load.intermitted ~seed:load_seed ~jobs:jobs_per_load ()
+    in
+    let arrays =
+      Loads.Arrays.make ~time_step:disc.time_step ~charge_unit:disc.charge_unit
+        load
+    in
+    let lifetimes =
+      List.map
+        (fun (name, policy) ->
+          let lt = Simulator.lifetime_exn ~n_batteries ~policy disc arrays in
+          push name lt;
+          (name, lt))
+        policies
+    in
+    let rr = List.assoc "round robin" lifetimes in
+    let best_of = List.assoc "best-of" lifetimes in
+    let top =
+      if include_optimal then begin
+        let lt = Optimal.lifetime ~n_batteries disc arrays in
+        push "optimal" lt;
+        lt
+      end
+      else best_of
+    in
+    if Float.abs (top -. best_of) < 1e-9 then incr best_hits;
+    gains := (100.0 *. (top -. rr) /. rr) :: !gains
+  done;
+  let names =
+    List.map fst policies @ if include_optimal then [ "optimal" ] else []
+  in
+  {
+    n_loads;
+    n_batteries;
+    per_policy =
+      List.map (fun name -> (name, stats_of (Hashtbl.find results name))) names;
+    optimal_gain_over_rr = stats_of !gains;
+    best_of_is_optimal_fraction = float_of_int !best_hits /. float_of_int n_loads;
+  }

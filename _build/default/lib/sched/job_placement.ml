@@ -1,0 +1,163 @@
+type job = { duration : float; current : float; release : float; deadline : float }
+
+let job ?(release = 0.0) ?(deadline = infinity) ~duration ~current () =
+  if not (duration > 0.0) then
+    invalid_arg "Job_placement.job: duration must be positive";
+  if not (current > 0.0) then
+    invalid_arg "Job_placement.job: current must be positive";
+  if release < 0.0 then invalid_arg "Job_placement.job: negative release";
+  if deadline < release +. duration then
+    invalid_arg "Job_placement.job: window shorter than the job";
+  { duration; current; release; deadline }
+
+type placement = {
+  starts : float list;
+  completion : float;
+  final : Dkibam.Battery.t;
+  headroom : float;
+}
+
+type outcome =
+  | Feasible of placement
+  | Battery_dies
+  | Window_infeasible of int
+
+(* Discretized job: steps, draw cadence, window in steps. *)
+type djob = { steps : int; ct : int; cur : int; rel : int; dl : int }
+
+let discretize (disc : Dkibam.Discretization.t) jobs =
+  List.map
+    (fun (j : job) ->
+      let steps = Dkibam.Discretization.steps_of_minutes disc j.duration in
+      let ratio = j.current *. disc.time_step /. disc.charge_unit in
+      (* reuse the load encoder's exact-fraction logic through Arrays *)
+      let a =
+        Loads.Arrays.make ~time_step:disc.time_step ~charge_unit:disc.charge_unit
+          (Loads.Epoch.job ~current:j.current ~duration:j.duration)
+      in
+      ignore ratio;
+      let rel =
+        int_of_float (Float.ceil ((j.release /. disc.time_step) -. 1e-9))
+      in
+      let dl =
+        if j.deadline = infinity then max_int
+        else int_of_float (Float.floor ((j.deadline /. disc.time_step) +. 1e-9))
+      in
+      { steps; ct = a.cur_times.(0); cur = a.cur.(0); rel; dl })
+    jobs
+
+(* Serve one job with the battery from a given start; None if it dies. *)
+let serve disc (j : djob) battery =
+  let draws = j.steps / j.ct in
+  let rec go i b =
+    if i > draws then Some (Dkibam.Battery.tick_many disc (j.steps - (draws * j.ct)) b)
+    else begin
+      let b = Dkibam.Battery.tick_many disc j.ct b in
+      if b.Dkibam.Battery.n_gamma < j.cur then None
+      else begin
+        let b = Dkibam.Battery.draw disc ~cur:j.cur b in
+        if Dkibam.Battery.is_empty disc b then None else go (i + 1) b
+      end
+    end
+  in
+  go 1 battery
+
+module Key = struct
+  type t = int * int * int * int * int
+  (* job index, step, battery n/m/clock *)
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+let optimize ?(grid = 0.5) (disc : Dkibam.Discretization.t) jobs =
+  if jobs = [] then invalid_arg "Job_placement.optimize: no jobs";
+  let djobs = Array.of_list (discretize disc jobs) in
+  let grid_steps = max 1 (Dkibam.Discretization.steps_of_minutes disc grid) in
+  let n = Array.length djobs in
+  (* quick window sanity: earliest possible completion per job *)
+  let earliest = ref 0 in
+  let window_bad = ref None in
+  Array.iteri
+    (fun k j ->
+      earliest := max !earliest j.rel + j.steps;
+      if j.dl < max_int && !earliest > j.dl && !window_bad = None then
+        window_bad := Some k;
+      earliest := !earliest - 0 (* completion tracked in [earliest] *))
+    djobs;
+  match !window_bad with
+  | Some k -> Window_infeasible k
+  | None ->
+      let memo : (float * (int list * Dkibam.Battery.t * int) option) Tbl.t =
+        Tbl.create 1024
+      in
+      (* best placement from job k onward, battery state b at step s;
+         returns (headroom, Some (starts, final, completion)) or -inf/None *)
+      let rec best k s (b : Dkibam.Battery.t) =
+        if k >= n then
+          (Dkibam.Battery.available_charge disc b, Some ([], b, s))
+        else begin
+          let key = (k, s, b.Dkibam.Battery.n_gamma, b.m_delta, b.recov_clock) in
+          match Tbl.find_opt memo key with
+          | Some r -> r
+          | None ->
+              let j = djobs.(k) in
+              let lo = max s j.rel in
+              (* align the first candidate up to the grid *)
+              let lo = (lo + grid_steps - 1) / grid_steps * grid_steps in
+              let hi = if j.dl = max_int then lo + (20 * grid_steps) else j.dl - j.steps in
+              let result = ref (neg_infinity, None) in
+              let start = ref lo in
+              while !start <= hi do
+                let b_at = Dkibam.Battery.tick_many disc (!start - s) b in
+                (match serve disc j b_at with
+                | Some b' -> (
+                    let v, rest = best (k + 1) (!start + j.steps) b' in
+                    match rest with
+                    | Some (starts, final, completion) when v > fst !result ->
+                        result := (v, Some (!start :: starts, final, completion))
+                    | _ -> ())
+                | None -> ());
+                start := !start + grid_steps
+              done;
+              Tbl.replace memo key !result;
+              !result
+        end
+      in
+      let v, r = best 0 0 (Dkibam.Battery.full disc) in
+      (match r with
+      | None -> Battery_dies
+      | Some (starts, final, completion) ->
+          Feasible
+            {
+              starts = List.map (Dkibam.Discretization.minutes_of_steps disc) starts;
+              completion = Dkibam.Discretization.minutes_of_steps disc completion;
+              final;
+              headroom = v;
+            })
+
+let asap (disc : Dkibam.Discretization.t) jobs =
+  if jobs = [] then invalid_arg "Job_placement.asap: no jobs";
+  let djobs = discretize disc jobs in
+  let rec go k s b starts = function
+    | [] ->
+        Feasible
+          {
+            starts = List.rev_map (Dkibam.Discretization.minutes_of_steps disc) starts;
+            completion = Dkibam.Discretization.minutes_of_steps disc s;
+            final = b;
+            headroom = Dkibam.Battery.available_charge disc b;
+          }
+    | (j : djob) :: rest ->
+        let start = max s j.rel in
+        if j.dl < max_int && start + j.steps > j.dl then Window_infeasible k
+        else begin
+          let b = Dkibam.Battery.tick_many disc (start - s) b in
+          match serve disc j b with
+          | None -> Battery_dies
+          | Some b' -> go (k + 1) (start + j.steps) b' (start :: starts) rest
+        end
+  in
+  go 0 0 (Dkibam.Battery.full disc) [] djobs

@@ -1,0 +1,58 @@
+(** Job scheduling over time for a single battery (the paper's §7 outlook).
+
+    "For a device with one battery and a given workload, we want to know
+    how to schedule the jobs over time to optimize the battery lifetime.
+    This could, for example, be used in nodes in sensor networks."
+
+    The workload is a sequence of jobs that must run {e in order}, each
+    within a release/deadline window; between jobs the battery idles and
+    recovers.  The optimizer picks start times on a configurable grid to
+    maximize the battery's remaining available charge after the last job
+    — equivalently, to postpone eventual death as far as possible — or
+    reports infeasibility when no placement finishes the workload.
+
+    The search is a memoized DFS over (job index, current step, battery
+    state), exact on the chosen grid. *)
+
+type job = {
+  duration : float;  (** minutes; must be positive *)
+  current : float;  (** amperes; must be positive *)
+  release : float;  (** earliest start, minutes from 0 *)
+  deadline : float;  (** latest completion, minutes *)
+}
+
+val job :
+  ?release:float -> ?deadline:float -> duration:float -> current:float -> unit -> job
+(** [release] defaults to 0, [deadline] to infinity. *)
+
+type placement = {
+  starts : float list;  (** chosen start time of each job, minutes *)
+  completion : float;  (** end of the last job *)
+  final : Dkibam.Battery.t;  (** battery state at completion *)
+  headroom : float;
+      (** available charge (A·min) left after the last job — the
+          quantity maximized *)
+}
+
+type outcome =
+  | Feasible of placement
+  | Battery_dies  (** every grid placement kills the battery mid-job *)
+  | Window_infeasible of int  (** job index whose window cannot be met *)
+
+val optimize :
+  ?grid:float ->
+  Dkibam.Discretization.t ->
+  job list ->
+  outcome
+(** [optimize disc jobs] with start times quantized to [grid] minutes
+    (default 0.5).  Jobs must be given in execution order; windows are
+    validated against it.  A job with an {e unbounded} deadline is still
+    searched over a bounded window of 20 grid points past its earliest
+    start — recovery gains flatten well within that horizon (the
+    recovery time constant is 1/k'); give explicit deadlines to search
+    further.  The greedy as-early-as-possible placement is what a naive
+    node does — compare with {!asap}. *)
+
+val asap : Dkibam.Discretization.t -> job list -> outcome
+(** Every job starts as early as its window (and the previous job)
+    allows — the baseline the optimizer is measured against. *)

@@ -1,0 +1,327 @@
+type objective = Max_lifetime | Min_stranded | Min_lifetime
+
+type result = {
+  lifetime_steps : int;
+  stranded_units : int;
+  schedule : int array;
+  stats : stats;
+}
+
+and stats = { positions_explored : int; segments_run : int; pruned : int }
+
+exception Load_too_short
+
+type pos = {
+  y : int;  (** job epoch index where serving (re)starts *)
+  local : int;  (** offset into epoch [y] *)
+  batteries : Dkibam.Battery.t array;
+  dead : bool array;
+}
+
+type seg_outcome =
+  | Terminal of (int * int)  (* death step, stranded units *)
+  | Next of pos
+  | Exhausted
+
+let stranded batteries =
+  Array.fold_left (fun acc (b : Dkibam.Battery.t) -> acc + b.n_gamma) 0 batteries
+
+(* Absolute step of an epoch's first step. *)
+let epoch_start (load : Loads.Arrays.t) y =
+  if y = 0 then 0 else load.load_time.(y - 1)
+
+(* Advance from the start of epoch [y] through idle epochs to the next job
+   epoch; batteries recover along the way.  Mutates [batteries]. *)
+let rec advance_to_job disc (load : Loads.Arrays.t) y batteries dead =
+  if y >= Loads.Arrays.epoch_count load then Exhausted
+  else if load.cur.(y) > 0 then Next { y; local = 0; batteries; dead }
+  else begin
+    let len = Loads.Arrays.epoch_steps load y in
+    Array.iteri
+      (fun i b -> batteries.(i) <- Dkibam.Battery.tick_many disc len b)
+      batteries;
+    advance_to_job disc load (y + 1) batteries dead
+  end
+
+(* Serve epoch [pos.y] from [pos.local] with battery [b]; deterministic up
+   to the next decision point.  [skip_final] elides the draw that falls
+   exactly on the epoch's last step — the go_off/use_charge race the
+   published TA leaves open (see mli). *)
+let run_segment disc (load : Loads.Arrays.t) ~switch_delay ~skip_final pos b =
+  let y = pos.y in
+  let len = Loads.Arrays.epoch_steps load y in
+  let ct = load.cur_times.(y) and cur = load.cur.(y) in
+  let start = epoch_start load y in
+  let batteries = Array.copy pos.batteries in
+  let dead = Array.copy pos.dead in
+  let tick k =
+    Array.iteri
+      (fun i bat -> batteries.(i) <- Dkibam.Battery.tick_many disc k bat)
+      batteries
+  in
+  let rec draws local =
+    let next = local + ct in
+    if next > len || (skip_final && next = len) then begin
+      tick (len - local);
+      advance_to_job disc load (y + 1) batteries dead
+    end
+    else begin
+      tick ct;
+      let bat = batteries.(b) in
+      let fatal =
+        bat.Dkibam.Battery.n_gamma < cur
+        ||
+        let after = Dkibam.Battery.draw disc ~cur bat in
+        batteries.(b) <- after;
+        Dkibam.Battery.is_empty disc after
+      in
+      if not fatal then draws next
+      else begin
+        let death_step = start + next in
+        dead.(b) <- true;
+        if Array.for_all Fun.id dead then Terminal (death_step, stranded batteries)
+        else begin
+          let resume = next + switch_delay in
+          if resume < len then begin
+            tick switch_delay;
+            Next { y; local = resume; batteries; dead }
+          end
+          else begin
+            tick (len - next);
+            advance_to_job disc load (y + 1) batteries dead
+          end
+        end
+      end
+    end
+  in
+  draws pos.local
+
+(* Canonical memo key: decision point plus the multiset of battery states
+   (identical cells make schedules confluent up to battery renaming). *)
+module Key = struct
+  type t = int array
+
+  let equal = ( = )
+
+  let hash (a : t) =
+    let h = ref 0x3bf29ce484222325 in
+    Array.iter (fun v -> h := (!h lxor v) * 0x100000001b3 land max_int) a;
+    !h
+
+  let of_pos (p : pos) =
+    let n = Array.length p.batteries in
+    let cells =
+      Array.init n (fun i ->
+          let b = p.batteries.(i) in
+          ( b.Dkibam.Battery.n_gamma,
+            b.Dkibam.Battery.m_delta,
+            b.Dkibam.Battery.recov_clock,
+            p.dead.(i) ))
+    in
+    Array.sort compare cells;
+    let key = Array.make (2 + (4 * n)) 0 in
+    key.(0) <- p.y;
+    key.(1) <- p.local;
+    Array.iteri
+      (fun i (n_gamma, m_delta, clock, d) ->
+        key.(2 + (4 * i)) <- n_gamma;
+        key.(3 + (4 * i)) <- m_delta;
+        key.(4 + (4 * i)) <- clock;
+        key.(5 + (4 * i)) <- (if d then 1 else 0))
+      cells;
+    key
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+let search ?(switch_delay = 1) ?(objective = Max_lifetime)
+    ?(allow_final_draw_skip = false) ?initial ~n_batteries
+    (disc : Dkibam.Discretization.t) (load : Loads.Arrays.t) =
+  if n_batteries < 1 then invalid_arg "Sched.Optimal.search: need >= 1 battery";
+  (match initial with
+  | Some a when Array.length a <> n_batteries ->
+      invalid_arg "Sched.Optimal.search: initial length mismatch"
+  | _ -> ());
+  Loads.Arrays.check_compatible load ~time_step:disc.time_step
+    ~charge_unit:disc.charge_unit;
+  let score (step, stranded_units) =
+    match objective with
+    | Max_lifetime -> step
+    | Min_stranded -> -stranded_units
+    | Min_lifetime -> -step
+  in
+  let memo : int Tbl.t = Tbl.create 4096 in
+  let segments = ref 0 and pruned = ref 0 in
+  let alive_choices (p : pos) =
+    List.filter (fun i -> not p.dead.(i)) (List.init n_batteries Fun.id)
+  in
+  let skip_options = if allow_final_draw_skip then [ false; true ] else [ false ] in
+  let choices (p : pos) =
+    List.concat_map
+      (fun b -> List.map (fun sk -> (b, sk)) skip_options)
+      (alive_choices p)
+  in
+  let rec value (p : pos) =
+    let key = Key.of_pos p in
+    match Tbl.find_opt memo key with
+    | Some v -> v
+    | None ->
+        let best = ref min_int in
+        List.iter
+          (fun (b, skip_final) ->
+            incr segments;
+            match run_segment disc load ~switch_delay ~skip_final p b with
+            | Terminal t -> if score t > !best then best := score t
+            | Next p' ->
+                let v = value p' in
+                if v > !best then best := v
+            | Exhausted -> raise Load_too_short)
+          (choices p);
+        (* a decision point always has at least one alive battery *)
+        assert (!best > min_int);
+        Tbl.replace memo key !best;
+        !best
+  in
+  let start_batteries =
+    match initial with
+    | Some a -> Array.copy a
+    | None -> Array.init n_batteries (fun _ -> Dkibam.Battery.full disc)
+  in
+  let initial =
+    { y = 0; local = 0; batteries = start_batteries; dead = Array.make n_batteries false }
+  in
+  let root =
+    match advance_to_job disc load 0 (Array.copy initial.batteries) (Array.copy initial.dead) with
+    | Next p -> p
+    | Exhausted -> raise Load_too_short
+    | Terminal _ -> assert false
+  in
+  ignore (value root);
+  (* Reconstruct one optimal schedule by replaying argmax choices. *)
+  let schedule = ref [] in
+  let final = ref (0, 0) in
+  let rec replay (p : pos) =
+    let scored =
+      List.map
+        (fun (b, skip_final) ->
+          match run_segment disc load ~switch_delay ~skip_final p b with
+          | Terminal t -> (b, score t, None, Some t)
+          | Next p' -> (b, value p', Some p', None)
+          | Exhausted -> raise Load_too_short)
+        (choices p)
+    in
+    let b, _, next, terminal =
+      List.fold_left
+        (fun (bb, bv, bn, bt) (b, v, n, t) ->
+          if v > bv then (b, v, n, t) else (bb, bv, bn, bt))
+        (-1, min_int, None, None)
+        scored
+    in
+    schedule := b :: !schedule;
+    match next with
+    | Some p' -> replay p'
+    | None -> ( match terminal with Some t -> final := t | None -> assert false)
+  in
+  replay root;
+  let lifetime_steps, stranded_units = !final in
+  {
+    lifetime_steps;
+    stranded_units;
+    schedule = Array.of_list (List.rev !schedule);
+    stats =
+      {
+        positions_explored = Tbl.length memo;
+        segments_run = !segments;
+        pruned = !pruned;
+      };
+  }
+
+let lifetime ?switch_delay ?objective ?allow_final_draw_skip ?initial
+    ~n_batteries disc load =
+  Dkibam.Discretization.minutes_of_steps disc
+    (search ?switch_delay ?objective ?allow_final_draw_skip ?initial
+       ~n_batteries disc load)
+      .lifetime_steps
+
+(* Frontier score for bounded lookahead: death steps in [0, horizon) sort
+   below every survivor; survivors compare by remaining available charge. *)
+let frontier_score disc batteries dead =
+  let avail = ref 0 in
+  Array.iteri
+    (fun i b -> if not dead.(i) then avail := !avail + Dkibam.Battery.available_milli_units disc b)
+    batteries;
+  !avail
+
+let lookahead_policy ?(switch_delay = 1) ?(allow_final_draw_skip = false)
+    ~depth (disc : Dkibam.Discretization.t) (load : Loads.Arrays.t) =
+  if depth < 1 then invalid_arg "Sched.Optimal.lookahead_policy: depth >= 1";
+  Loads.Arrays.check_compatible load ~time_step:disc.time_step
+    ~charge_unit:disc.charge_unit;
+  let skip_options = if allow_final_draw_skip then [ false; true ] else [ false ] in
+  (* score of continuing from [p] with [d] decisions of lookahead left:
+     (died?, death step or frontier charge) encoded so that later deaths
+     beat earlier ones and any survivor beats every death *)
+  let survivor_bonus = 1 lsl 40 in
+  let rec value d (p : pos) =
+    if d = 0 then survivor_bonus + frontier_score disc p.batteries p.dead
+    else begin
+      let best = ref min_int in
+      List.iter
+        (fun b ->
+          List.iter
+            (fun skip_final ->
+              let v =
+                match run_segment disc load ~switch_delay ~skip_final p b with
+                | Terminal (step, _) -> step
+                | Next p' -> value (d - 1) p'
+                | Exhausted ->
+                    (* outliving the load is the best possible outcome *)
+                    survivor_bonus * 2
+              in
+              if v > !best then best := v)
+            skip_options)
+        (List.filter (fun i -> not p.dead.(i)) (List.init (Array.length p.batteries) Fun.id));
+      !best
+    end
+  in
+  let decide (ctx : Policy.decision_context) =
+    let epoch_start_step = epoch_start load ctx.epoch_index in
+    (* at a mid-job hand-over the simulator applies the switch delay
+       after consulting the policy: model the continuation from the
+       post-delay state *)
+    let delay = if ctx.mid_job then switch_delay else 0 in
+    let p =
+      {
+        y = ctx.epoch_index;
+        local = ctx.step - epoch_start_step + delay;
+        batteries =
+          Array.map (fun b -> Dkibam.Battery.tick_many disc delay b) ctx.batteries;
+        dead =
+          Array.init (Array.length ctx.batteries) (fun i ->
+              not (List.mem i ctx.alive));
+      }
+    in
+    let scored =
+      List.map
+        (fun b ->
+          let v =
+            List.fold_left
+              (fun acc skip_final ->
+                let v =
+                  match run_segment disc load ~switch_delay ~skip_final p b with
+                  | Terminal (step, _) -> step
+                  | Next p' -> value (depth - 1) p'
+                  | Exhausted -> survivor_bonus * 2
+                in
+                max acc v)
+              min_int skip_options
+          in
+          (b, v))
+        ctx.alive
+    in
+    fst
+      (List.fold_left
+         (fun (bb, bv) (b, v) -> if v > bv then (b, v) else (bb, bv))
+         (-1, min_int) scored)
+  in
+  Policy.Custom decide

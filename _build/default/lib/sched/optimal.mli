@@ -1,0 +1,114 @@
+(** Optimal battery scheduling by exhaustive search (the Cora role).
+
+    Computes the schedule that maximizes system lifetime for a given load
+    — the "optimal" column of the paper's Table 5.  The search exploits
+    the paper's own observation (§4.4) that the TA-KiBaM is fully
+    deterministic between scheduling points: from each decision point
+    (job start, or mid-job hand-over after a battery death) and battery
+    choice, the system evolves deterministically to the next decision
+    point, so the search tree branches only over the
+    [B^(number of decisions)] battery choices.  Memoization over
+    (position, canonical battery multiset) collapses the tree — identical
+    batteries make many choice orders confluent — and an admissible
+    total-charge bound prunes hopeless branches.
+
+    The hand-over semantics (including the one-step switch delay) are
+    exactly those of {!Simulator}, so an optimal schedule replayed through
+    {!Simulator.simulate} with [Policy.Fixed] reproduces the same
+    lifetime — asserted in the test suite. *)
+
+type objective =
+  | Max_lifetime  (** maximize the last battery's death time (default) *)
+  | Min_stranded
+      (** minimize the charge left at death — the paper's actual Cora
+          objective (§4.3); the two coincide on the test loads but can
+          diverge when hand-over cadence resets waste draws *)
+  | Min_lifetime
+      (** the {e pessimal} schedule — used to check the paper's §6 claim
+          that sequential scheduling "is actually the worst possible way
+          to schedule the batteries" *)
+
+type result = {
+  lifetime_steps : int;  (** step of the last battery's fatal draw *)
+  stranded_units : int;  (** charge units left when the last battery died *)
+  schedule : int array;
+      (** battery chosen at each scheduling point, in order — replayable
+          with [Policy.Fixed] *)
+  stats : stats;
+}
+
+and stats = {
+  positions_explored : int;  (** memo table size *)
+  segments_run : int;  (** deterministic segment simulations *)
+  pruned : int;
+      (** reserved; 0 — the memoized search needs no pruning on the
+          paper's instances *)
+}
+
+(** [initial] admits heterogeneous packs — e.g. a main cell plus a
+    partially-sized backup: batteries of the same chemistry and charge
+    unit but different remaining charge (build states with
+    {!Dkibam.Battery.make}).  Defaults to [n_batteries] full batteries. *)
+
+exception Load_too_short
+(** The batteries outlived the load under some schedule; extend the
+    load's horizon and retry. *)
+
+(** [allow_final_draw_skip]: the published TA leaves a race open between
+    a job's final draw (due exactly when the epoch ends) and the [go_off]
+    synchronization; taking [go_off] first elides that draw, which an
+    optimizer can exploit to keep a battery alive at the cost of not
+    serving the job's last charge quantum.  {!Takibam.Optimal} inherits
+    the race from the model; pass [true] here to mirror it (the
+    cross-validation tests do), leave the default [false] for physically
+    meaningful schedules that serve the whole load. *)
+
+val search :
+  ?switch_delay:int ->
+  ?objective:objective ->
+  ?allow_final_draw_skip:bool ->
+  ?initial:Dkibam.Battery.t array ->
+  n_batteries:int ->
+  Dkibam.Discretization.t ->
+  Loads.Arrays.t ->
+  result
+(** Exhaustive optimal search.  Exponential in the number of scheduling
+    decisions in the worst case (cf. paper §4.4) but heavily memoized
+    over (decision point, battery multiset) — identical batteries make
+    choice orders confluent; the paper's ten two-battery test loads each
+    complete in well under a second. *)
+
+val lifetime :
+  ?switch_delay:int ->
+  ?objective:objective ->
+  ?allow_final_draw_skip:bool ->
+  ?initial:Dkibam.Battery.t array ->
+  n_batteries:int ->
+  Dkibam.Discretization.t ->
+  Loads.Arrays.t ->
+  float
+(** Optimal system lifetime in minutes. *)
+
+(** {2 Bounded lookahead}
+
+    Between best-of (depth 0 heuristics) and the exhaustive search lies a
+    spectrum: evaluate each candidate battery by searching only [depth]
+    scheduling decisions ahead and scoring the frontier heuristically
+    (died: by death time; alive: by remaining available charge).  Such a
+    policy is implementable on a real device — it needs only bounded
+    knowledge of the upcoming load — which is exactly the gap the paper's
+    conclusion points at ("the optimal scheduler can only be used when
+    the load is known in advance").  The ablation bench sweeps [depth]
+    from 1 upward and watches the lifetimes climb toward the optimum. *)
+
+val lookahead_policy :
+  ?switch_delay:int ->
+  ?allow_final_draw_skip:bool ->
+  depth:int ->
+  Dkibam.Discretization.t ->
+  Loads.Arrays.t ->
+  Policy.t
+(** [lookahead_policy ~depth disc load]: a {!Policy.Custom} that searches
+    [depth >= 1] decisions ahead at every scheduling point.  The policy
+    closes over [load]; feeding it to a simulation of a different load
+    raises [Invalid_argument]. *)

@@ -1,0 +1,73 @@
+type decision_context = {
+  disc : Dkibam.Discretization.t;
+  job_index : int;
+  epoch_index : int;
+  step : int;
+  mid_job : bool;
+  batteries : Dkibam.Battery.t array;
+  alive : int list;
+}
+
+type t =
+  | Sequential
+  | Round_robin
+  | Best_of
+  | Fixed of int array
+  | Custom of (decision_context -> int)
+
+let name = function
+  | Sequential -> "sequential"
+  | Round_robin -> "round robin"
+  | Best_of -> "best-of"
+  | Fixed _ -> "fixed schedule"
+  | Custom _ -> "custom"
+
+let available_milli d b = Dkibam.Battery.available_milli_units d b
+
+let best_of ctx =
+  match ctx.alive with
+  | [] -> invalid_arg "Sched.Policy: no battery alive"
+  | first :: rest ->
+      List.fold_left
+        (fun best id ->
+          if
+            available_milli ctx.disc ctx.batteries.(id)
+            > available_milli ctx.disc ctx.batteries.(best)
+          then id
+          else best)
+        first rest
+
+let decide policy ~state ctx =
+  match ctx.alive with
+  | [] -> invalid_arg "Sched.Policy.decide: no battery alive"
+  | alive -> (
+      match policy with
+      | Sequential -> List.hd alive
+      | Round_robin ->
+          (* [state] is the cyclic cursor: the id after the previously
+             chosen one; skip dead batteries. *)
+          let n = Array.length ctx.batteries in
+          let rec find k count =
+            if count > n then List.hd alive
+            else if List.mem (k mod n) alive then k mod n
+            else find (k + 1) (count + 1)
+          in
+          let chosen = find !state 0 in
+          state := chosen + 1;
+          chosen
+      | Best_of -> best_of ctx
+      | Fixed schedule ->
+          let k = !state in
+          incr state;
+          if k < Array.length schedule && List.mem schedule.(k) alive then
+            schedule.(k)
+          else best_of ctx
+      | Custom f ->
+          let id = f ctx in
+          if not (List.mem id alive) then
+            invalid_arg
+              (Printf.sprintf
+                 "Sched.Policy.decide: custom policy chose dead/invalid \
+                  battery %d"
+                 id);
+          id)

@@ -1,0 +1,47 @@
+(** Battery scheduling policies (paper §6).
+
+    A policy decides, at every scheduling point, which battery serves the
+    upcoming work.  Scheduling points are (a) the start of each job epoch
+    and (b) the instant a serving battery is observed empty mid-job
+    (paper §4.3).  Only non-empty batteries may be chosen; the simulator
+    guarantees [alive] is non-empty when it consults a policy. *)
+
+type decision_context = {
+  disc : Dkibam.Discretization.t;
+  job_index : int;  (** 0-based index among job epochs *)
+  epoch_index : int;  (** index into the full epoch list *)
+  step : int;  (** absolute time step of the decision *)
+  mid_job : bool;  (** true when replacing a battery that just died *)
+  batteries : Dkibam.Battery.t array;  (** all batteries, by id *)
+  alive : int list;  (** ids still usable, ascending *)
+}
+
+type t =
+  | Sequential
+      (** use the lowest-numbered alive battery until it dies (paper:
+          "only when one battery is empty the other is used") *)
+  | Round_robin
+      (** a new battery for every new job, in fixed cyclic order,
+          skipping dead batteries; a mid-job replacement continues the
+          cycle *)
+  | Best_of
+      (** the alive battery with the most charge in the available-charge
+          well (paper's best-of-two, for any number of batteries);
+          lowest id wins ties *)
+  | Fixed of int array
+      (** an explicit battery per scheduling point — how optimal
+          schedules found by search are replayed; falls back to
+          best-of when the array is exhausted or names a dead battery *)
+  | Custom of (decision_context -> int)
+      (** user-supplied; must return a member of [alive] *)
+
+val name : t -> string
+
+val decide : t -> state:int ref -> decision_context -> int
+(** Apply the policy.  [state] is the policy's private counter across one
+    simulation run (round-robin's cursor / the fixed schedule's position);
+    initialize it to [ref 0] per run.  Raises [Invalid_argument] if a
+    [Custom] policy returns a dead or out-of-range battery. *)
+
+val available_milli : Dkibam.Discretization.t -> Dkibam.Battery.t -> int
+(** The best-of comparison key, re-exported for tests. *)

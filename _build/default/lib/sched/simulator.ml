@@ -1,0 +1,187 @@
+type sample = {
+  s_step : int;
+  s_batteries : Dkibam.Battery.t array;
+  s_serving : int option;
+}
+
+type outcome = {
+  lifetime_steps : int option;
+  deaths : (int * int) list;
+  decisions : (int * int) list;
+  serving_intervals : (int * int * int) list;
+  final : Dkibam.Battery.t array;
+  samples : sample list;
+}
+
+exception System_dead of int
+
+let simulate ?initial ?trace_every ?(switch_delay = 1) ~n_batteries ~policy
+    (disc : Dkibam.Discretization.t) (load : Loads.Arrays.t) =
+  if n_batteries < 1 then invalid_arg "Sched.Simulator: need >= 1 battery";
+  Loads.Arrays.check_compatible load ~time_step:disc.time_step
+    ~charge_unit:disc.charge_unit;
+  let batteries =
+    match initial with
+    | Some a ->
+        if Array.length a <> n_batteries then
+          invalid_arg "Sched.Simulator: initial length mismatch";
+        Array.copy a
+    | None -> Array.init n_batteries (fun _ -> Dkibam.Battery.full disc)
+  in
+  let dead = Array.make n_batteries false in
+  let deaths = ref [] and decisions = ref [] and intervals = ref [] in
+  let samples = ref [] in
+  let policy_state = ref 0 in
+  let decision_no = ref 0 in
+  let alive () =
+    List.filter (fun i -> not dead.(i)) (List.init n_batteries Fun.id)
+  in
+  let record_sample step serving =
+    match trace_every with
+    | None -> ()
+    | Some _ ->
+        samples :=
+          { s_step = step; s_batteries = Array.copy batteries; s_serving = serving }
+          :: !samples
+  in
+  (* Advance all batteries by [k] steps of pure recovery, emitting trace
+     samples on the configured grid. *)
+  let tick_all from_step k serving =
+    (match trace_every with
+    | None ->
+        Array.iteri
+          (fun i b -> batteries.(i) <- Dkibam.Battery.tick_many disc k b)
+          batteries
+    | Some every ->
+        (* step in chunks so samples land on the grid *)
+        let rec go step remaining =
+          if remaining > 0 then begin
+            let next_grid = ((step / every) + 1) * every in
+            let chunk = min remaining (next_grid - step) in
+            Array.iteri
+              (fun i b -> batteries.(i) <- Dkibam.Battery.tick_many disc chunk b)
+              batteries;
+            if step + chunk = next_grid then record_sample (step + chunk) serving;
+            go (step + chunk) (remaining - chunk)
+          end
+        in
+        go from_step k);
+    from_step + k
+  in
+  let choose ~job_index ~epoch_index ~step ~mid_job =
+    let ctx =
+      {
+        Policy.disc;
+        job_index;
+        epoch_index;
+        step;
+        mid_job;
+        batteries = Array.copy batteries;
+        alive = alive ();
+      }
+    in
+    let chosen = Policy.decide policy ~state:policy_state ctx in
+    decisions := (!decision_no, chosen) :: !decisions;
+    incr decision_no;
+    chosen
+  in
+  let epochs = Loads.Arrays.epoch_count load in
+  let job_index = ref 0 in
+  (* Serve one job epoch starting at absolute [start]; raises System_dead
+     when the last battery dies. *)
+  let serve_job y start len =
+    let ct = (load : Loads.Arrays.t).cur_times.(y) in
+    let cur = (load : Loads.Arrays.t).cur.(y) in
+    (* [serve b local]: battery [b] serving from local offset [local]. *)
+    let rec serve b local =
+      let span_start = start + local in
+      let draws = (len - local) / ct in
+      let rec do_draws i local =
+        if i > draws then begin
+          (* job tail without a draw *)
+          let local' = len in
+          ignore (tick_all (start + local) (local' - local) (Some b));
+          intervals := (span_start, start + len, b) :: !intervals
+        end
+        else begin
+          let local' = local + ct in
+          ignore (tick_all (start + local) ct (Some b));
+          let battery = batteries.(b) in
+          let fatal =
+            battery.Dkibam.Battery.n_gamma < cur
+            ||
+            let after = Dkibam.Battery.draw disc ~cur battery in
+            batteries.(b) <- after;
+            Dkibam.Battery.is_empty disc after
+          in
+          if not fatal then do_draws (i + 1) local'
+          else begin
+            let death_step = start + local' in
+            dead.(b) <- true;
+            deaths := (b, death_step) :: !deaths;
+            intervals := (span_start, death_step, b) :: !intervals;
+            record_sample death_step None;
+            if alive () = [] then raise (System_dead death_step)
+            else begin
+              (* The emptied -> new_job -> go_on hand-over chain consumes
+                 [switch_delay] time steps before the replacement starts
+                 serving. *)
+              let resume = local' + switch_delay in
+              if resume < len then begin
+                let b' =
+                  choose ~job_index:!job_index ~epoch_index:y ~step:death_step
+                    ~mid_job:true
+                in
+                ignore (tick_all death_step switch_delay None);
+                serve b' resume
+              end
+              else if len > local' then
+                (* hand-over outlives the job: burn the tail idle *)
+                ignore (tick_all death_step (len - local') None)
+            end
+          end
+        end
+      in
+      do_draws 1 local
+    in
+    let b = choose ~job_index:!job_index ~epoch_index:y ~step:start ~mid_job:false in
+    serve b 0;
+    incr job_index
+  in
+  record_sample 0 None;
+  let lifetime_steps =
+    try
+      let step = ref 0 in
+      for y = 0 to epochs - 1 do
+        let len = Loads.Arrays.epoch_steps load y in
+        if (load : Loads.Arrays.t).cur.(y) = 0 then
+          step := tick_all !step len None
+        else begin
+          serve_job y !step len;
+          step := !step + len
+        end
+      done;
+      None
+    with System_dead s -> Some s
+  in
+  {
+    lifetime_steps;
+    deaths = List.rev !deaths;
+    decisions = List.rev !decisions;
+    serving_intervals = List.rev !intervals;
+    final = batteries;
+    samples = List.rev !samples;
+  }
+
+let lifetime ?switch_delay ~n_batteries ~policy disc load =
+  match (simulate ?switch_delay ~n_batteries ~policy disc load).lifetime_steps with
+  | Some s -> Some (Dkibam.Discretization.minutes_of_steps disc s)
+  | None -> None
+
+let lifetime_exn ?switch_delay ~n_batteries ~policy disc load =
+  match lifetime ?switch_delay ~n_batteries ~policy disc load with
+  | Some t -> t
+  | None ->
+      failwith
+        "Sched.Simulator.lifetime_exn: batteries outlived the load; extend \
+         the horizon"

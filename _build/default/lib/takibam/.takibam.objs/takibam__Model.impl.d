@@ -1,0 +1,1 @@
+lib/takibam/model.ml: Array Automaton Compiled Discrete Dkibam Dot Env Expr List Loads Network Priced Printf Pta Stdlib String

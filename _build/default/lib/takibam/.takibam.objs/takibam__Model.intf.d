@@ -1,0 +1,1 @@
+lib/takibam/model.mli: Dkibam Loads Pta

@@ -1,0 +1,1 @@
+lib/takibam/optimal.ml: Array Dkibam List Loads Model Pta

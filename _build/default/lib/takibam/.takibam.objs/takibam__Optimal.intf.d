@@ -1,0 +1,1 @@
+lib/takibam/optimal.mli: Model Pta

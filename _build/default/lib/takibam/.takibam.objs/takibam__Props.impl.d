@@ -1,0 +1,1 @@
+lib/takibam/props.ml: Ctl Dkibam Expr List Model Printf Pta

@@ -1,0 +1,1 @@
+lib/takibam/props.mli: Model Pta

@@ -1,0 +1,1 @@
+lib/takibam/run.ml: Array Compiled Discrete Dkibam Env Fun List Model Pta Sched

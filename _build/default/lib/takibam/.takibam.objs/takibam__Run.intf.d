@@ -1,0 +1,1 @@
+lib/takibam/run.mli: Model Sched

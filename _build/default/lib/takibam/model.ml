@@ -1,0 +1,316 @@
+open Pta
+
+type t = {
+  network : Network.t;
+  compiled : Compiled.t;
+  n_batteries : int;
+  disc : Dkibam.Discretization.t;
+  arrays : Loads.Arrays.t;
+}
+
+(* Shorthands for building Uppaal-style expressions. *)
+let i = Expr.i
+let v = Expr.v
+let a = Expr.a
+let cur_j = a "cur" (v "j")
+let cur_times_j = a "cur_times" (v "j")
+let load_time_j = a "load_time" (v "j")
+
+(* Paper eq. (8) with c scaled by 1000:  (1000 - c)*m >= c*n  is "empty". *)
+let empty_test ~c_milli id =
+  let inv_c = Stdlib.( - ) 1000 c_milli in
+  Expr.(Mul (i inv_c, a "m_delta" (i id)) >= Mul (i c_milli, a "n_gamma" (i id)))
+
+let non_empty_test ~c_milli id =
+  let inv_c = Stdlib.( - ) 1000 c_milli in
+  Expr.(Mul (i inv_c, a "m_delta" (i id)) < Mul (i c_milli, a "n_gamma" (i id)))
+
+let total_charge ~c_milli ~n_batteries id =
+  let open Automaton in
+  let name = Printf.sprintf "total_charge_%d" id in
+  make ~name ~clocks:[ "c_disch" ]
+    ~locations:
+      [
+        location "idle";
+        location
+          ~invariant:(guard_clock "c_disch" Expr.Le cur_times_j)
+          "on";
+        location ~committed:true "check";
+        location ~committed:true "notify";
+        location "empty";
+      ]
+    ~initial:"idle"
+    ~edges:
+      [
+        edge ~src:"idle" ~dst:"on"
+          ~sync:(Recv ("go_on", Some (i id)))
+          ~resets:[ "c_disch" ] ~label:"switch on" ();
+        edge ~src:"on" ~dst:"idle" ~sync:(Recv ("go_off", None)) ~label:"switch off" ();
+        (* the discharge step: guarded exactly as in Fig. 5(a) *)
+        edge ~src:"on" ~dst:"check"
+          ~guard:
+            (guard_and
+               (guard_clock "c_disch" Expr.Ge cur_times_j)
+               (guard_data (non_empty_test ~c_milli id)))
+          ~sync:(Send ("use_charge", Some (i id)))
+          ~updates:
+            [ Expr.set_arr "n_gamma" (i id) Expr.(a "n_gamma" (i id) - cur_j) ]
+          ~resets:[ "c_disch" ] ~label:"draw" ();
+        edge ~src:"check" ~dst:"on"
+          ~guard:(guard_data (non_empty_test ~c_milli id))
+          ();
+        edge ~src:"check" ~dst:"notify"
+          ~guard:(guard_data (empty_test ~c_milli id))
+          ~sync:(Send ("emptied", None))
+          ~updates:[ Expr.set_arr "bat_empty" (i id) (i 1) ]
+          ~label:"emptied" ();
+        edge ~src:"notify" ~dst:"empty"
+          ~guard:(guard_data Expr.(v "empty_count" < i n_batteries))
+          ~sync:(Send ("new_job", None))
+          ~label:"hand over" ();
+        edge ~src:"notify" ~dst:"empty"
+          ~guard:(guard_data Expr.(v "empty_count" >= i n_batteries))
+          ~label:"last battery" ();
+      ]
+    ()
+
+let height_difference id =
+  let open Automaton in
+  let name = Printf.sprintf "height_diff_%d" id in
+  let m = a "m_delta" (i id) in
+  let recov_m = a "recov_time" m in
+  let bump_m = Expr.set_arr "m_delta" (i id) Expr.(m + cur_j) in
+  let drop_m = Expr.set_arr "m_delta" (i id) Expr.(m - i 1) in
+  make ~name ~clocks:[ "c_recov" ]
+    ~locations:
+      [
+        location "m0";
+        location "m1";
+        location ~invariant:(guard_clock "c_recov" Expr.Le recov_m) "gt1";
+        location ~committed:true "bump";
+        location ~committed:true "bumpG";
+        location "off";
+      ]
+    ~initial:"m0"
+    ~edges:
+      [
+        edge ~src:"m0" ~dst:"bump"
+          ~sync:(Recv ("use_charge", Some (i id)))
+          ~updates:[ bump_m ] ();
+        edge ~src:"bump" ~dst:"m1" ~guard:(guard_data Expr.(m == i 1)) ();
+        edge ~src:"bump" ~dst:"gt1"
+          ~guard:(guard_data Expr.(m > i 1))
+          ~resets:[ "c_recov" ] ();
+        edge ~src:"m1" ~dst:"gt1"
+          ~sync:(Recv ("use_charge", Some (i id)))
+          ~updates:[ bump_m ] ~resets:[ "c_recov" ] ();
+        (* in gt1 the recovery clock carries over a draw; an overdue
+           recovery fires immediately afterwards (committed bumpG) *)
+        edge ~src:"gt1" ~dst:"bumpG"
+          ~sync:(Recv ("use_charge", Some (i id)))
+          ~updates:[ bump_m ] ();
+        edge ~src:"bumpG" ~dst:"gt1"
+          ~guard:(guard_clock "c_recov" Expr.Lt recov_m)
+          ();
+        edge ~src:"bumpG" ~dst:"gt1"
+          ~guard:
+            (guard_and
+               (guard_clock "c_recov" Expr.Ge recov_m)
+               (guard_data Expr.(m > i 2)))
+          ~updates:[ drop_m ] ~resets:[ "c_recov" ] ~label:"recover" ();
+        edge ~src:"bumpG" ~dst:"m1"
+          ~guard:
+            (guard_and
+               (guard_clock "c_recov" Expr.Ge recov_m)
+               (guard_data Expr.(m == i 2)))
+          ~updates:[ drop_m ] ~label:"recover" ();
+        edge ~src:"gt1" ~dst:"gt1"
+          ~guard:
+            (guard_and
+               (guard_clock "c_recov" Expr.Ge recov_m)
+               (guard_data Expr.(m > i 2)))
+          ~updates:[ drop_m ] ~resets:[ "c_recov" ] ~label:"recover" ();
+        edge ~src:"gt1" ~dst:"m1"
+          ~guard:
+            (guard_and
+               (guard_clock "c_recov" Expr.Ge recov_m)
+               (guard_data Expr.(m == i 2)))
+          ~updates:[ drop_m ] ~label:"recover" ();
+        edge ~src:"m0" ~dst:"off" ~sync:(Recv ("all_empty", None)) ();
+        edge ~src:"m1" ~dst:"off" ~sync:(Recv ("all_empty", None)) ();
+        edge ~src:"gt1" ~dst:"off" ~sync:(Recv ("all_empty", None)) ();
+      ]
+    ()
+
+let load_automaton ~n_epochs =
+  let open Automaton in
+  make ~name:"load" ~clocks:[ "t" ]
+    ~locations:
+      [
+        location ~committed:true "dispatch";
+        location ~invariant:(guard_clock "t" Expr.Le load_time_j) "idle_ep";
+        location ~invariant:(guard_clock "t" Expr.Le load_time_j) "job_ep";
+        location "done_load";
+        location "off";
+      ]
+    ~initial:"dispatch"
+    ~edges:
+      [
+        edge ~src:"dispatch" ~dst:"done_load"
+          ~guard:(guard_data Expr.(v "j" >= i n_epochs))
+          ();
+        edge ~src:"dispatch" ~dst:"idle_ep"
+          ~guard:(guard_data Expr.(v "j" < i n_epochs && cur_j == i 0))
+          ();
+        edge ~src:"dispatch" ~dst:"job_ep"
+          ~guard:(guard_data Expr.(v "j" < i n_epochs && cur_j > i 0))
+          ~sync:(Send ("new_job", None))
+          ~label:"job starts" ();
+        edge ~src:"idle_ep" ~dst:"dispatch"
+          ~guard:(guard_clock "t" Expr.Ge load_time_j)
+          ~updates:[ Expr.set "j" Expr.(v "j" + i 1) ]
+          ();
+        edge ~src:"job_ep" ~dst:"dispatch"
+          ~guard:(guard_clock "t" Expr.Ge load_time_j)
+          ~sync:(Send ("go_off", None))
+          ~updates:[ Expr.set "j" Expr.(v "j" + i 1) ]
+          ~label:"job ends" ();
+        edge ~src:"idle_ep" ~dst:"off" ~sync:(Recv ("all_empty", None)) ();
+        edge ~src:"job_ep" ~dst:"off" ~sync:(Recv ("all_empty", None)) ();
+      ]
+    ()
+
+let scheduler ~n_batteries =
+  let open Automaton in
+  let choice b =
+    edge ~src:"choose" ~dst:"wait"
+      ~guard:(guard_data Expr.(a "bat_empty" (i b) == i 0))
+      ~sync:(Send ("go_on", Some (i b)))
+      ~label:(Printf.sprintf "battery %d" b)
+      ()
+  in
+  make ~name:"scheduler"
+    ~locations:[ location "wait"; location ~committed:true "choose"; location "off" ]
+    ~initial:"wait"
+    ~edges:
+      ([
+         edge ~src:"wait" ~dst:"choose" ~sync:(Recv ("new_job", None)) ();
+         edge ~src:"wait" ~dst:"off" ~sync:(Recv ("all_empty", None)) ();
+       ]
+      @ List.init n_batteries choice)
+    ()
+
+let max_finder ~n_batteries =
+  let open Automaton in
+  let b_minus_1 = Stdlib.( - ) n_batteries 1 in
+  make ~name:"max_finder"
+    ~locations:
+      [ location "off"; location ~committed:true "pre"; location "done_" ]
+    ~initial:"off"
+    ~edges:
+      [
+        edge ~src:"off" ~dst:"off"
+          ~sync:(Recv ("emptied", None))
+          ~guard:(guard_data Expr.(v "empty_count" < i b_minus_1))
+          ~updates:[ Expr.set "empty_count" Expr.(v "empty_count" + i 1) ]
+          ();
+        edge ~src:"off" ~dst:"pre"
+          ~sync:(Recv ("emptied", None))
+          ~guard:(guard_data Expr.(v "empty_count" == i b_minus_1))
+          ~updates:[ Expr.set "empty_count" Expr.(v "empty_count" + i 1) ]
+          ~cost:(Expr.Sum "n_gamma") ~label:"stranded-charge cost" ();
+        edge ~src:"pre" ~dst:"done_"
+          ~sync:(Send ("all_empty", None))
+          ~label:"all empty" ();
+      ]
+    ()
+
+let build ~n_batteries (disc : Dkibam.Discretization.t) (arrays : Loads.Arrays.t) =
+  if n_batteries < 1 then invalid_arg "Takibam.Model.build: need >= 1 battery";
+  Loads.Arrays.check_compatible arrays ~time_step:disc.time_step
+    ~charge_unit:disc.charge_unit;
+  let n_epochs = Loads.Arrays.epoch_count arrays in
+  let n_units = disc.n_units in
+  let c_milli = disc.c_milli in
+  let recov_table =
+    Array.init (n_units + 1) (fun m ->
+        if m <= 1 then Dkibam.Discretization.infinite_time
+        else Dkibam.Discretization.recov_time disc m)
+  in
+  let decls =
+    [
+      Env.Array ("n_gamma", Array.make n_batteries n_units);
+      Env.Array ("m_delta", Array.make n_batteries 0);
+      Env.Array ("bat_empty", Array.make n_batteries 0);
+      Env.Scalar ("j", 0);
+      Env.Scalar ("empty_count", 0);
+      Env.Array ("cur", Array.copy arrays.cur);
+      Env.Array ("cur_times", Array.copy arrays.cur_times);
+      Env.Array ("load_time", Array.copy arrays.load_time);
+      Env.Array ("recov_time", recov_table);
+    ]
+  in
+  let channels =
+    [
+      Network.chan "new_job";
+      Network.chan ~arity:n_batteries "go_on";
+      Network.chan "go_off";
+      Network.chan ~arity:n_batteries "use_charge";
+      Network.chan "emptied";
+      Network.chan ~kind:Network.Broadcast "all_empty";
+    ]
+  in
+  let automata =
+    List.concat
+      [
+        List.init n_batteries (fun id -> total_charge ~c_milli ~n_batteries id);
+        List.init n_batteries height_difference;
+        [ load_automaton ~n_epochs; scheduler ~n_batteries; max_finder ~n_batteries ];
+      ]
+  in
+  let network = Network.make ~decls ~channels ~automata () in
+  let compiled = Compiled.compile network in
+  (* Saturate the clocks the invariants do not bound. *)
+  let max_cur_times = Array.fold_left max 1 arrays.cur_times in
+  let max_load_time = arrays.load_time.(n_epochs - 1) in
+  let recov_cap = (if n_units >= 2 then recov_table.(2) else 1) + 1 in
+  for id = 0 to n_batteries - 1 do
+    Compiled.set_clock_cap compiled
+      ~clock:
+        (Compiled.clock_index compiled
+           ~auto:(Printf.sprintf "total_charge_%d" id)
+           ~clock:"c_disch")
+      ~cap:(max_cur_times + 1);
+    Compiled.set_clock_cap compiled
+      ~clock:
+        (Compiled.clock_index compiled
+           ~auto:(Printf.sprintf "height_diff_%d" id)
+           ~clock:"c_recov")
+      ~cap:recov_cap
+  done;
+  Compiled.set_clock_cap compiled
+    ~clock:(Compiled.clock_index compiled ~auto:"load" ~clock:"t")
+    ~cap:(max_load_time + 1);
+  { network; compiled; n_batteries; disc; arrays }
+
+let goal t = Priced.loc_goal t.compiled ~auto:"max_finder" ~loc:"done_"
+
+let stranded_units t (s : Discrete.state) =
+  Env.eval t.compiled.symtab s.vars (Expr.Sum "n_gamma")
+
+let battery_of_go_on t (action : Compiled.action) =
+  match action.act_chan with
+  | Some label ->
+      let prefix = "go_on[" in
+      if String.length label > String.length prefix + 1
+         && String.sub label 0 (String.length prefix) = prefix
+      then
+        let inner =
+          String.sub label (String.length prefix)
+            (String.length label - String.length prefix - 1)
+        in
+        int_of_string_opt inner
+      else None
+  | None -> ignore t; None
+
+let dot t = Dot.network_to_string t.network

@@ -1,0 +1,62 @@
+(** The TA-KiBaM: the paper's Figure-5 network of priced timed automata.
+
+    For [n] batteries the network instantiates, exactly as §4.2–4.3:
+
+    - one {e total charge} automaton per battery (Fig. 5(a)) tracking
+      [n_gamma\[id\]] with clock [c_disch];
+    - one {e height difference} automaton per battery (Fig. 5(b))
+      tracking [m_delta\[id\]] with clock [c_recov] against the
+      precomputed [recov_time] table;
+    - the {e load} automaton (Fig. 5(c)) walking the [load_time] /
+      [cur_times] / [cur] arrays with clock [t];
+    - the {e scheduler} (Fig. 5(d)) choosing {e nondeterministically}
+      which battery serves each job — the choice space the min-cost
+      search optimizes over;
+    - the {e maximum finder} (Fig. 5(e)) counting [emptied] batteries and
+      converting the stranded charge into the path cost.
+
+    Synchronization channels are those of Table 2: [new_job], [go_on\[id\]],
+    [go_off], [use_charge\[id\]], [emptied], and the broadcast [all_empty].
+
+    Two documented deviations from the published figures, both
+    behaviour-preserving (DESIGN.md §6):
+
+    - the stranded charge becomes an {e edge cost} ([cost += sum n_gamma])
+      on the maximum finder's final transition instead of a cost-rate
+      accrual over [charge_left] time units — the total path cost is
+      identical, and the accrual window's deadlock with a still-running
+      load is avoided;
+    - the post-draw emptiness observation and the
+      [emptied] → [new_job] → [go_on] hand-over run through {e committed}
+      locations, so they are instantaneous (the published figures leave
+      their timing open; this equals {!Sched.Simulator} with
+      [switch_delay = 0], which is what the cross-validation tests use). *)
+
+type t = {
+  network : Pta.Network.t;
+  compiled : Pta.Compiled.t;
+  n_batteries : int;
+  disc : Dkibam.Discretization.t;
+  arrays : Loads.Arrays.t;
+}
+
+val build :
+  n_batteries:int -> Dkibam.Discretization.t -> Loads.Arrays.t -> t
+(** Instantiate and compile the network, with clock saturation values set
+    from the discretization (recovery clocks are bounded by
+    [recov_time 2], the largest finite table entry). *)
+
+val goal : t -> Pta.Discrete.state -> bool
+(** The search target [max.done] — every battery observed empty (the
+    paper model-checks [A\[\] not max.done] and takes Cora's
+    counterexample, §4.3). *)
+
+val stranded_units : t -> Pta.Discrete.state -> int
+(** Sum of the remaining [n_gamma] charge units in a state. *)
+
+val battery_of_go_on : t -> Pta.Compiled.action -> int option
+(** If the action is a [go_on\[b\]] synchronization, the battery [b] —
+    used to read schedules out of traces. *)
+
+val dot : t -> string
+(** Graphviz rendering of the whole network (Figure 5). *)

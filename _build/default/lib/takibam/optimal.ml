@@ -1,0 +1,75 @@
+type result = {
+  lifetime_steps : int;
+  lifetime : float;
+  stranded_units : int;
+  schedule : (int * int) list;
+  stats : Pta.Priced.stats;
+}
+
+exception Load_too_short
+
+(* Admissible remaining-cost bound for A*: the final cost is the stranded
+   charge, which can never be less than the charge currently held minus
+   everything the rest of the load can still draw.  The load clock [t]
+   and epoch index [j] pin down the remaining draw schedule exactly. *)
+let make_heuristic (model : Model.t) =
+  let net = model.compiled in
+  let symtab = net.Pta.Compiled.symtab in
+  let arrays = model.arrays in
+  let epochs = Loads.Arrays.epoch_count arrays in
+  let t_clock = Pta.Compiled.clock_index net ~auto:"load" ~clock:"t" in
+  let mf = Pta.Compiled.auto_index net "max_finder" in
+  let mf_off = Pta.Compiled.location_index net ~auto:"max_finder" ~loc:"off" in
+  (* draws_after.(y) = draw units in epochs y+1 .. end *)
+  let draws_after = Array.make (epochs + 1) 0 in
+  for y = epochs - 1 downto 0 do
+    let len = Loads.Arrays.epoch_steps arrays y in
+    let draws = len / arrays.cur_times.(y) * arrays.cur.(y) in
+    draws_after.(y) <- draws_after.(y + 1) + draws
+  done;
+  fun (s : Pta.Discrete.state) ->
+    if s.locs.(mf) <> mf_off then
+      (* the stranded-charge cost has already been paid *)
+      0
+    else begin
+      let j = Pta.Env.read symtab s.vars "j" in
+      let held = Pta.Env.eval symtab s.vars (Pta.Expr.Sum "n_gamma") in
+      if j >= epochs then
+        (* load exhausted: everything still held is stranded *)
+        held
+      else begin
+        let t = s.clocks.(t_clock) in
+        (* draws left in the current epoch cannot exceed one per cadence
+           interval of the remaining time, whatever the cadence phase *)
+        let remaining_steps = max 0 (arrays.load_time.(j) - t) in
+        let this_epoch =
+          remaining_steps / arrays.cur_times.(j) * arrays.cur.(j)
+        in
+        max 0 (held - this_epoch - draws_after.(j))
+      end
+    end
+
+let search ?max_expansions (model : Model.t) =
+  let goal = Model.goal model in
+  let heuristic = make_heuristic model in
+  match Pta.Priced.search ?max_expansions ~heuristic ~goal model.compiled with
+  | exception Pta.Priced.Search_exhausted _ -> raise Load_too_short
+  | r ->
+      let step = ref 0 in
+      let schedule = ref [] in
+      List.iter
+        (fun (s : Pta.Discrete.step) ->
+          match s with
+          | Pta.Discrete.Delay k -> step := !step + k
+          | Pta.Discrete.Fire action -> (
+              match Model.battery_of_go_on model action with
+              | Some b -> schedule := (!step, b) :: !schedule
+              | None -> ()))
+        r.trace;
+      {
+        lifetime_steps = !step;
+        lifetime = Dkibam.Discretization.minutes_of_steps model.disc !step;
+        stranded_units = r.cost;
+        schedule = List.rev !schedule;
+        stats = r.stats;
+      }

@@ -1,0 +1,35 @@
+(** Optimal schedules straight from the TA-KiBaM network.
+
+    Runs the generic minimum-cost search ({!Pta.Priced}) on the Figure-5
+    network — the direct analogue of the paper's Cora query
+    [A\[\] not max.done] (§4.3): the returned witness trace resolves the
+    scheduler's nondeterminism into the cost-minimal (= stranded-charge
+    minimal = lifetime-maximal) battery schedule.
+
+    This engine explores the digitized state space step by step; unlike
+    {!Sched.Optimal} (which jumps between scheduling decisions) it scales
+    only to scaled-down instances — the role it plays here is
+    cross-validation of the fast engine, exactly as DESIGN.md's
+    substitution note promises.  Note the hand-over chain is committed
+    (instantaneous), so results compare against
+    [Sched.Optimal.search ~switch_delay:0]. *)
+
+type result = {
+  lifetime_steps : int;  (** sum of the delays on the witness trace *)
+  lifetime : float;  (** minutes *)
+  stranded_units : int;  (** the Cora cost: charge units left at death *)
+  schedule : (int * int) list;
+      (** (absolute step, battery switched on), chronological *)
+  stats : Pta.Priced.stats;
+}
+
+exception Load_too_short
+(** The goal [max.done] is unreachable: some schedule keeps a battery
+    alive through the whole load. *)
+
+val search : ?max_expansions:int -> Model.t -> result
+(** [max_expansions] defaults to {!Pta.Priced.search}'s 10 million.
+    The search runs A* with an admissible stranded-charge bound (charge
+    currently held minus everything the remaining load can still draw);
+    the bound only bites when the load horizon is commensurate with the
+    battery capacity — on long horizons it degenerates to Dijkstra. *)

@@ -1,0 +1,56 @@
+open Pta
+
+let cora_query = Ctl.AG (Ctl.Not (Ctl.Loc ("max_finder", "done_")))
+
+let for_all_batteries (model : Model.t) f =
+  let rec conj = function
+    | [] -> Ctl.True
+    | [ x ] -> x
+    | x :: rest -> Ctl.And (x, conj rest)
+  in
+  conj (List.init model.n_batteries f)
+
+let conj_over_batteries (model : Model.t) per_battery =
+  let rec go k =
+    if k >= model.n_batteries then Expr.True
+    else Expr.And (per_battery k, go (k + 1))
+  in
+  go 0
+
+let charges_never_negative (model : Model.t) =
+  Ctl.AG
+    (Ctl.Data
+       (conj_over_batteries model (fun k -> Expr.(a "n_gamma" (i k) >= i 0))))
+
+let height_difference_bounded (model : Model.t) =
+  let n = model.disc.Dkibam.Discretization.n_units in
+  Ctl.AG
+    (Ctl.Data
+       (conj_over_batteries model (fun k ->
+            Expr.(And (a "m_delta" (i k) >= i 0, a "m_delta" (i k) <= i n)))))
+
+let empty_is_terminal (model : Model.t) =
+  Ctl.AG
+    (for_all_batteries model (fun id ->
+         Ctl.Not
+           (Ctl.And
+              ( Ctl.Data Expr.(a "bat_empty" (i id) == i 1),
+                Ctl.Loc (Printf.sprintf "total_charge_%d" id, "on") ))))
+
+let all_empty_means_done =
+  Ctl.Leads_to
+    (Ctl.Data Expr.(v "empty_count" >= i 2), Ctl.Loc ("max_finder", "done_"))
+
+let check_all ?max_states (model : Model.t) =
+  let props =
+    [
+      ("charges never negative", charges_never_negative model);
+      ("height difference bounded", height_difference_bounded model);
+      ("empty batteries never serve", empty_is_terminal model);
+    ]
+    @
+    if model.n_batteries = 2 then
+      [ ("all empty leads to done", all_empty_means_done) ]
+    else []
+  in
+  List.map (fun (name, f) -> (name, Ctl.holds ?max_states model.compiled f)) props

@@ -1,0 +1,37 @@
+(** Model-level properties of the TA-KiBaM, in the paper's own idiom.
+
+    §4.3: "We use thus Cora to check the simple TCTL property
+    [A\[\] not max.done].  This property is not satisfied, and Cora
+    returns ... a path as a counterexample which minimizes the cost and
+    maximizes the system lifetime."  {!cora_query} is that formula;
+    {!Optimal.search} is the cost-minimal counterexample extraction.
+    The remaining properties are structural sanity invariants of the
+    network, checked by the test suite on scaled-down instances. *)
+
+val cora_query : Pta.Ctl.formula
+(** [A\[\] not max_finder.done_] — falsified exactly when the load can
+    run every battery dry. *)
+
+val charges_never_negative : Model.t -> Pta.Ctl.formula
+(** [A\[\]] every battery's [n_gamma] stays ≥ 0: the guards of Fig. 5(a)
+    must prevent over-drawing. *)
+
+val height_difference_bounded : Model.t -> Pta.Ctl.formula
+(** [A\[\]] every [m_delta] stays within [\[0, N\]]: a unit of height
+    difference is only ever created by drawing a unit of charge. *)
+
+val empty_is_terminal : Model.t -> Pta.Ctl.formula
+(** [A\[\]] a battery marked [bat_empty] never serves again: once
+    [bat_empty\[id\] = 1], automaton [total_charge_id] stays out of
+    [on]. *)
+
+val all_empty_means_done : Pta.Ctl.formula
+(** [empty_count = bat_num  -->  max_finder.done_]: whenever the last
+    battery empties, the run is eventually wrapped up by the maximum
+    finder (the broadcast cannot be lost). *)
+
+val check_all :
+  ?max_states:int -> Model.t -> (string * bool) list
+(** Evaluate every invariant above (not {!cora_query}) on the model;
+    returns (name, holds).  Intended for scaled-down instances — the
+    digitized graph of a full-size instance is far too large. *)

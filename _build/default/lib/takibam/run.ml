@@ -1,0 +1,108 @@
+open Pta
+
+type result = {
+  lifetime_steps : int;
+  decisions : (int * int) list;
+  survived : bool;
+}
+
+let policy (model : Model.t) (pol : Sched.Policy.t) =
+  let net = model.compiled in
+  let symtab = net.Compiled.symtab in
+  let n = model.n_batteries in
+  let step_now = ref 0 in
+  let decisions = ref [] in
+  let policy_state = ref 0 in
+  let job_index = ref 0 in
+  let goal = Model.goal model in
+  (* read the dKiBaM battery states out of the network variables *)
+  let batteries_of vars =
+    Array.init n (fun id ->
+        Dkibam.Battery.make model.disc
+          ~n_gamma:(Env.read_elem symtab vars "n_gamma" id)
+          ~m_delta:(Env.read_elem symtab vars "m_delta" id)
+          ~recov_clock:0)
+  in
+  let is_go_on (tr : Discrete.transition) =
+    match tr.step with
+    | Discrete.Fire a -> Model.battery_of_go_on model a
+    | Discrete.Delay _ -> None
+  in
+  let is_load_new_job (tr : Discrete.transition) =
+    match tr.step with
+    | Discrete.Fire a ->
+        List.exists
+          (fun (e : Compiled.cedge) -> net.autos.(e.e_auto).a_name = "load" && e.e_label = "job starts")
+          a.act_edges
+    | Discrete.Delay _ -> false
+  in
+  let has_label label (tr : Discrete.transition) =
+    match tr.step with
+    | Discrete.Fire a ->
+        List.exists (fun (e : Compiled.cedge) -> e.e_label = label) a.act_edges
+    | Discrete.Delay _ -> false
+  in
+  let choose (s : Discrete.state) (succs : Discrete.transition list) =
+    (* track elapsed time through whichever transition we return *)
+    let return tr =
+      (match tr.Discrete.step with
+      | Discrete.Delay k -> step_now := !step_now + k
+      | Discrete.Fire _ ->
+          if is_load_new_job tr then incr job_index;
+          (match is_go_on tr with
+          | Some b -> decisions := (!step_now, b) :: !decisions
+          | None -> ()));
+      Some tr
+    in
+    let go_ons = List.filter (fun tr -> is_go_on tr <> None) succs in
+    match go_ons with
+    | _ :: _ ->
+        (* the scheduler's choice point: consult the policy *)
+        let batteries = batteries_of s.vars in
+        let alive =
+          List.filter
+            (fun id -> Env.read_elem symtab s.vars "bat_empty" id = 0)
+            (List.init n Fun.id)
+        in
+        let ctx =
+          {
+            Sched.Policy.disc = model.disc;
+            job_index = !job_index;
+            epoch_index = Env.read symtab s.vars "j";
+            step = !step_now;
+            mid_job = false;
+            batteries;
+            alive;
+          }
+        in
+        let chosen = Sched.Policy.decide pol ~state:policy_state ctx in
+        (match
+           List.find_opt (fun tr -> is_go_on tr = Some chosen) go_ons
+         with
+        | Some tr -> return tr
+        | None -> return (List.hd go_ons))
+    | [] -> (
+        (* deterministic progress: draws first (the boundary race), then
+           any other action, delays last *)
+        let fires =
+          List.filter
+            (fun (tr : Discrete.transition) ->
+              match tr.step with Discrete.Fire _ -> true | _ -> false)
+            succs
+        in
+        match List.find_opt (has_label "draw") fires with
+        | Some tr -> return tr
+        | None -> (
+            match fires with
+            | tr :: _ -> return tr
+            | [] -> ( match succs with tr :: _ -> return tr | [] -> None)))
+  in
+  let _, final, _ =
+    Discrete.run net ~max_steps:50_000_000 ~choose ~stop:goal
+      (Discrete.initial net)
+  in
+  {
+    lifetime_steps = !step_now;
+    decisions = List.rev !decisions;
+    survived = not (goal final);
+  }

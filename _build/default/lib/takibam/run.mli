@@ -1,0 +1,25 @@
+(** Deterministic policy execution inside the TA-KiBaM network.
+
+    {!Optimal} resolves the scheduler's nondeterminism by exhaustive
+    search; this module resolves it with one of the paper's deterministic
+    policies instead, stepping the network with {!Pta.Discrete.run}.  It
+    is the third leg of the engine cross-validation: for every policy,
+    the network run must reproduce {!Sched.Simulator} (with
+    [switch_delay = 0], the committed chain's timing) step for step —
+    asserted in the test suite on scaled-down instances.
+
+    Residual nondeterminism beyond the scheduler's choice is resolved the
+    way the direct simulator does: at an epoch boundary the due draw is
+    taken before [go_off], and enabled actions are taken before delays. *)
+
+type result = {
+  lifetime_steps : int;  (** step of the last battery's death; the run
+                             stops at [max_finder.done_] *)
+  decisions : (int * int) list;  (** (absolute step, battery) per [go_on] *)
+  survived : bool;  (** the load ran out before the batteries did *)
+}
+
+val policy : Model.t -> Sched.Policy.t -> result
+(** Execute the network to completion under the policy.  Raises
+    [Invalid_argument] for [Sched.Policy.Custom] policies that pick a
+    dead battery (as {!Sched.Policy.decide} does). *)

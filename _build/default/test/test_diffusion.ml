@@ -1,0 +1,143 @@
+(* Tests for the Rakhmatov-Vrudhula diffusion model: fitting, lifetime
+   behaviour, and agreement in character with the KiBaM. *)
+
+let check_close tol = Alcotest.(check (float tol))
+let model = Diffusion.Rv.itsy_b1
+
+let test_fit_reproduces_anchor_points () =
+  (* itsy_b1 is fitted to B1's analytic KiBaM lifetimes at 250/500 mA *)
+  let l250 = Kibam.Capacity.lifetime_constant Kibam.Params.b1 ~current:0.25 in
+  let l500 = Kibam.Capacity.lifetime_constant Kibam.Params.b1 ~current:0.5 in
+  check_close 1e-4 "250 mA anchor" l250
+    (Diffusion.Rv.lifetime_constant model ~current:0.25);
+  check_close 1e-4 "500 mA anchor" l500
+    (Diffusion.Rv.lifetime_constant model ~current:0.5)
+
+let test_fit2_explicit () =
+  let m = Diffusion.Rv.fit2 (0.5, 2.0) (0.25, 5.0) in
+  check_close 1e-4 "point 1" 2.0 (Diffusion.Rv.lifetime_constant m ~current:0.5);
+  check_close 1e-4 "point 2" 5.0 (Diffusion.Rv.lifetime_constant m ~current:0.25)
+
+let test_fit2_rejects_no_rate_capacity () =
+  (* higher current delivering MORE charge is unphysical for a cell *)
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Diffusion.Rv.fit2 (0.5, 3.0) (0.25, 5.0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_lifetime_decreasing_in_current () =
+  let l1 = Diffusion.Rv.lifetime_constant model ~current:0.2 in
+  let l2 = Diffusion.Rv.lifetime_constant model ~current:0.4 in
+  let l3 = Diffusion.Rv.lifetime_constant model ~current:0.6 in
+  Alcotest.(check bool) "antitone" true (l1 > l2 && l2 > l3)
+
+let test_rate_capacity_effect () =
+  (* delivered charge decreases with current, like the KiBaM *)
+  let d i = i *. Diffusion.Rv.lifetime_constant model ~current:i in
+  Alcotest.(check bool) "rate capacity" true (d 0.1 > d 0.25 && d 0.25 > d 0.5)
+
+let test_recovery_effect () =
+  (* an intermitted load outlives the continuous load of the same jobs *)
+  let continuous = Kibam.Load_profile.job ~current:0.5 ~duration:50.0 in
+  let intermitted =
+    Kibam.Load_profile.cycle_until ~horizon:100.0
+      (Kibam.Load_profile.append
+         (Kibam.Load_profile.job ~current:0.5 ~duration:1.0)
+         (Kibam.Load_profile.idle 1.0))
+  in
+  match
+    (Diffusion.Rv.lifetime model continuous, Diffusion.Rv.lifetime model intermitted)
+  with
+  | Some lc, Some li ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%.2f (rest) > %.2f (continuous)" li lc)
+        true (li > lc)
+  | _ -> Alcotest.fail "both loads must exhaust the battery"
+
+let test_unavailable_charge_recovers () =
+  (* the locked-away charge shrinks during an idle period *)
+  let load =
+    Kibam.Load_profile.append
+      (Kibam.Load_profile.job ~current:0.5 ~duration:1.0)
+      (Kibam.Load_profile.idle 10.0)
+  in
+  let u1 = Diffusion.Rv.unavailable_charge model load 1.0 in
+  let u2 = Diffusion.Rv.unavailable_charge model load 5.0 in
+  Alcotest.(check bool) "unavailable decays" true (u2 < u1);
+  Alcotest.(check bool) "positive right after load" true (u1 > 0.0)
+
+let test_apparent_equals_delivered_plus_unavailable () =
+  let load = Kibam.Load_profile.job ~current:0.4 ~duration:2.0 in
+  let t = 1.5 in
+  let sigma = Diffusion.Rv.apparent_charge model load t in
+  let u = Diffusion.Rv.unavailable_charge model load t in
+  check_close 1e-9 "decomposition" sigma (u +. (0.4 *. 1.5))
+
+let test_series_truncation_converged () =
+  (* the series tail decays like 1/terms, so quadrupling the terms moves
+     the lifetime by well under 1% *)
+  let m160 =
+    Diffusion.Rv.make ~terms:160 ~alpha:model.Diffusion.Rv.alpha
+      ~beta2:model.Diffusion.Rv.beta2 ()
+  in
+  check_close 1e-2 "truncation stable"
+    (Diffusion.Rv.lifetime_constant model ~current:0.25)
+    (Diffusion.Rv.lifetime_constant m160 ~current:0.25)
+
+let test_validation () =
+  let rejects f =
+    Alcotest.(check bool) "rejects" true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  rejects (fun () -> Diffusion.Rv.make ~alpha:0.0 ~beta2:1.0 ());
+  rejects (fun () -> Diffusion.Rv.make ~alpha:1.0 ~beta2:0.0 ());
+  rejects (fun () -> Diffusion.Rv.lifetime_constant model ~current:0.0)
+
+let test_kibam_comparison_shape () =
+  (* on the paper's deterministic loads the two models agree on ordering:
+     both were anchored to the same cell, so lifetimes should stay within
+     ~20% of each other *)
+  List.iter
+    (fun name ->
+      let profile = Loads.Epoch.to_profile (Loads.Testloads.load name) in
+      let k = Kibam.Lifetime.lifetime_exn Kibam.Params.b1 profile in
+      match Diffusion.Rv.lifetime model profile with
+      | Some d ->
+          let rel = Float.abs (d -. k) /. k in
+          if rel > 0.25 then
+            Alcotest.failf "%s: kibam %.2f vs diffusion %.2f (%.0f%%)"
+              (Loads.Testloads.to_string name)
+              k d (100.0 *. rel)
+      | None ->
+          Alcotest.failf "%s: diffusion battery survived"
+            (Loads.Testloads.to_string name))
+    [ Loads.Testloads.CL_250; CL_500; CL_alt; ILs_500; ILs_alt ]
+
+let () =
+  Alcotest.run "diffusion"
+    [
+      ( "rakhmatov-vrudhula",
+        [
+          Alcotest.test_case "fit anchors" `Quick test_fit_reproduces_anchor_points;
+          Alcotest.test_case "fit2 explicit" `Quick test_fit2_explicit;
+          Alcotest.test_case "fit2 rejects unphysical data" `Quick
+            test_fit2_rejects_no_rate_capacity;
+          Alcotest.test_case "lifetime antitone in current" `Quick
+            test_lifetime_decreasing_in_current;
+          Alcotest.test_case "rate-capacity effect" `Quick test_rate_capacity_effect;
+          Alcotest.test_case "recovery effect" `Quick test_recovery_effect;
+          Alcotest.test_case "unavailable charge decays" `Quick
+            test_unavailable_charge_recovers;
+          Alcotest.test_case "sigma decomposition" `Quick
+            test_apparent_equals_delivered_plus_unavailable;
+          Alcotest.test_case "series truncation" `Quick
+            test_series_truncation_converged;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "KiBaM comparison shape" `Quick
+            test_kibam_comparison_shape;
+        ] );
+    ]

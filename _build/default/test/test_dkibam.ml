@@ -1,0 +1,313 @@
+(* Tests for the discretized KiBaM: the recovery-time table (eq. 6), the
+   battery event semantics of Fig. 5(a,b), and — the centerpiece — the
+   exact reproduction of the TA-KiBaM columns of Tables 3 and 4. *)
+
+let disc_b1 = Dkibam.Discretization.paper_b1
+let disc_b2 = Dkibam.Discretization.paper_b2
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Discretization                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_paper_constants () =
+  check_int "N for B1" 550 disc_b1.Dkibam.Discretization.n_units;
+  check_int "N for B2" 1100 disc_b2.Dkibam.Discretization.n_units;
+  check_int "c_milli" 166 disc_b1.Dkibam.Discretization.c_milli;
+  Alcotest.(check (float 1e-9))
+    "height unit = Gamma/c" (0.01 /. 0.166)
+    (Dkibam.Discretization.height_unit disc_b1)
+
+let test_recov_table_eq6 () =
+  (* eq. (6): t = (1/k') ln(m/(m-1)), rounded to time steps of 0.01 *)
+  let expect m =
+    let t = 1.0 /. 0.122 *. Float.log (float_of_int m /. float_of_int (m - 1)) in
+    int_of_float (Float.round (t /. 0.01))
+  in
+  List.iter
+    (fun m ->
+      check_int
+        (Printf.sprintf "recov_time %d" m)
+        (expect m)
+        (Dkibam.Discretization.recov_time disc_b1 m))
+    [ 2; 3; 5; 10; 100; 550 ];
+  (* m <= 1 never recovers *)
+  check_int "m=1 infinite" Dkibam.Discretization.infinite_time
+    (Dkibam.Discretization.recov_time disc_b1 1);
+  check_int "m=0 infinite" Dkibam.Discretization.infinite_time
+    (Dkibam.Discretization.recov_time disc_b1 0)
+
+let test_recov_table_decreasing () =
+  (* the higher the height difference, the faster one unit recovers *)
+  for m = 3 to 550 do
+    if
+      Dkibam.Discretization.recov_time disc_b1 m
+      > Dkibam.Discretization.recov_time disc_b1 (m - 1)
+    then Alcotest.failf "recov_time not antitone at m=%d" m
+  done
+
+let test_emptiness_rule () =
+  (* eq. (8): (1000 - c) m >= c n *)
+  Alcotest.(check bool) "full not empty" false
+    (Dkibam.Discretization.is_empty disc_b1 ~n:550 ~m:0);
+  (* threshold for n = 100: m >= 166*100/834 = 19.9 -> m = 20 empty *)
+  Alcotest.(check bool) "below threshold" false
+    (Dkibam.Discretization.is_empty disc_b1 ~n:100 ~m:19);
+  Alcotest.(check bool) "at threshold" true
+    (Dkibam.Discretization.is_empty disc_b1 ~n:100 ~m:20)
+
+let test_validation () =
+  let rejects f =
+    Alcotest.(check bool) "rejects" true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  (* capacity not an integral number of charge units *)
+  rejects (fun () ->
+      Dkibam.Discretization.make
+        (Kibam.Params.make ~c:0.166 ~k':0.122 ~capacity:5.5055));
+  rejects (fun () -> Dkibam.Discretization.recov_time disc_b1 551);
+  rejects (fun () -> Dkibam.Discretization.steps_of_minutes disc_b1 0.0053)
+
+(* ------------------------------------------------------------------ *)
+(* Battery semantics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_draw_updates_wells () =
+  let b = Dkibam.Battery.full disc_b1 in
+  let b = Dkibam.Battery.draw disc_b1 ~cur:1 b in
+  check_int "n drops" 549 b.Dkibam.Battery.n_gamma;
+  check_int "m rises" 1 b.Dkibam.Battery.m_delta;
+  check_int "clock reset from m<=1" 0 b.Dkibam.Battery.recov_clock
+
+let test_draw_carries_clock_above_one () =
+  let b = Dkibam.Battery.make disc_b1 ~n_gamma:500 ~m_delta:5 ~recov_clock:50 in
+  let b = Dkibam.Battery.draw disc_b1 ~cur:1 b in
+  check_int "m rises" 6 b.Dkibam.Battery.m_delta;
+  check_int "clock carried" 50 b.Dkibam.Battery.recov_clock
+
+let test_draw_settles_overdue_recovery () =
+  (* recov_time shrinks as m grows: if the carried clock already exceeds
+     the new threshold, one recovery fires at the draw instant *)
+  let m = 100 in
+  let clock = Dkibam.Discretization.recov_time disc_b1 (m + 1) in
+  let b = Dkibam.Battery.make disc_b1 ~n_gamma:300 ~m_delta:m ~recov_clock:clock in
+  let b = Dkibam.Battery.draw disc_b1 ~cur:1 b in
+  check_int "m bumped then settled" m b.Dkibam.Battery.m_delta;
+  check_int "clock reset by settle" 0 b.Dkibam.Battery.recov_clock
+
+let test_tick_fires_recovery_at_threshold () =
+  let m = 10 in
+  let due = Dkibam.Discretization.recov_time disc_b1 m in
+  let b = Dkibam.Battery.make disc_b1 ~n_gamma:300 ~m_delta:m ~recov_clock:(due - 1) in
+  let b = Dkibam.Battery.tick disc_b1 b in
+  check_int "recovered" (m - 1) b.Dkibam.Battery.m_delta;
+  check_int "clock reset" 0 b.Dkibam.Battery.recov_clock
+
+let test_no_recovery_below_two () =
+  let b = Dkibam.Battery.make disc_b1 ~n_gamma:300 ~m_delta:1 ~recov_clock:0 in
+  let b = Dkibam.Battery.tick_many disc_b1 100_000 b in
+  check_int "m stuck at 1" 1 b.Dkibam.Battery.m_delta
+
+let prop_tick_many_equals_ticks =
+  QCheck.Test.make ~name:"tick_many = iterated tick" ~count:200
+    QCheck.(triple (int_range 0 550) (int_range 0 80) (int_range 0 400))
+    (fun (m, clock, k) ->
+      QCheck.assume (m <= 550);
+      let b = Dkibam.Battery.make disc_b1 ~n_gamma:550 ~m_delta:m ~recov_clock:clock in
+      let fast = Dkibam.Battery.tick_many disc_b1 k b in
+      let slow = ref b in
+      for _ = 1 to k do
+        slow := Dkibam.Battery.tick disc_b1 !slow
+      done;
+      Dkibam.Battery.equal fast !slow)
+
+let test_available_charge_consistency () =
+  (* discrete available charge must match the continuous y1 of the state
+     the discrete battery represents *)
+  let b = Dkibam.Battery.make disc_b1 ~n_gamma:400 ~m_delta:30 ~recov_clock:0 in
+  let s = Dkibam.Battery.to_continuous disc_b1 b in
+  Alcotest.(check (float 1e-6))
+    "y1 agreement"
+    (Kibam.State.y1 Kibam.Params.b1 s)
+    (Dkibam.Battery.available_charge disc_b1 b)
+
+let test_continuous_roundtrip () =
+  let b = Dkibam.Battery.make disc_b1 ~n_gamma:321 ~m_delta:47 ~recov_clock:0 in
+  let b' = Dkibam.Battery.of_continuous disc_b1 (Dkibam.Battery.to_continuous disc_b1 b) in
+  check_int "n roundtrip" b.Dkibam.Battery.n_gamma b'.Dkibam.Battery.n_gamma;
+  check_int "m roundtrip" b.Dkibam.Battery.m_delta b'.Dkibam.Battery.m_delta
+
+let test_draw_validation () =
+  let b = Dkibam.Battery.make disc_b1 ~n_gamma:0 ~m_delta:10 ~recov_clock:0 in
+  Alcotest.(check bool) "empty draw rejected" true
+    (try
+       ignore (Dkibam.Battery.draw disc_b1 ~cur:1 b);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Engine vs paper Tables 3/4 (dKiBaM columns) — exact                 *)
+(* ------------------------------------------------------------------ *)
+
+let paper_discrete_b1 =
+  [
+    (Loads.Testloads.CL_250, 4.56);
+    (CL_500, 2.04);
+    (CL_alt, 2.60);
+    (ILs_250, 10.84);
+    (ILs_500, 4.32);
+    (ILs_alt, 4.82);
+    (ILs_r1, 4.74);
+    (ILs_r2, 4.74);
+    (ILl_250, 21.88);
+    (ILl_500, 6.56);
+  ]
+
+let paper_discrete_b2 =
+  [
+    (Loads.Testloads.CL_250, 12.28);
+    (CL_500, 4.54);
+    (CL_alt, 6.52);
+    (ILs_250, 44.80);
+    (ILs_500, 10.84);
+    (ILs_alt, 16.94);
+    (ILs_r1, 22.74);
+    (ILs_r2, 14.84);
+    (ILl_250, 84.92);
+    (ILl_500, 21.88);
+  ]
+
+let check_paper_exact disc rows () =
+  List.iter
+    (fun (name, expected) ->
+      let arrays =
+        Loads.Arrays.make ~time_step:0.01 ~charge_unit:0.01
+          (Loads.Testloads.load name)
+      in
+      let got = Dkibam.Engine.lifetime_exn disc arrays in
+      if Float.abs (got -. expected) > 0.005 then
+        Alcotest.failf "%s: paper %.2f, got %.4f"
+          (Loads.Testloads.to_string name)
+          expected got)
+    rows
+
+let test_discrete_close_to_analytic () =
+  (* paper section 5: relative difference at most ~1% *)
+  List.iter
+    (fun name ->
+      let load = Loads.Testloads.load name in
+      let analytic =
+        Kibam.Lifetime.lifetime_exn Kibam.Params.b1 (Loads.Epoch.to_profile load)
+      in
+      let discrete =
+        Dkibam.Engine.lifetime_exn disc_b1
+          (Loads.Arrays.make ~time_step:0.01 ~charge_unit:0.01 load)
+      in
+      let rel = Float.abs (discrete -. analytic) /. analytic in
+      if rel > 0.015 then
+        Alcotest.failf "%s: discrete %.3f vs analytic %.3f (%.1f%%)"
+          (Loads.Testloads.to_string name)
+          discrete analytic (100.0 *. rel))
+    Loads.Testloads.all_names
+
+(* seeded random grid-aligned loads: discretized and analytic engines
+   agree to within ~2.5% on the lifetime — Tables 3/4 generalized.
+   Deterministic (fixed SplitMix64 stream), so never flaky. *)
+let test_engines_agree_on_generated_loads () =
+  let g = Prng.Splitmix.create 20090629L (* DSN'09 *) in
+  for trial = 1 to 40 do
+    let pattern_len = 2 + Prng.Splitmix.int g 6 in
+    let epochs =
+      List.concat
+        (List.init pattern_len (fun _ ->
+             let current = if Prng.Splitmix.bool g then 0.25 else 0.5 in
+             let idle_min = Prng.Splitmix.int g 3 in
+             Loads.Epoch.job ~current ~duration:1.0
+             ::
+             (if idle_min = 0 then []
+              else [ Loads.Epoch.idle (float_of_int idle_min) ])))
+    in
+    let load =
+      Loads.Epoch.cycle_until ~horizon:400.0 (Loads.Epoch.concat epochs)
+    in
+    let analytic =
+      Kibam.Lifetime.lifetime_exn Kibam.Params.b1 (Loads.Epoch.to_profile load)
+    in
+    let discrete =
+      Dkibam.Engine.lifetime_exn disc_b1
+        (Loads.Arrays.make ~time_step:0.01 ~charge_unit:0.01 load)
+    in
+    let rel = Float.abs (discrete -. analytic) /. analytic in
+    if rel > 0.025 then
+      Alcotest.failf "trial %d: discrete %.3f vs analytic %.3f (%.2f%%)" trial
+        discrete analytic (100.0 *. rel)
+  done
+
+let test_trace_monotone () =
+  let arrays =
+    Loads.Arrays.make ~time_step:0.01 ~charge_unit:0.01
+      (Loads.Testloads.load Loads.Testloads.ILs_alt)
+  in
+  let trace = Dkibam.Engine.trace disc_b1 arrays ~max_steps:2000 in
+  let steps = List.map fst trace in
+  Alcotest.(check bool) "steps sorted" true (List.sort compare steps = steps);
+  (* total charge never increases *)
+  let ns = List.map (fun (_, b) -> b.Dkibam.Battery.n_gamma) trace in
+  Alcotest.(check bool) "n_gamma antitone" true
+    (List.for_all2 ( >= ) ns (List.tl ns @ [ 0 ]))
+
+let test_survives_short_load () =
+  let arrays =
+    Loads.Arrays.make ~time_step:0.01 ~charge_unit:0.01
+      (Loads.Epoch.job ~current:0.25 ~duration:1.0)
+  in
+  match Dkibam.Engine.run disc_b1 arrays with
+  | Dkibam.Engine.Survives b ->
+      check_int "25 units drawn" 525 b.Dkibam.Battery.n_gamma
+  | Dies_at_step _ -> Alcotest.fail "should survive one minute"
+
+let () =
+  Alcotest.run "dkibam"
+    [
+      ( "discretization",
+        [
+          Alcotest.test_case "paper constants" `Quick test_paper_constants;
+          Alcotest.test_case "recovery table eq (6)" `Quick test_recov_table_eq6;
+          Alcotest.test_case "recovery table antitone" `Quick
+            test_recov_table_decreasing;
+          Alcotest.test_case "emptiness rule eq (8)" `Quick test_emptiness_rule;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "battery",
+        [
+          Alcotest.test_case "draw updates wells" `Quick test_draw_updates_wells;
+          Alcotest.test_case "clock carried above m=1" `Quick
+            test_draw_carries_clock_above_one;
+          Alcotest.test_case "overdue recovery settles" `Quick
+            test_draw_settles_overdue_recovery;
+          Alcotest.test_case "tick fires at threshold" `Quick
+            test_tick_fires_recovery_at_threshold;
+          Alcotest.test_case "no recovery below m=2" `Quick test_no_recovery_below_two;
+          Alcotest.test_case "available charge consistency" `Quick
+            test_available_charge_consistency;
+          Alcotest.test_case "continuous roundtrip" `Quick test_continuous_roundtrip;
+          Alcotest.test_case "draw validation" `Quick test_draw_validation;
+          QCheck_alcotest.to_alcotest prop_tick_many_equals_ticks;
+        ] );
+      ( "engine vs paper (exact)",
+        [
+          Alcotest.test_case "Table 3 dKiBaM column (B1)" `Quick
+            (check_paper_exact disc_b1 paper_discrete_b1);
+          Alcotest.test_case "Table 4 dKiBaM column (B2)" `Quick
+            (check_paper_exact disc_b2 paper_discrete_b2);
+          Alcotest.test_case "discrete ~ analytic (<=1.5%)" `Quick
+            test_discrete_close_to_analytic;
+          Alcotest.test_case "trace shape" `Quick test_trace_monotone;
+          Alcotest.test_case "generated loads: engines agree" `Quick
+            test_engines_agree_on_generated_loads;
+          Alcotest.test_case "survives short load" `Quick test_survives_short_load;
+        ] );
+    ]

@@ -1,0 +1,516 @@
+(* Tests for the continuous KiBaM: parameters, coordinate transforms,
+   closed-form evolution vs numerical integration, lifetimes vs the
+   paper's Tables 3/4 analytic columns, rate-capacity and recovery
+   properties, and the load-profile algebra. *)
+
+let b1 = Kibam.Params.b1
+let b2 = Kibam.Params.b2
+let check_close tol = Alcotest.(check (float tol))
+
+(* ------------------------------------------------------------------ *)
+(* Params                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_params_validation () =
+  let bad f = Alcotest.(check bool) "rejects" true (try ignore (f ()); false with Invalid_argument _ -> true) in
+  bad (fun () -> Kibam.Params.make ~c:0.0 ~k':0.1 ~capacity:1.0);
+  bad (fun () -> Kibam.Params.make ~c:1.0 ~k':0.1 ~capacity:1.0);
+  bad (fun () -> Kibam.Params.make ~c:0.5 ~k':0.0 ~capacity:1.0);
+  bad (fun () -> Kibam.Params.make ~c:0.5 ~k':0.1 ~capacity:0.0)
+
+let test_params_paper_cells () =
+  check_close 1e-12 "B1 capacity" 5.5 b1.Kibam.Params.capacity;
+  check_close 1e-12 "B2 capacity" 11.0 b2.Kibam.Params.capacity;
+  check_close 1e-12 "c" 0.166 b1.Kibam.Params.c;
+  check_close 1e-12 "k'" 0.122 b1.Kibam.Params.k';
+  (* k = k' c (1-c) *)
+  check_close 1e-12 "k" (0.122 *. 0.166 *. 0.834) (Kibam.Params.k b1)
+
+let test_params_scaling () =
+  let ten = Kibam.Params.scale_capacity b1 10.0 in
+  check_close 1e-9 "10x capacity" 55.0 ten.Kibam.Params.capacity;
+  check_close 1e-12 "same c" b1.Kibam.Params.c ten.Kibam.Params.c
+
+(* ------------------------------------------------------------------ *)
+(* State / coordinate transform                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_full_state () =
+  let s = Kibam.State.full b1 in
+  check_close 1e-12 "delta" 0.0 s.Kibam.State.delta;
+  check_close 1e-12 "gamma" 5.5 s.Kibam.State.gamma;
+  check_close 1e-12 "y1 = cC" (0.166 *. 5.5) (Kibam.State.y1 b1 s);
+  check_close 1e-12 "y2 = (1-c)C" (0.834 *. 5.5) (Kibam.State.y2 b1 s)
+
+let test_wells_roundtrip () =
+  let s = { Kibam.State.delta = 1.7; gamma = 3.2 } in
+  let y1 = Kibam.State.y1 b1 s and y2 = Kibam.State.y2 b1 s in
+  let s' = Kibam.State.of_wells b1 ~y1 ~y2 in
+  Alcotest.(check bool) "roundtrip" true (Kibam.State.close ~tol:1e-12 s s')
+
+let test_heights_and_emptiness () =
+  let s = Kibam.State.full b1 in
+  (* full battery: equal heights, delta = h2 - h1 = 0 *)
+  check_close 1e-12 "h1 = h2 at full" (Kibam.State.h1 b1 s) (Kibam.State.h2 b1 s);
+  Alcotest.(check bool) "full not empty" false (Kibam.State.is_empty b1 s);
+  (* boundary: gamma = (1-c) delta *)
+  let boundary = { Kibam.State.delta = 2.0; gamma = 0.834 *. 2.0 } in
+  Alcotest.(check bool) "boundary empty" true (Kibam.State.is_empty b1 boundary);
+  check_close 1e-12 "headroom 0" 0.0 (Kibam.State.headroom b1 boundary);
+  check_close 1e-12 "y1 0 at boundary" 0.0 (Kibam.State.y1 b1 boundary)
+
+let prop_transform_roundtrip =
+  QCheck.Test.make ~name:"wells <-> (delta, gamma) roundtrip" ~count:300
+    QCheck.(pair (float_range 0.0 5.0) (float_range 0.0 5.0))
+    (fun (y1, y2) ->
+      let s = Kibam.State.of_wells b1 ~y1 ~y2 in
+      Float.abs (Kibam.State.y1 b1 s -. y1) < 1e-9
+      && Float.abs (Kibam.State.y2 b1 s -. y2) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Analytic evolution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_step_identity () =
+  let s = Kibam.State.full b1 in
+  let s' = Kibam.Analytic.step b1 ~current:0.3 ~elapsed:0.0 s in
+  Alcotest.(check bool) "zero elapsed" true (Kibam.State.close s s')
+
+let test_step_additivity () =
+  let s = Kibam.State.full b1 in
+  let one = Kibam.Analytic.step b1 ~current:0.4 ~elapsed:1.5 s in
+  let half = Kibam.Analytic.step b1 ~current:0.4 ~elapsed:0.75 s in
+  let two = Kibam.Analytic.step b1 ~current:0.4 ~elapsed:0.75 half in
+  Alcotest.(check bool) "semigroup" true (Kibam.State.close ~tol:1e-10 one two)
+
+let test_charge_conservation () =
+  let s = Kibam.State.full b1 in
+  let s' = Kibam.Analytic.step b1 ~current:0.5 ~elapsed:2.0 s in
+  check_close 1e-10 "gamma drops by I*t" (5.5 -. 1.0) s'.Kibam.State.gamma
+
+let test_steady_state_delta () =
+  let s = Kibam.State.full b1 in
+  let far = Kibam.Analytic.step b1 ~current:0.25 ~elapsed:200.0 s in
+  check_close 1e-6 "delta -> I/(c k')"
+    (Kibam.Analytic.steady_state_delta b1 ~current:0.25)
+    far.Kibam.State.delta
+
+let test_analytic_vs_rk4_transformed () =
+  (* closed form vs numerical integration of eq. (2) *)
+  let i _ = 0.5 in
+  let y =
+    Numerics.Ode.integrate
+      ~f:(Kibam.Analytic.vector_field b1 ~i)
+      ~t0:0.0 ~t1:1.7 ~dt:0.001 [| 0.0; 5.5 |]
+  in
+  let s = Kibam.Analytic.step b1 ~current:0.5 ~elapsed:1.7 (Kibam.State.full b1) in
+  check_close 1e-6 "delta" s.Kibam.State.delta y.(0);
+  check_close 1e-6 "gamma" s.Kibam.State.gamma y.(1)
+
+let test_analytic_vs_rk4_wells () =
+  (* closed form vs numerical integration of the ORIGINAL eq. (1):
+     validates the coordinate transformation itself *)
+  let i _ = 0.5 in
+  let full = Kibam.State.full b1 in
+  let y =
+    Numerics.Ode.integrate
+      ~f:(Kibam.Analytic.vector_field_wells b1 ~i)
+      ~t0:0.0 ~t1:1.7 ~dt:0.001
+      [| Kibam.State.y1 b1 full; Kibam.State.y2 b1 full |]
+  in
+  let s = Kibam.Analytic.step b1 ~current:0.5 ~elapsed:1.7 full in
+  check_close 1e-6 "y1" (Kibam.State.y1 b1 s) y.(0);
+  check_close 1e-6 "y2" (Kibam.State.y2 b1 s) y.(1)
+
+let test_time_to_empty_constant () =
+  match Kibam.Analytic.time_to_empty b1 ~current:0.25 (Kibam.State.full b1) with
+  | Some t ->
+      (* paper Table 3: CL 250 analytic lifetime 4.53 *)
+      check_close 0.01 "CL 250" 4.53 t;
+      (* at that instant the emptiness margin vanishes *)
+      let s = Kibam.Analytic.step b1 ~current:0.25 ~elapsed:t (Kibam.State.full b1) in
+      check_close 1e-6 "margin 0" 0.0 (Kibam.State.headroom b1 s)
+  | None -> Alcotest.fail "constant discharge must empty the battery"
+
+let test_time_to_empty_zero_current () =
+  Alcotest.(check bool)
+    "never empties at rest" true
+    (Kibam.Analytic.time_to_empty b1 ~current:0.0 (Kibam.State.full b1) = None)
+
+let test_recovery_effect () =
+  (* after a heavy burst, rest strictly increases the available charge *)
+  let after_burst =
+    Kibam.Analytic.step b1 ~current:0.6 ~elapsed:1.0 (Kibam.State.full b1)
+  in
+  let rested = Kibam.Analytic.step b1 ~current:0.0 ~elapsed:2.0 after_burst in
+  Alcotest.(check bool)
+    "y1 grows during rest" true
+    (Kibam.State.y1 b1 rested > Kibam.State.y1 b1 after_burst +. 1e-6);
+  (* gamma must not change during rest *)
+  check_close 1e-12 "gamma constant at rest" after_burst.Kibam.State.gamma
+    rested.Kibam.State.gamma
+
+let prop_step_matches_ode =
+  QCheck.Test.make ~name:"closed form = RK4 on random states/currents" ~count:50
+    QCheck.(triple (float_range 0.0 0.7) (float_range 0.0 3.0) (float_range 0.1 3.0))
+    (fun (current, delta0, elapsed) ->
+      let s = { Kibam.State.delta = delta0; gamma = 5.0 } in
+      let closed = Kibam.Analytic.step b1 ~current ~elapsed s in
+      let y =
+        Numerics.Ode.integrate
+          ~f:(Kibam.Analytic.vector_field b1 ~i:(fun _ -> current))
+          ~t0:0.0 ~t1:elapsed ~dt:0.001 [| delta0; 5.0 |]
+      in
+      Float.abs (closed.Kibam.State.delta -. y.(0)) < 1e-5
+      && Float.abs (closed.Kibam.State.gamma -. y.(1)) < 1e-5)
+
+(* ------------------------------------------------------------------ *)
+(* Lifetime vs the paper's analytic columns                            *)
+(* ------------------------------------------------------------------ *)
+
+let paper_analytic_b1 =
+  [
+    (Loads.Testloads.CL_250, 4.53);
+    (CL_500, 2.02);
+    (CL_alt, 2.58);
+    (ILs_250, 10.80);
+    (ILs_500, 4.30);
+    (ILs_alt, 4.80);
+    (ILs_r1, 4.72);
+    (ILs_r2, 4.72);
+    (ILl_250, 21.86);
+    (ILl_500, 6.53);
+  ]
+
+let paper_analytic_b2 =
+  [
+    (Loads.Testloads.CL_250, 12.16);
+    (CL_500, 4.53);
+    (CL_alt, 6.45);
+    (ILs_250, 44.78);
+    (ILs_500, 10.80);
+    (ILs_alt, 16.93);
+    (ILs_r1, 22.71);
+    (ILs_r2, 14.81);
+    (ILl_250, 84.90);
+    (ILl_500, 21.86);
+  ]
+
+let check_paper_column params rows () =
+  List.iter
+    (fun (name, expected) ->
+      let profile = Loads.Epoch.to_profile (Loads.Testloads.load name) in
+      let got = Kibam.Lifetime.lifetime_exn params profile in
+      if Float.abs (got -. expected) > 0.012 then
+        Alcotest.failf "%s: expected %.2f (paper), got %.4f"
+          (Loads.Testloads.to_string name)
+          expected got)
+    rows
+
+let test_scaling_invariance () =
+  (* doubling capacity AND current leaves the lifetime unchanged (the
+     KiBaM is linear): explains Table 4's CL 500 = Table 3's CL 250 *)
+  let l1 =
+    Kibam.Lifetime.lifetime_exn b1 (Kibam.Load_profile.job ~current:0.25 ~duration:100.0)
+  in
+  let l2 =
+    Kibam.Lifetime.lifetime_exn b2 (Kibam.Load_profile.job ~current:0.5 ~duration:100.0)
+  in
+  check_close 1e-6 "scale invariance" l1 l2
+
+let test_no_death_during_idle () =
+  (* headroom rises when no current flows, so a live battery cannot die
+     in an idle period *)
+  let load =
+    Kibam.Load_profile.of_segments
+      [
+        { Kibam.Load_profile.duration = 1.9; current = 0.5 };
+        { duration = 100.0; current = 0.0 };
+      ]
+  in
+  match Kibam.Lifetime.run b1 load with
+  | Kibam.Lifetime.Dies_at t ->
+      Alcotest.(check bool) "dies in the job segment" true (t <= 1.9)
+  | Survives _ -> ()
+
+let test_trace_is_sorted_and_bounded () =
+  let load = Loads.Epoch.to_profile (Loads.Testloads.load Loads.Testloads.ILs_alt) in
+  let trace = Kibam.Lifetime.trace b1 load ~horizon:6.0 in
+  let times = List.map fst trace in
+  Alcotest.(check bool) "sorted" true (List.sort compare times = times);
+  Alcotest.(check bool) "within horizon" true
+    (List.for_all (fun t -> t >= 0.0 && t <= 6.0) times);
+  (* epoch boundaries are sample points *)
+  Alcotest.(check bool) "boundary 1.0 sampled" true (List.mem 1.0 times)
+
+let test_delivered_charge () =
+  let load = Kibam.Load_profile.job ~current:0.5 ~duration:100.0 in
+  let delivered = Kibam.Lifetime.delivered_charge b1 load in
+  let lifetime = Kibam.Lifetime.lifetime_exn b1 load in
+  check_close 1e-6 "delivered = I * lifetime" (0.5 *. lifetime) delivered
+
+let test_state_at_matches_step () =
+  let load = Kibam.Load_profile.job ~current:0.3 ~duration:10.0 in
+  let s = Kibam.Lifetime.state_at b1 load 2.5 in
+  let direct = Kibam.Analytic.step b1 ~current:0.3 ~elapsed:2.5 (Kibam.State.full b1) in
+  Alcotest.(check bool) "agrees" true (Kibam.State.close ~tol:1e-9 s direct)
+
+(* ------------------------------------------------------------------ *)
+(* Capacity / rate-capacity effect                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_rate_capacity_monotone () =
+  let d1 = Kibam.Capacity.delivered_at b1 ~current:0.1 in
+  let d2 = Kibam.Capacity.delivered_at b1 ~current:0.25 in
+  let d3 = Kibam.Capacity.delivered_at b1 ~current:0.5 in
+  Alcotest.(check bool) "higher current, less charge" true (d1 > d2 && d2 > d3)
+
+let test_stranded_fraction_bounds () =
+  List.iter
+    (fun current ->
+      let f = Kibam.Capacity.stranded_fraction b1 ~current in
+      if f < 0.0 || f > 1.0 then Alcotest.failf "fraction %f out of [0,1]" f)
+    [ 0.01; 0.1; 0.25; 0.5; 0.7; 1.0 ]
+
+let test_low_current_approaches_capacity () =
+  let d = Kibam.Capacity.delivered_at b1 ~current:0.001 in
+  Alcotest.(check bool)
+    (Printf.sprintf "delivered %.3f close to C" d)
+    true
+    (d > 0.95 *. 5.5)
+
+let prop_delivered_decreasing =
+  QCheck.Test.make ~name:"delivered charge decreases with current" ~count:50
+    QCheck.(pair (float_range 0.02 0.6) (float_range 0.01 0.3))
+    (fun (i1, di) ->
+      let d1 = Kibam.Capacity.delivered_at b1 ~current:i1 in
+      let d2 = Kibam.Capacity.delivered_at b1 ~current:(i1 +. di) in
+      d2 <= d1 +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Load profiles                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_merge () =
+  let p =
+    Kibam.Load_profile.of_segments
+      [
+        { Kibam.Load_profile.duration = 1.0; current = 0.5 };
+        { duration = 2.0; current = 0.5 };
+        { duration = 1.0; current = 0.0 };
+      ]
+  in
+  Alcotest.(check int) "adjacent equal currents merge" 2
+    (List.length (Kibam.Load_profile.segments p))
+
+let test_profile_current_at () =
+  let p =
+    Kibam.Load_profile.append
+      (Kibam.Load_profile.job ~current:0.5 ~duration:1.0)
+      (Kibam.Load_profile.idle 2.0)
+  in
+  check_close 1e-12 "in job" 0.5 (Kibam.Load_profile.current_at p 0.5);
+  check_close 1e-12 "boundary belongs to next" 0.0 (Kibam.Load_profile.current_at p 1.0);
+  check_close 1e-12 "past end" 0.0 (Kibam.Load_profile.current_at p 99.0)
+
+let test_profile_boundaries_and_duration () =
+  let p =
+    Kibam.Load_profile.concat
+      [
+        Kibam.Load_profile.job ~current:0.5 ~duration:1.0;
+        Kibam.Load_profile.idle 2.0;
+        Kibam.Load_profile.job ~current:0.25 ~duration:0.5;
+      ]
+  in
+  check_close 1e-12 "duration" 3.5 (Kibam.Load_profile.total_duration p);
+  Alcotest.(check (list (float 1e-12))) "boundaries" [ 1.0; 3.0; 3.5 ]
+    (Kibam.Load_profile.boundaries p)
+
+let test_profile_truncate () =
+  let p = Kibam.Load_profile.job ~current:0.5 ~duration:10.0 in
+  let t = Kibam.Load_profile.truncate 4.0 p in
+  check_close 1e-12 "truncated" 4.0 (Kibam.Load_profile.total_duration t)
+
+let test_profile_cycle_until () =
+  let base =
+    Kibam.Load_profile.append
+      (Kibam.Load_profile.job ~current:0.5 ~duration:1.0)
+      (Kibam.Load_profile.idle 1.0)
+  in
+  let c = Kibam.Load_profile.cycle_until ~horizon:10.0 base in
+  Alcotest.(check bool) "covers horizon" true
+    (Kibam.Load_profile.total_duration c >= 10.0)
+
+let test_profile_scale () =
+  let p = Kibam.Load_profile.job ~current:0.5 ~duration:1.0 in
+  let s = Kibam.Load_profile.scale_current 2.0 p in
+  check_close 1e-12 "scaled" 1.0 (Kibam.Load_profile.current_at s 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Charging                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_charging_fills_exactly () =
+  let drained = Kibam.Analytic.step b1 ~current:0.5 ~elapsed:2.0 (Kibam.State.full b1) in
+  let t = Kibam.Charging.time_to_full b1 ~current:0.25 drained in
+  check_close 1e-9 "linear refill time" (1.0 /. 0.25) t;
+  let s = Kibam.Charging.step b1 ~current:0.25 ~elapsed:t drained in
+  check_close 1e-9 "gamma = C" 5.5 s.Kibam.State.gamma
+
+let test_charging_stops_at_capacity () =
+  let drained = Kibam.Analytic.step b1 ~current:0.5 ~elapsed:2.0 (Kibam.State.full b1) in
+  (* charge far longer than needed: gamma must cap at C *)
+  let s = Kibam.Charging.step b1 ~current:0.25 ~elapsed:100.0 drained in
+  check_close 1e-9 "capped" 5.5 s.Kibam.State.gamma;
+  (* and the long rest lets the wells equalize: delta ~ 0 *)
+  Alcotest.(check bool) "equalized" true (Float.abs s.Kibam.State.delta < 1e-4)
+
+let test_charging_raises_available () =
+  let drained = Kibam.Analytic.step b1 ~current:0.5 ~elapsed:2.0 (Kibam.State.full b1) in
+  let s = Kibam.Charging.step b1 ~current:0.25 ~elapsed:1.0 drained in
+  Alcotest.(check bool) "y1 grows" true
+    (Kibam.State.y1 b1 s > Kibam.State.y1 b1 drained)
+
+let test_round_trip_hysteresis () =
+  let full, t =
+    Kibam.Charging.round_trip b1 ~discharge_current:0.5 ~discharge_time:1.5
+      ~charge_current:0.25 (Kibam.State.full b1)
+  in
+  check_close 1e-9 "full again" 5.5 full.Kibam.State.gamma;
+  (* charging 0.75 A*min back at 250 mA takes 3 minutes *)
+  check_close 1e-9 "charge time" 3.0 t;
+  (* the height difference is negative after charging: the available
+     well sits above the bound well *)
+  Alcotest.(check bool) "delta < 0 after charge" true (full.Kibam.State.delta < 0.0)
+
+let test_charging_validation () =
+  let s = Kibam.State.full b1 in
+  Alcotest.(check bool) "zero current rejected" true
+    (try ignore (Kibam.Charging.step b1 ~current:0.0 ~elapsed:1.0 s); false
+     with Invalid_argument _ -> true)
+
+let test_overflow_current_positive () =
+  let drained = Kibam.Analytic.step b1 ~current:0.5 ~elapsed:2.0 (Kibam.State.full b1) in
+  Alcotest.(check bool) "positive bound" true
+    (Kibam.Charging.overflow_current b1 drained > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Parameter fitting                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_fit2_roundtrips_paper_cell () =
+  let l250 = Kibam.Capacity.lifetime_constant b1 ~current:0.25 in
+  let l500 = Kibam.Capacity.lifetime_constant b1 ~current:0.5 in
+  let p = Kibam.Fit.fit2 ~capacity:5.5 (0.25, l250) (0.5, l500) in
+  check_close 1e-4 "c recovered" 0.166 p.Kibam.Params.c;
+  check_close 1e-4 "k' recovered" 0.122 p.Kibam.Params.k'
+
+let test_fit_many_points () =
+  let pts =
+    List.map (fun i -> (i, Kibam.Capacity.lifetime_constant b1 ~current:i))
+      [ 0.1; 0.2; 0.3; 0.5; 0.7 ]
+  in
+  let p, residual = Kibam.Fit.fit ~capacity:5.5 pts in
+  Alcotest.(check bool) "tiny residual" true (residual < 1e-6);
+  check_close 1e-3 "c" 0.166 p.Kibam.Params.c
+
+let test_fit_validation () =
+  Alcotest.(check bool) "overfull point rejected" true
+    (try ignore (Kibam.Fit.fit2 ~capacity:5.5 (1.0, 6.0) (0.5, 9.0)); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "no rate-capacity rejected" true
+    (try ignore (Kibam.Fit.fit2 ~capacity:5.5 (0.5, 5.0) (0.25, 5.0)); false
+     with Invalid_argument _ -> true)
+
+let test_fit_residual_measures_misfit () =
+  let pts = [ (0.25, 4.53); (0.5, 2.02) ] in
+  let good = Kibam.Fit.fit2 ~capacity:5.5 (0.25, 4.53) (0.5, 2.02) in
+  let bad = Kibam.Params.make ~c:0.5 ~k':0.01 ~capacity:5.5 in
+  Alcotest.(check bool) "good < bad" true
+    (Kibam.Fit.lifetime_residual good pts < Kibam.Fit.lifetime_residual bad pts)
+
+let () =
+  Alcotest.run "kibam"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "validation" `Quick test_params_validation;
+          Alcotest.test_case "paper cells" `Quick test_params_paper_cells;
+          Alcotest.test_case "scaling" `Quick test_params_scaling;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "full state" `Quick test_full_state;
+          Alcotest.test_case "wells roundtrip" `Quick test_wells_roundtrip;
+          Alcotest.test_case "heights and emptiness" `Quick
+            test_heights_and_emptiness;
+          QCheck_alcotest.to_alcotest prop_transform_roundtrip;
+        ] );
+      ( "analytic",
+        [
+          Alcotest.test_case "step identity" `Quick test_step_identity;
+          Alcotest.test_case "step additivity" `Quick test_step_additivity;
+          Alcotest.test_case "charge conservation" `Quick test_charge_conservation;
+          Alcotest.test_case "steady-state delta" `Quick test_steady_state_delta;
+          Alcotest.test_case "closed form vs RK4 (transformed)" `Quick
+            test_analytic_vs_rk4_transformed;
+          Alcotest.test_case "closed form vs RK4 (wells)" `Quick
+            test_analytic_vs_rk4_wells;
+          Alcotest.test_case "time to empty (CL 250)" `Quick
+            test_time_to_empty_constant;
+          Alcotest.test_case "no death at rest" `Quick test_time_to_empty_zero_current;
+          Alcotest.test_case "recovery effect" `Quick test_recovery_effect;
+          QCheck_alcotest.to_alcotest prop_step_matches_ode;
+        ] );
+      ( "lifetime (paper tables 3/4, analytic columns)",
+        [
+          Alcotest.test_case "B1 column" `Quick
+            (check_paper_column b1 paper_analytic_b1);
+          Alcotest.test_case "B2 column" `Quick
+            (check_paper_column b2 paper_analytic_b2);
+          Alcotest.test_case "scaling invariance" `Quick test_scaling_invariance;
+          Alcotest.test_case "no death during idle" `Quick test_no_death_during_idle;
+          Alcotest.test_case "trace shape" `Quick test_trace_is_sorted_and_bounded;
+          Alcotest.test_case "delivered charge" `Quick test_delivered_charge;
+          Alcotest.test_case "state_at" `Quick test_state_at_matches_step;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "rate-capacity monotone" `Quick
+            test_rate_capacity_monotone;
+          Alcotest.test_case "stranded fraction bounds" `Quick
+            test_stranded_fraction_bounds;
+          Alcotest.test_case "low current ~ full capacity" `Quick
+            test_low_current_approaches_capacity;
+          QCheck_alcotest.to_alcotest prop_delivered_decreasing;
+        ] );
+      ( "charging",
+        [
+          Alcotest.test_case "fills exactly" `Quick test_charging_fills_exactly;
+          Alcotest.test_case "stops at capacity" `Quick test_charging_stops_at_capacity;
+          Alcotest.test_case "raises available charge" `Quick
+            test_charging_raises_available;
+          Alcotest.test_case "round-trip hysteresis" `Quick test_round_trip_hysteresis;
+          Alcotest.test_case "validation" `Quick test_charging_validation;
+          Alcotest.test_case "overflow bound" `Quick test_overflow_current_positive;
+        ] );
+      ( "fitting",
+        [
+          Alcotest.test_case "fit2 round-trips the paper cell" `Quick
+            test_fit2_roundtrips_paper_cell;
+          Alcotest.test_case "fit on five points" `Quick test_fit_many_points;
+          Alcotest.test_case "validation" `Quick test_fit_validation;
+          Alcotest.test_case "residual orders models" `Quick
+            test_fit_residual_measures_misfit;
+        ] );
+      ( "load profiles",
+        [
+          Alcotest.test_case "merge" `Quick test_profile_merge;
+          Alcotest.test_case "current_at" `Quick test_profile_current_at;
+          Alcotest.test_case "boundaries/duration" `Quick
+            test_profile_boundaries_and_duration;
+          Alcotest.test_case "truncate" `Quick test_profile_truncate;
+          Alcotest.test_case "cycle_until" `Quick test_profile_cycle_until;
+          Alcotest.test_case "scale_current" `Quick test_profile_scale;
+        ] );
+    ]

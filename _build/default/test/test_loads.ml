@@ -1,0 +1,346 @@
+(* Tests for the load library: epoch algebra, the paper's integer array
+   encoding (section 4.1), the ten test loads, and the random loads. *)
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Epoch algebra                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_idle_merging () =
+  let l =
+    Loads.Epoch.concat [ Loads.Epoch.idle 1.0; Loads.Epoch.idle 2.0; Loads.Epoch.idle 0.5 ]
+  in
+  check_int "idles merge" 1 (Loads.Epoch.epoch_count l);
+  check_float "total" 3.5 (Loads.Epoch.duration l)
+
+let test_jobs_do_not_merge () =
+  (* two identical back-to-back jobs are two scheduling points *)
+  let j = Loads.Epoch.job ~current:0.5 ~duration:1.0 in
+  let l = Loads.Epoch.append j j in
+  check_int "two epochs" 2 (Loads.Epoch.epoch_count l);
+  check_int "two jobs" 2 (Loads.Epoch.job_count l)
+
+let test_jobs_listing () =
+  let l =
+    Loads.Epoch.concat
+      [
+        Loads.Epoch.job ~current:0.5 ~duration:1.0;
+        Loads.Epoch.idle 2.0;
+        Loads.Epoch.job ~current:0.25 ~duration:0.5;
+      ]
+  in
+  match Loads.Epoch.jobs l with
+  | [ (t1, c1, d1); (t2, c2, d2) ] ->
+      check_float "job1 start" 0.0 t1;
+      check_float "job1 current" 0.5 c1;
+      check_float "job1 duration" 1.0 d1;
+      check_float "job2 start" 3.0 t2;
+      check_float "job2 current" 0.25 c2;
+      check_float "job2 duration" 0.5 d2
+  | l -> Alcotest.failf "expected 2 jobs, got %d" (List.length l)
+
+let test_epoch_at () =
+  let l =
+    Loads.Epoch.append (Loads.Epoch.job ~current:0.5 ~duration:1.0) (Loads.Epoch.idle 1.0)
+  in
+  (match Loads.Epoch.epoch_at l 0.5 with
+  | Some (0, Loads.Epoch.Job _) -> ()
+  | _ -> Alcotest.fail "expected job at 0.5");
+  (match Loads.Epoch.epoch_at l 1.5 with
+  | Some (1, Loads.Epoch.Idle _) -> ()
+  | _ -> Alcotest.fail "expected idle at 1.5");
+  Alcotest.(check bool) "past end" true (Loads.Epoch.epoch_at l 99.0 = None)
+
+let test_to_profile () =
+  let l =
+    Loads.Epoch.append (Loads.Epoch.job ~current:0.5 ~duration:1.0) (Loads.Epoch.idle 1.0)
+  in
+  let p = Loads.Epoch.to_profile l in
+  check_float "profile duration" 2.0 (Kibam.Load_profile.total_duration p)
+
+let test_truncate () =
+  let l = Loads.Epoch.repeat 5 (Loads.Epoch.job ~current:0.5 ~duration:1.0) in
+  check_float "truncated" 2.5 (Loads.Epoch.duration (Loads.Epoch.truncate 2.5 l))
+
+let test_validation () =
+  let rejects f =
+    Alcotest.(check bool) "rejects" true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  rejects (fun () -> Loads.Epoch.job ~current:0.0 ~duration:1.0);
+  rejects (fun () -> Loads.Epoch.job ~current:0.5 ~duration:0.0);
+  rejects (fun () -> Loads.Epoch.idle 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Integer arrays (paper section 4.1)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let paper_enc load = Loads.Arrays.make ~time_step:0.01 ~charge_unit:0.01 load
+
+let test_arrays_cl_alt () =
+  let l = Loads.Testloads.load ~horizon:4.0 Loads.Testloads.CL_alt in
+  let a = paper_enc l in
+  (* 500 mA: 1 unit per 2 steps; 250 mA: 1 unit per 4 steps *)
+  check_int "epoch 0 cur" 1 a.Loads.Arrays.cur.(0);
+  check_int "epoch 0 cur_times" 2 a.Loads.Arrays.cur_times.(0);
+  check_int "epoch 1 cur_times" 4 a.Loads.Arrays.cur_times.(1);
+  check_int "epoch 0 ends at step 100" 100 a.Loads.Arrays.load_time.(0);
+  check_int "epoch 1 ends at step 200" 200 a.Loads.Arrays.load_time.(1)
+
+let test_arrays_idle_epochs () =
+  let l =
+    Loads.Epoch.append (Loads.Epoch.job ~current:0.25 ~duration:1.0) (Loads.Epoch.idle 2.0)
+  in
+  let a = paper_enc l in
+  check_int "idle cur = 0" 0 a.Loads.Arrays.cur.(1);
+  check_int "idle length" 200 (Loads.Arrays.epoch_steps a 1)
+
+let test_arrays_current_roundtrip () =
+  (* eq. (7) must invert the encoding *)
+  let l =
+    Loads.Epoch.concat
+      [
+        Loads.Epoch.job ~current:0.25 ~duration:1.0;
+        Loads.Epoch.job ~current:0.5 ~duration:1.0;
+        Loads.Epoch.job ~current:0.3 ~duration:1.0;
+        Loads.Epoch.job ~current:0.125 ~duration:1.0;
+      ]
+  in
+  let a = paper_enc l in
+  List.iteri
+    (fun y expected -> check_float "eq (7)" expected (Loads.Arrays.current a y))
+    [ 0.25; 0.5; 0.3; 0.125 ]
+
+let test_arrays_not_representable () =
+  Alcotest.(check bool)
+    "irrational current rejected" true
+    (try
+       ignore (paper_enc (Loads.Epoch.job ~current:(Float.pi /. 10.0) ~duration:1.0));
+       false
+     with Loads.Arrays.Not_representable _ -> true)
+
+let test_arrays_off_grid_duration () =
+  Alcotest.(check bool)
+    "off-grid epoch rejected" true
+    (try
+       ignore (paper_enc (Loads.Epoch.job ~current:0.25 ~duration:0.0053));
+       false
+     with Loads.Arrays.Not_representable _ -> true)
+
+let test_arrays_validation () =
+  let rejects f =
+    Alcotest.(check bool) "rejects" true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  rejects (fun () ->
+      Loads.Arrays.of_arrays ~time_step:0.01 ~charge_unit:0.01
+        ~load_time:[| 10; 10 |] ~cur_times:[| 1; 1 |] ~cur:[| 1; 1 |]);
+  rejects (fun () ->
+      Loads.Arrays.of_arrays ~time_step:0.01 ~charge_unit:0.01
+        ~load_time:[| 10 |] ~cur_times:[| 0 |] ~cur:[| 1 |]);
+  rejects (fun () ->
+      Loads.Arrays.of_arrays ~time_step:0.01 ~charge_unit:0.01
+        ~load_time:[| 10 |] ~cur_times:[| 1; 2 |] ~cur:[| 1 |])
+
+let test_arrays_compatibility_check () =
+  let a = paper_enc (Loads.Epoch.job ~current:0.25 ~duration:1.0) in
+  Loads.Arrays.check_compatible a ~time_step:0.01 ~charge_unit:0.01;
+  Alcotest.(check bool)
+    "wrong gamma rejected" true
+    (try
+       Loads.Arrays.check_compatible a ~time_step:0.01 ~charge_unit:0.005;
+       false
+     with Invalid_argument _ -> true)
+
+let prop_arrays_duration_consistent =
+  QCheck.Test.make ~name:"array epochs partition the load duration" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 8) (pair bool (int_range 1 30)))
+    (fun spec ->
+      let epochs =
+        List.map
+          (fun (is_job, tenths) ->
+            let duration = float_of_int tenths /. 10.0 in
+            if is_job then Loads.Epoch.job ~current:0.25 ~duration
+            else Loads.Epoch.idle duration)
+          spec
+      in
+      let l = Loads.Epoch.concat epochs in
+      let a = paper_enc l in
+      let total_steps =
+        List.init (Loads.Arrays.epoch_count a) (Loads.Arrays.epoch_steps a)
+        |> List.fold_left ( + ) 0
+      in
+      Float.abs (float_of_int total_steps *. 0.01 -. Loads.Epoch.duration l) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Test loads                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_loads_build () =
+  List.iter
+    (fun name ->
+      let l = Loads.Testloads.load name in
+      Alcotest.(check bool)
+        (Loads.Testloads.to_string name)
+        true
+        (Loads.Epoch.duration l >= 398.0 && Loads.Epoch.job_count l > 0);
+      ignore (paper_enc l))
+    Loads.Testloads.all_names
+
+let test_load_names_roundtrip () =
+  List.iter
+    (fun name ->
+      match Loads.Testloads.of_string (Loads.Testloads.to_string name) with
+      | Some n when n = name -> ()
+      | _ ->
+          Alcotest.failf "name roundtrip failed for %s"
+            (Loads.Testloads.to_string name))
+    Loads.Testloads.all_names;
+  Alcotest.(check bool) "underscore accepted" true
+    (Loads.Testloads.of_string "ils_alt" = Some Loads.Testloads.ILs_alt);
+  Alcotest.(check bool) "unknown rejected" true
+    (Loads.Testloads.of_string "nonsense" = None)
+
+let test_alt_starts_high () =
+  (* calibration result: alternating loads start with the 500 mA job *)
+  match Loads.Epoch.jobs (Loads.Testloads.load Loads.Testloads.CL_alt) with
+  | (_, c0, _) :: (_, c1, _) :: _ ->
+      check_float "first job high" 0.5 c0;
+      check_float "second job low" 0.25 c1
+  | _ -> Alcotest.fail "CL alt too short"
+
+let test_reconstructed_r_sequences () =
+  let first_currents name n =
+    Loads.Epoch.jobs (Loads.Testloads.load name)
+    |> List.filteri (fun i _ -> i < n)
+    |> List.map (fun (_, c, _) -> c)
+  in
+  Alcotest.(check (list (float 1e-9)))
+    "r1 = LHHLHLLLHLLH"
+    [ 0.25; 0.5; 0.5; 0.25; 0.5; 0.25; 0.25; 0.25; 0.5; 0.25; 0.25; 0.5 ]
+    (first_currents Loads.Testloads.ILs_r1 12);
+  Alcotest.(check (list (float 1e-9)))
+    "r2 = LHHLLHHH"
+    [ 0.25; 0.5; 0.5; 0.25; 0.25; 0.5; 0.5; 0.5 ]
+    (first_currents Loads.Testloads.ILs_r2 8)
+
+let test_random_load_determinism () =
+  let a = Loads.Random_load.intermitted ~seed:7L ~jobs:20 () in
+  let b = Loads.Random_load.intermitted ~seed:7L ~jobs:20 () in
+  Alcotest.(check bool) "same seed same load" true (Loads.Epoch.equal a b);
+  let c = Loads.Random_load.intermitted ~seed:8L ~jobs:20 () in
+  Alcotest.(check bool) "different seed differs" true (not (Loads.Epoch.equal a c))
+
+let test_random_load_shape () =
+  let l = Loads.Random_load.intermitted ~seed:1L ~jobs:10 () in
+  check_int "10 jobs" 10 (Loads.Epoch.job_count l);
+  check_float "20 minutes" 20.0 (Loads.Epoch.duration l);
+  List.iter
+    (fun (_, c, _) ->
+      if c <> 0.25 && c <> 0.5 then Alcotest.failf "unexpected current %f" c)
+    (Loads.Epoch.jobs l)
+
+(* ------------------------------------------------------------------ *)
+(* The load-spec language                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_basic () =
+  let l = Loads.Spec.parse "job 0.5 1; idle 1; job 0.25 1; idle 1" in
+  check_int "4 epochs" 4 (Loads.Epoch.epoch_count l);
+  check_float "duration" 4.0 (Loads.Epoch.duration l);
+  match Loads.Epoch.jobs l with
+  | [ (_, c1, _); (_, c2, _) ] ->
+      check_float "first current" 0.5 c1;
+      check_float "second current" 0.25 c2
+  | _ -> Alcotest.fail "expected two jobs"
+
+let test_spec_repeat () =
+  let l = Loads.Spec.parse "repeat 3 (job 0.5 1; idle 1)" in
+  check_int "3 jobs" 3 (Loads.Epoch.job_count l);
+  check_float "6 minutes" 6.0 (Loads.Epoch.duration l)
+
+let test_spec_nested_repeat () =
+  let l = Loads.Spec.parse "repeat 2 (job 0.5 1; repeat 2 (idle 1; job 0.25 1))" in
+  check_int "6 jobs" 6 (Loads.Epoch.job_count l)
+
+let test_spec_named_load () =
+  let l = Loads.Spec.parse "ils_alt" in
+  Alcotest.(check bool) "matches built-in" true
+    (Loads.Epoch.equal l (Loads.Testloads.load Loads.Testloads.ILs_alt))
+
+let test_spec_roundtrip () =
+  let l = Loads.Spec.parse "job 0.5 1; idle 2; job 0.25 0.5" in
+  let l' = Loads.Spec.parse (Loads.Spec.to_string l) in
+  Alcotest.(check bool) "roundtrip" true (Loads.Epoch.equal l l')
+
+let test_spec_errors () =
+  let fails s =
+    Alcotest.(check bool) s true
+      (try
+         ignore (Loads.Spec.parse s);
+         false
+       with Loads.Spec.Parse_error _ -> true)
+  in
+  fails "";
+  fails "job";
+  fails "job abc 1";
+  fails "job 0.5 1; bogus";
+  fails "repeat 0 (job 0.5 1)";
+  fails "repeat 2 job 0.5 1";
+  fails "job 0.5 1 )";
+  fails "job -0.5 1"
+
+let () =
+  Alcotest.run "loads"
+    [
+      ( "epoch algebra",
+        [
+          Alcotest.test_case "idle merging" `Quick test_idle_merging;
+          Alcotest.test_case "jobs stay distinct" `Quick test_jobs_do_not_merge;
+          Alcotest.test_case "jobs listing" `Quick test_jobs_listing;
+          Alcotest.test_case "epoch_at" `Quick test_epoch_at;
+          Alcotest.test_case "to_profile" `Quick test_to_profile;
+          Alcotest.test_case "truncate" `Quick test_truncate;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "arrays (section 4.1)",
+        [
+          Alcotest.test_case "CL alt encoding" `Quick test_arrays_cl_alt;
+          Alcotest.test_case "idle epochs" `Quick test_arrays_idle_epochs;
+          Alcotest.test_case "eq (7) roundtrip" `Quick test_arrays_current_roundtrip;
+          Alcotest.test_case "not representable current" `Quick
+            test_arrays_not_representable;
+          Alcotest.test_case "off-grid duration" `Quick test_arrays_off_grid_duration;
+          Alcotest.test_case "validation" `Quick test_arrays_validation;
+          Alcotest.test_case "discretization compatibility" `Quick
+            test_arrays_compatibility_check;
+          QCheck_alcotest.to_alcotest prop_arrays_duration_consistent;
+        ] );
+      ( "spec language",
+        [
+          Alcotest.test_case "basic" `Quick test_spec_basic;
+          Alcotest.test_case "repeat" `Quick test_spec_repeat;
+          Alcotest.test_case "nested repeat" `Quick test_spec_nested_repeat;
+          Alcotest.test_case "named load" `Quick test_spec_named_load;
+          Alcotest.test_case "roundtrip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "errors" `Quick test_spec_errors;
+        ] );
+      ( "test loads",
+        [
+          Alcotest.test_case "all ten build" `Quick test_all_loads_build;
+          Alcotest.test_case "names roundtrip" `Quick test_load_names_roundtrip;
+          Alcotest.test_case "alternation starts high" `Quick test_alt_starts_high;
+          Alcotest.test_case "reconstructed r1/r2" `Quick
+            test_reconstructed_r_sequences;
+          Alcotest.test_case "random determinism" `Quick test_random_load_determinism;
+          Alcotest.test_case "random shape" `Quick test_random_load_shape;
+        ] );
+    ]

@@ -1,0 +1,1322 @@
+(* Tests for the priced-timed-automata substrate: the lamp models of the
+   paper's Figures 2-4 exercised on both engines, DBM algebra checked
+   against a brute-force valuation oracle, and discrete-engine semantics
+   pinned down on small hand-built networks. *)
+
+open Pta
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: lamp + user, synchronizing on [press].                    *)
+(* ------------------------------------------------------------------ *)
+
+let lamp_fig2 () =
+  let open Automaton in
+  let lamp =
+    make ~name:"lamp" ~clocks:[ "y" ]
+      ~locations:[ location "off"; location "low"; location "bright" ]
+      ~initial:"off"
+      ~edges:
+        [
+          edge ~src:"off" ~dst:"low" ~sync:(Recv ("press", None)) ~resets:[ "y" ] ();
+          edge ~src:"low" ~dst:"off"
+            ~guard:(guard_clock "y" Expr.Ge (Expr.i 5))
+            ~sync:(Recv ("press", None)) ();
+          edge ~src:"low" ~dst:"bright"
+            ~guard:(guard_clock "y" Expr.Lt (Expr.i 5))
+            ~sync:(Recv ("press", None)) ();
+          edge ~src:"bright" ~dst:"off" ~sync:(Recv ("press", None)) ();
+        ]
+      ()
+  in
+  let user =
+    make ~name:"user" ~locations:[ location "idle" ] ~initial:"idle"
+      ~edges:[ edge ~src:"idle" ~dst:"idle" ~sync:(Send ("press", None)) () ]
+      ()
+  in
+  Network.make
+    ~channels:[ Network.chan "press" ]
+    ~automata:[ lamp; user ] ()
+
+let test_fig2_bright_reachable_discrete () =
+  let net = Compiled.compile (lamp_fig2 ()) in
+  let goal = Priced.loc_goal net ~auto:"lamp" ~loc:"bright" in
+  let r = Priced.search ~goal net in
+  (* two presses, the second within 5 time units; zero cost model *)
+  check_int "cost" 0 r.Priced.cost
+
+let test_fig2_bright_reachable_zone () =
+  let net = Compiled.compile (lamp_fig2 ()) in
+  let lamp = Compiled.auto_index net "lamp" in
+  let bright = Compiled.location_index net ~auto:"lamp" ~loc:"bright" in
+  check_bool "reachable" true
+    (Reachability.reachable net ~goal:(fun ~locs ~vars:_ -> locs.(lamp) = bright))
+
+(* A lamp whose second press must come at y >= 5 but which dies (goes
+   back to off) at y <= 3 can never reach bright. *)
+let lamp_unreachable () =
+  let open Automaton in
+  let lamp =
+    make ~name:"lamp" ~clocks:[ "y" ]
+      ~locations:
+        [
+          location "off";
+          location ~invariant:(guard_clock "y" Expr.Le (Expr.i 3)) "low";
+          location "bright";
+        ]
+      ~initial:"off"
+      ~edges:
+        [
+          edge ~src:"off" ~dst:"low" ~sync:(Recv ("press", None)) ~resets:[ "y" ] ();
+          edge ~src:"low" ~dst:"off" ~guard:(guard_clock "y" Expr.Ge (Expr.i 3)) ();
+          edge ~src:"low" ~dst:"bright"
+            ~guard:(guard_clock "y" Expr.Ge (Expr.i 5))
+            ~sync:(Recv ("press", None)) ();
+        ]
+      ()
+  in
+  let user =
+    make ~name:"user" ~locations:[ location "idle" ] ~initial:"idle"
+      ~edges:[ edge ~src:"idle" ~dst:"idle" ~sync:(Send ("press", None)) () ]
+      ()
+  in
+  Network.make ~channels:[ Network.chan "press" ] ~automata:[ lamp; user ] ()
+
+let test_unreachable_zone () =
+  let net = Compiled.compile (lamp_unreachable ()) in
+  let lamp = Compiled.auto_index net "lamp" in
+  let bright = Compiled.location_index net ~auto:"lamp" ~loc:"bright" in
+  check_bool "unreachable" false
+    (Reachability.reachable net ~goal:(fun ~locs ~vars:_ -> locs.(lamp) = bright))
+
+let test_unreachable_discrete () =
+  let net = Compiled.compile (lamp_unreachable ()) in
+  let goal = Priced.loc_goal net ~auto:"lamp" ~loc:"bright" in
+  check_bool "unreachable" false (Priced.reachable ~max_expansions:100_000 ~goal net)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: automatic lamp with costs.                                *)
+(* ------------------------------------------------------------------ *)
+
+(* off --press?(cost += 50, y := 0)--> low   (rate 10, inv y <= 10)
+   low --press?(y < 5)--> bright             (rate 20, inv y <= 10)
+   low --(y >= 10)--> off ;  bright --(y >= 10)--> off *)
+let lamp_fig4 () =
+  let open Automaton in
+  let lamp =
+    make ~name:"lamp" ~clocks:[ "y" ]
+      ~locations:
+        [
+          location "off";
+          location
+            ~invariant:(guard_clock "y" Expr.Le (Expr.i 10))
+            ~cost_rate:(Expr.i 10) "low";
+          location
+            ~invariant:(guard_clock "y" Expr.Le (Expr.i 10))
+            ~cost_rate:(Expr.i 20) "bright";
+        ]
+      ~initial:"off"
+      ~edges:
+        [
+          edge ~src:"off" ~dst:"low" ~sync:(Recv ("press", None)) ~resets:[ "y" ]
+            ~cost:(Expr.i 50) ();
+          edge ~src:"low" ~dst:"bright"
+            ~guard:(guard_clock "y" Expr.Lt (Expr.i 5))
+            ~sync:(Recv ("press", None))
+            ~updates:[ Expr.set "seen_bright" (Expr.i 1) ] ();
+          edge ~src:"low" ~dst:"off" ~guard:(guard_clock "y" Expr.Ge (Expr.i 10)) ();
+          edge ~src:"bright" ~dst:"off" ~guard:(guard_clock "y" Expr.Ge (Expr.i 10)) ();
+        ]
+      ()
+  in
+  let user =
+    make ~name:"user" ~locations:[ location "idle" ] ~initial:"idle"
+      ~edges:[ edge ~src:"idle" ~dst:"idle" ~sync:(Send ("press", None)) () ]
+      ()
+  in
+  Network.make
+    ~decls:[ Env.Scalar ("seen_bright", 0) ]
+    ~channels:[ Network.chan ~kind:Network.Broadcast "press" ]
+    ~automata:[ lamp; user ] ()
+
+let test_fig4_min_cost_bright () =
+  let net = Compiled.compile (lamp_fig4 ()) in
+  let goal = Priced.loc_goal net ~auto:"lamp" ~loc:"bright" in
+  let r = Priced.search ~goal net in
+  (* Press (50), then immediately press again before any time passes in
+     low: total 50. *)
+  check_int "cost" 50 r.cost
+
+let test_fig4_min_cost_full_cycle () =
+  let net = Compiled.compile (lamp_fig4 ()) in
+  let lamp = Compiled.auto_index net "lamp" in
+  let off = Compiled.location_index net ~auto:"lamp" ~loc:"off" in
+  let seen =
+    let symtab = net.Compiled.symtab in
+    fun vars -> Env.read symtab vars "seen_bright" = 1
+  in
+  let goal (s : Discrete.state) = s.locs.(lamp) = off && seen s.vars in
+  (* Reach off again after having been bright.  The lamp leaves low or
+     bright only at y = 10, so the 10 time units after switch-on are
+     split between low (rate 10) and bright (rate 20); the second press
+     must come at y <= 4, so the optimum lingers in low exactly 4 units:
+     50 + 10*4 + 20*6 = 210. *)
+  let r = Priced.search ~goal net in
+  check_int "cost" 210 r.cost
+
+(* ------------------------------------------------------------------ *)
+(* Discrete semantics details.                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Committed locations forbid delay and force the committed automaton to
+   move first. *)
+let test_committed_priority () =
+  let open Automaton in
+  let a =
+    make ~name:"a"
+      ~locations:[ location ~committed:true "start"; location "done_" ]
+      ~initial:"start"
+      ~edges:[ edge ~src:"start" ~dst:"done_" ~updates:[ Expr.set "x" (Expr.i 1) ] () ]
+      ()
+  in
+  let b =
+    make ~name:"b" ~locations:[ location "idle"; location "moved" ]
+      ~initial:"idle"
+      ~edges:
+        [
+          edge ~src:"idle" ~dst:"moved"
+            ~guard:(guard_data Expr.(v "x" == i 0))
+            ~updates:[ Expr.set "y_moved" (Expr.i 1) ] ();
+        ]
+      ()
+  in
+  let net =
+    Compiled.compile
+      (Network.make
+         ~decls:[ Env.Scalar ("x", 0); Env.Scalar ("y_moved", 0) ]
+         ~automata:[ a; b ] ())
+  in
+  let s0 = Discrete.initial net in
+  let succs = Discrete.successors net s0 in
+  (* only the committed automaton's edge; no delay, no b move *)
+  check_int "one successor" 1 (List.length succs);
+  match succs with
+  | [ { step = Discrete.Fire act; _ } ] ->
+      check_int "a moves" 1 (List.length act.Compiled.act_edges)
+  | _ -> Alcotest.fail "expected a single Fire"
+
+(* Broadcast: sender proceeds alone when nobody listens; every ready
+   receiver joins when they do. *)
+let broadcast_net ~receiver_guard =
+  let open Automaton in
+  let sender =
+    make ~name:"s" ~locations:[ location "p"; location "q" ] ~initial:"p"
+      ~edges:[ edge ~src:"p" ~dst:"q" ~sync:(Send ("c", None)) () ]
+      ()
+  in
+  let recv name =
+    make ~name ~locations:[ location "w"; location "r" ] ~initial:"w"
+      ~edges:
+        [ edge ~src:"w" ~dst:"r" ~guard:(guard_data receiver_guard) ~sync:(Recv ("c", None)) () ]
+      ()
+  in
+  Network.make
+    ~decls:[ Env.Scalar ("g", 0) ]
+    ~channels:[ Network.chan ~kind:Network.Broadcast "c" ]
+    ~automata:[ sender; recv "r1"; recv "r2" ] ()
+
+let test_broadcast_no_receiver () =
+  (* guard false: sender still fires, receivers stay *)
+  let net = Compiled.compile (broadcast_net ~receiver_guard:Expr.(v "g" == i 1)) in
+  let s0 = Discrete.initial net in
+  let fires =
+    List.filter_map
+      (fun (tr : Discrete.transition) ->
+        match tr.step with Discrete.Fire a -> Some (a, tr.target) | _ -> None)
+      (Discrete.successors net s0)
+  in
+  check_int "one action" 1 (List.length fires);
+  let act, target = List.hd fires in
+  check_int "sender alone" 1 (List.length act.Compiled.act_edges);
+  check_int "r1 stayed" 0 target.Discrete.locs.(1);
+  check_int "r2 stayed" 0 target.Discrete.locs.(2)
+
+let test_broadcast_all_receivers () =
+  let net = Compiled.compile (broadcast_net ~receiver_guard:Expr.True) in
+  let s0 = Discrete.initial net in
+  let fires =
+    List.filter_map
+      (fun (tr : Discrete.transition) ->
+        match tr.step with Discrete.Fire a -> Some (a, tr.target) | _ -> None)
+      (Discrete.successors net s0)
+  in
+  check_int "one action" 1 (List.length fires);
+  let act, target = List.hd fires in
+  check_int "sender + 2 receivers" 3 (List.length act.Compiled.act_edges);
+  check_int "r1 moved" 1 target.Discrete.locs.(1);
+  check_int "r2 moved" 1 target.Discrete.locs.(2)
+
+(* Binary sync blocks without a partner. *)
+let test_binary_blocks () =
+  let open Automaton in
+  let solo =
+    make ~name:"solo" ~locations:[ location "p"; location "q" ] ~initial:"p"
+      ~edges:[ edge ~src:"p" ~dst:"q" ~sync:(Send ("c", None)) () ]
+      ()
+  in
+  let net =
+    Compiled.compile (Network.make ~channels:[ Network.chan "c" ] ~automata:[ solo ] ())
+  in
+  let succs = Discrete.successors net (Discrete.initial net) in
+  (* Only an (accelerated, pointless) delay — no action. *)
+  check_bool "no fire"
+    true
+    (List.for_all
+       (fun (tr : Discrete.transition) ->
+         match tr.step with Discrete.Delay _ -> true | Discrete.Fire _ -> false)
+       succs)
+
+(* Delay acceleration must jump exactly to the guard's lower bound. *)
+let test_delay_acceleration () =
+  let open Automaton in
+  let a =
+    make ~name:"a" ~clocks:[ "x" ]
+      ~locations:[ location "p"; location "q" ]
+      ~initial:"p"
+      ~edges:[ edge ~src:"p" ~dst:"q" ~guard:(guard_clock "x" Expr.Ge (Expr.i 7)) () ]
+      ()
+  in
+  let net = Compiled.compile (Network.make ~automata:[ a ] ()) in
+  match Discrete.successors net (Discrete.initial net) with
+  | [ { step = Discrete.Delay k; _ } ] -> check_int "jump to bound" 7 k
+  | _ -> Alcotest.fail "expected a single accelerated delay"
+
+(* Costs: accelerated delay accumulates rate * k. *)
+let test_delay_cost () =
+  let open Automaton in
+  let a =
+    make ~name:"a" ~clocks:[ "x" ]
+      ~locations:
+        [ location ~cost_rate:(Expr.i 3) "p"; location "q" ]
+      ~initial:"p"
+      ~edges:[ edge ~src:"p" ~dst:"q" ~guard:(guard_clock "x" Expr.Ge (Expr.i 5)) () ]
+      ()
+  in
+  let net = Compiled.compile (Network.make ~automata:[ a ] ()) in
+  let r = Priced.search ~goal:(Priced.loc_goal net ~auto:"a" ~loc:"q") net in
+  check_int "cost 15" 15 r.cost
+
+(* Urgency through invariants: an invariant x <= 2 forces the action by
+   time 2; the minimal-cost path can still fire earlier. *)
+let test_invariant_urgency () =
+  let open Automaton in
+  let a =
+    make ~name:"a" ~clocks:[ "x" ]
+      ~locations:
+        [
+          location ~invariant:(guard_clock "x" Expr.Le (Expr.i 2)) "p"; location "q";
+        ]
+      ~initial:"p"
+      ~edges:[ edge ~src:"p" ~dst:"q" ~guard:(guard_clock "x" Expr.Ge (Expr.i 1)) () ]
+      ()
+  in
+  let net = Compiled.compile (Network.make ~automata:[ a ] ()) in
+  let s0 = Discrete.initial net in
+  check_bool "cannot delay 3" false (Discrete.delay_allowed net s0 3);
+  check_bool "can delay 2" true (Discrete.delay_allowed net s0 2);
+  let r = Priced.search ~goal:(Priced.loc_goal net ~auto:"a" ~loc:"q") net in
+  check_int "cost 0" 0 r.cost
+
+(* Urgent locations freeze time but allow interleaving. *)
+let test_urgent_location () =
+  let open Automaton in
+  let a =
+    make ~name:"a" ~clocks:[ "x" ]
+      ~locations:[ location ~urgent:true "u"; location "v" ]
+      ~initial:"u"
+      ~edges:[ edge ~src:"u" ~dst:"v" () ]
+      ()
+  in
+  let b =
+    make ~name:"b"
+      ~locations:[ location "p"; location "q" ]
+      ~initial:"p"
+      ~edges:[ edge ~src:"p" ~dst:"q" () ]
+      ()
+  in
+  let net = Compiled.compile (Network.make ~automata:[ a; b ] ()) in
+  let s0 = Discrete.initial net in
+  (* no delay while a is in the urgent location... *)
+  check_bool "delay forbidden" false (Discrete.delay_allowed net s0 1);
+  (* ...but BOTH automata may act (unlike a committed location) *)
+  let fires =
+    List.filter_map
+      (fun (tr : Discrete.transition) ->
+        match tr.step with Discrete.Fire act -> Some act | _ -> None)
+      (Discrete.successors net s0)
+  in
+  check_int "both moves offered" 2 (List.length fires);
+  (* zone engine: v is reached with x still 0 possible... check simple
+     reachability only *)
+  let bq = Compiled.location_index net ~auto:"b" ~loc:"q" in
+  let bi = Compiled.auto_index net "b" in
+  check_bool "zone reaches q" true
+    (Reachability.reachable net ~goal:(fun ~locs ~vars:_ -> locs.(bi) = bq))
+
+(* Clock guard against a data expression: the discrete engine evaluates
+   it; the zone engine refuses the model. *)
+let expr_bound_net () =
+  let open Automaton in
+  let a =
+    make ~name:"a" ~clocks:[ "x" ]
+      ~locations:[ location "p"; location "q" ]
+      ~initial:"p"
+      ~edges:
+        [ edge ~src:"p" ~dst:"q" ~guard:(guard_clock "x" Expr.Ge (Expr.v "bound")) () ]
+      ()
+  in
+  Network.make ~decls:[ Env.Scalar ("bound", 9) ] ~automata:[ a ] ()
+
+let test_expr_bound_discrete () =
+  let net = Compiled.compile (expr_bound_net ()) in
+  let r = Priced.search ~goal:(Priced.loc_goal net ~auto:"a" ~loc:"q") net in
+  ignore r.cost;
+  (* trace must contain the accelerated Delay 9 *)
+  check_bool "delay 9 in trace" true
+    (List.exists (function Discrete.Delay 9 -> true | _ -> false) r.trace)
+
+let test_expr_bound_zone_refused () =
+  let net = Compiled.compile (expr_bound_net ()) in
+  Alcotest.check_raises "non-constant bound"
+    (Invalid_argument
+       "Pta.Compiled.max_clock_constant: non-constant clock bound bound in a \
+        edge")
+    (fun () -> ignore (Compiled.max_clock_constant net))
+
+(* ------------------------------------------------------------------ *)
+(* DBM algebra vs a brute-force valuation oracle.                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Enumerate all integer valuations of n clocks in [0, range]^n. *)
+let all_valuations n range =
+  let rec go k acc =
+    if k = 0 then acc
+    else
+      go (k - 1)
+        (List.concat_map (fun v -> List.init (range + 1) (fun x -> x :: v)) acc)
+  in
+  go n [ [] ]
+
+let valuation_fun l i = List.nth l (i - 1)
+
+type constraint_ = { ci : int; cj : int; cb : Dbm.bound }
+
+let random_constraints rng n count range =
+  List.init count (fun _ ->
+      let ci = Random.State.int rng (n + 1) in
+      let cj = Random.State.int rng (n + 1) in
+      let m = Random.State.int rng (2 * range) - range in
+      let strict = Random.State.bool rng in
+      { ci; cj; cb = (if strict then Dbm.lt m else Dbm.le m) })
+
+let constraint_sat c l =
+  let value i = if i = 0 then 0 else valuation_fun l i in
+  let diff = value c.ci - value c.cj in
+  if Dbm.bound_compare c.cb Dbm.inf = 0 then true
+  else begin
+    (* decode through the public API: compare against le/lt of the same m *)
+    let rec find m =
+      if m > 100 then assert false
+      else if Dbm.bound_compare c.cb (Dbm.le m) = 0 then (m, false)
+      else if Dbm.bound_compare c.cb (Dbm.lt m) = 0 then (m, true)
+      else find (m + 1)
+    in
+    let rec find_down m =
+      if m < -100 then assert false
+      else if Dbm.bound_compare c.cb (Dbm.le m) = 0 then (m, false)
+      else if Dbm.bound_compare c.cb (Dbm.lt m) = 0 then (m, true)
+      else find_down (m - 1)
+    in
+    let m, strict = if Dbm.bound_compare c.cb (Dbm.le 0) <= 0 then find_down 0 else find 0 in
+    if strict then diff < m else diff <= m
+  end
+
+let test_dbm_oracle () =
+  let n = 3 and range = 5 in
+  let rng = Random.State.make [| 42 |] in
+  let vals = all_valuations n range in
+  for _trial = 1 to 60 do
+    let cs = random_constraints rng n 5 range in
+    let zone =
+      List.fold_left (fun z c -> Dbm.constrain z c.ci c.cj c.cb) (Dbm.top n) cs
+    in
+    List.iter
+      (fun l ->
+        let expected = List.for_all (fun c -> constraint_sat c l) cs in
+        let got = Dbm.sat zone (valuation_fun l) in
+        if expected <> got then
+          Alcotest.failf "oracle mismatch on valuation %s: expected %b got %b"
+            (String.concat "," (List.map string_of_int l))
+            expected got)
+      vals
+  done
+
+let test_dbm_zero_and_up () =
+  let z = Dbm.zero 2 in
+  check_bool "zero sat" true (Dbm.sat z (fun _ -> 0));
+  check_bool "zero excludes (1,0)" false (Dbm.sat z (fun i -> if i = 1 then 1 else 0));
+  let up = Dbm.up z in
+  (* up of zero: both clocks equal, any non-negative value *)
+  check_bool "diag sat" true (Dbm.sat up (fun _ -> 7));
+  check_bool "off-diag unsat" false (Dbm.sat up (fun i -> if i = 1 then 3 else 4))
+
+let test_dbm_reset () =
+  let z = Dbm.up (Dbm.zero 2) in
+  let z = Dbm.constrain_cmp z ~clock:1 Expr.Ge 5 in
+  let z = Dbm.reset z 1 0 in
+  (* clock 1 back to 0, clock 2 still >= 5 and = old clock 1 *)
+  check_bool "reset sat" true (Dbm.sat z (fun i -> if i = 1 then 0 else 6));
+  check_bool "clock2 below 5 unsat" false (Dbm.sat z (fun i -> if i = 1 then 0 else 3));
+  check_bool "clock1 nonzero unsat" false (Dbm.sat z (fun i -> if i = 1 then 1 else 6))
+
+let test_dbm_inclusion () =
+  let big = Dbm.up (Dbm.zero 2) in
+  let small = Dbm.constrain_cmp big ~clock:1 Expr.Le 3 in
+  check_bool "big includes small" true (Dbm.includes big small);
+  check_bool "small excludes big" false (Dbm.includes small big);
+  check_bool "self inclusion" true (Dbm.includes small small)
+
+let test_dbm_empty () =
+  let z = Dbm.top 1 in
+  let z = Dbm.constrain_cmp z ~clock:1 Expr.Ge 5 in
+  let z = Dbm.constrain_cmp z ~clock:1 Expr.Lt 5 in
+  check_bool "empty" true (Dbm.is_empty z);
+  check_bool "includes empty" true (Dbm.includes (Dbm.zero 1) z)
+
+let test_dbm_extrapolate_soundness () =
+  (* extrapolation only grows the zone *)
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 50 do
+    let cs = random_constraints rng 3 4 8 in
+    let zone =
+      List.fold_left (fun z c -> Dbm.constrain z c.ci c.cj c.cb) (Dbm.top 3) cs
+    in
+    let ex = Dbm.extrapolate zone 8 in
+    if not (Dbm.includes ex zone) then Alcotest.fail "extrapolation shrank a zone"
+  done
+
+(* qcheck: intersection symmetry and consistency with includes *)
+let dbm_gen =
+  QCheck.Gen.(
+    let atom =
+      map3
+        (fun i j (m, s) -> { ci = i; cj = j; cb = (if s then Dbm.lt m else Dbm.le m) })
+        (int_bound 3) (int_bound 3)
+        (pair (int_range (-6) 6) bool)
+    in
+    map
+      (fun cs ->
+        List.fold_left (fun z c -> Dbm.constrain z c.ci c.cj c.cb) (Dbm.top 3) cs)
+      (list_size (int_bound 6) atom))
+
+let dbm_arb = QCheck.make ~print:(fun z -> Format.asprintf "%a" Dbm.pp z) dbm_gen
+
+let prop_intersects_sym =
+  QCheck.Test.make ~name:"Dbm.intersects symmetric" ~count:200
+    (QCheck.pair dbm_arb dbm_arb) (fun (a, b) ->
+      Dbm.intersects a b = Dbm.intersects b a)
+
+let prop_includes_intersects =
+  QCheck.Test.make ~name:"includes + nonempty => intersects" ~count:200
+    (QCheck.pair dbm_arb dbm_arb) (fun (a, b) ->
+      QCheck.assume (Dbm.includes a b && not (Dbm.is_empty b));
+      Dbm.intersects a b)
+
+let prop_up_monotone =
+  QCheck.Test.make ~name:"up grows zones" ~count:200 dbm_arb (fun z ->
+      Dbm.includes (Dbm.up z) z)
+
+let prop_constrain_shrinks =
+  QCheck.Test.make ~name:"constrain shrinks zones" ~count:200
+    (QCheck.pair dbm_arb (QCheck.make QCheck.Gen.(pair (int_bound 3) (int_range (-6) 6))))
+    (fun (z, (c, m)) ->
+      QCheck.assume (c >= 1);
+      Dbm.includes z (Dbm.constrain_cmp z ~clock:c Expr.Le m))
+
+(* ------------------------------------------------------------------ *)
+(* Train-gate controller (the Uppaal tutorial's other classic)         *)
+(* ------------------------------------------------------------------ *)
+
+(* Two trains approach a one-track crossing; a controller keeps at most
+   one on the crossing by stopping approaching trains.  Train i:
+   safe --appr[i]!--> appr (inv x<=20); within x<=10 the controller can
+   stop? it; otherwise at x>=10 it enters cross (inv x<=5), leaves with
+   leave[i]!.  Stopped trains wait for go?, then start (inv x<=15,
+   cross at x>=7).  The controller grants the crossing to one train at a
+   time.  Safety: never two trains in cross. *)
+let train_gate () =
+  let open Automaton in
+  let train i =
+    let appr = Printf.sprintf "appr_%d" i
+    and stop = Printf.sprintf "stop_%d" i
+    and go = Printf.sprintf "go_%d" i
+    and leave = Printf.sprintf "leave_%d" i in
+    make
+      ~name:(Printf.sprintf "train%d" i)
+      ~clocks:[ "x" ]
+      ~locations:
+        [
+          location "safe";
+          location ~invariant:(guard_clock "x" Expr.Le (Expr.i 20)) "appr";
+          location "stopped";
+          location ~invariant:(guard_clock "x" Expr.Le (Expr.i 15)) "start";
+          location ~invariant:(guard_clock "x" Expr.Le (Expr.i 5)) "cross";
+        ]
+      ~initial:"safe"
+      ~edges:
+        [
+          edge ~src:"safe" ~dst:"appr" ~sync:(Send (appr, None)) ~resets:[ "x" ] ();
+          edge ~src:"appr" ~dst:"stopped"
+            ~guard:(guard_clock "x" Expr.Le (Expr.i 10))
+            ~sync:(Recv (stop, None))
+            ();
+          edge ~src:"appr" ~dst:"cross"
+            ~guard:(guard_clock "x" Expr.Ge (Expr.i 10))
+            ~resets:[ "x" ] ();
+          edge ~src:"stopped" ~dst:"start" ~sync:(Recv (go, None)) ~resets:[ "x" ] ();
+          edge ~src:"start" ~dst:"cross"
+            ~guard:(guard_clock "x" Expr.Ge (Expr.i 7))
+            ~resets:[ "x" ] ();
+          edge ~src:"cross" ~dst:"safe"
+            ~guard:(guard_clock "x" Expr.Ge (Expr.i 3))
+            ~sync:(Send (leave, None)) ();
+        ]
+      ()
+  in
+  (* controller: free / occupied(i); a second approacher gets stop! *)
+  let controller =
+    make ~name:"gate"
+      ~locations:
+        [
+          location "free";
+          location "occ1";
+          location "occ2";
+          location ~committed:true "hold1";
+          location ~committed:true "hold2";
+        ]
+      ~initial:"free"
+      ~edges:
+        [
+          edge ~src:"free" ~dst:"occ1" ~sync:(Recv ("appr_1", None)) ();
+          edge ~src:"free" ~dst:"occ2" ~sync:(Recv ("appr_2", None)) ();
+          edge ~src:"occ1" ~dst:"hold1" ~sync:(Recv ("appr_2", None)) ();
+          edge ~src:"hold1" ~dst:"occ1" ~sync:(Send ("stop_2", None)) ();
+          edge ~src:"occ2" ~dst:"hold2" ~sync:(Recv ("appr_1", None)) ();
+          edge ~src:"hold2" ~dst:"occ2" ~sync:(Send ("stop_1", None)) ();
+          edge ~src:"occ1" ~dst:"free" ~sync:(Recv ("leave_1", None)) ();
+          edge ~src:"occ2" ~dst:"free" ~sync:(Recv ("leave_2", None)) ();
+          (* granting the crossing to a stopped train OCCUPIES the gate *)
+          edge ~src:"free" ~dst:"occ1" ~sync:(Send ("go_1", None)) ();
+          edge ~src:"free" ~dst:"occ2" ~sync:(Send ("go_2", None)) ();
+        ]
+      ()
+  in
+  Network.make
+    ~channels:
+      [
+        Network.chan "appr_1"; Network.chan "appr_2";
+        Network.chan "stop_1"; Network.chan "stop_2";
+        Network.chan "go_1"; Network.chan "go_2";
+        Network.chan "leave_1"; Network.chan "leave_2";
+      ]
+    ~automata:[ train 1; train 2; controller ]
+    ()
+
+let test_train_gate_safety () =
+  let net = Compiled.compile (train_gate ()) in
+  let t1 = Compiled.auto_index net "train1" and t2 = Compiled.auto_index net "train2" in
+  let c1 = Compiled.location_index net ~auto:"train1" ~loc:"cross" in
+  let c2 = Compiled.location_index net ~auto:"train2" ~loc:"cross" in
+  (* zone engine: no state with both trains crossing *)
+  check_bool "zone: safe" false
+    (Reachability.reachable net ~goal:(fun ~locs ~vars:_ ->
+         locs.(t1) = c1 && locs.(t2) = c2));
+  (* digitized CTL agrees, and each train CAN cross *)
+  let both = Ctl.And (Ctl.Loc ("train1", "cross"), Ctl.Loc ("train2", "cross")) in
+  check_bool "ctl: safe" true (Ctl.holds net (Ctl.AG (Ctl.Not both)));
+  check_bool "train1 crosses" true (Ctl.holds net (Ctl.EF (Ctl.Loc ("train1", "cross"))));
+  check_bool "train2 crosses" true (Ctl.holds net (Ctl.EF (Ctl.Loc ("train2", "cross"))))
+
+let test_train_gate_unsafe_without_controller () =
+  (* remove the stop mechanism: both trains run free -> collision *)
+  let open Automaton in
+  let free_train i =
+    make
+      ~name:(Printf.sprintf "train%d" i)
+      ~clocks:[ "x" ]
+      ~locations:
+        [
+          location "safe";
+          location ~invariant:(guard_clock "x" Expr.Le (Expr.i 20)) "appr";
+          location ~invariant:(guard_clock "x" Expr.Le (Expr.i 5)) "cross";
+        ]
+      ~initial:"safe"
+      ~edges:
+        [
+          edge ~src:"safe" ~dst:"appr" ~resets:[ "x" ] ();
+          edge ~src:"appr" ~dst:"cross"
+            ~guard:(guard_clock "x" Expr.Ge (Expr.i 10))
+            ~resets:[ "x" ] ();
+          edge ~src:"cross" ~dst:"safe" ~guard:(guard_clock "x" Expr.Ge (Expr.i 3)) ();
+        ]
+      ()
+  in
+  let net =
+    Compiled.compile (Network.make ~automata:[ free_train 1; free_train 2 ] ())
+  in
+  let t1 = Compiled.auto_index net "train1" and t2 = Compiled.auto_index net "train2" in
+  let c1 = Compiled.location_index net ~auto:"train1" ~loc:"cross" in
+  let c2 = Compiled.location_index net ~auto:"train2" ~loc:"cross" in
+  check_bool "collision reachable" true
+    (Reachability.reachable net ~goal:(fun ~locs ~vars:_ ->
+         locs.(t1) = c1 && locs.(t2) = c2))
+
+(* ------------------------------------------------------------------ *)
+(* Differential test: zone engine vs digitized engine                  *)
+(* ------------------------------------------------------------------ *)
+
+(* For closed (non-strict) integer clock constraints, digitization is
+   exact: the two reachability engines must agree on every model.  We
+   generate random single-clock automata with closed guards/invariants
+   and compare verdicts.  Deterministic: seeded SplitMix64. *)
+let random_closed_automaton g =
+  let n_locs = 3 + Prng.Splitmix.int g 3 in
+  let loc_name k = Printf.sprintf "l%d" k in
+  let locations =
+    List.init n_locs (fun k ->
+        (* every location gets an upper-bound invariant with probability
+           1/2, keeping time from running away *)
+        if Prng.Splitmix.bool g then
+          Automaton.location
+            ~invariant:
+              (Automaton.guard_clock "x" Expr.Le
+                 (Expr.i (1 + Prng.Splitmix.int g 6)))
+            (loc_name k)
+        else Automaton.location (loc_name k))
+  in
+  let n_edges = 3 + Prng.Splitmix.int g 5 in
+  let edges =
+    List.init n_edges (fun _ ->
+        let src = loc_name (Prng.Splitmix.int g n_locs) in
+        let dst = loc_name (Prng.Splitmix.int g n_locs) in
+        let guard =
+          match Prng.Splitmix.int g 3 with
+          | 0 -> Automaton.tt
+          | 1 -> Automaton.guard_clock "x" Expr.Ge (Expr.i (Prng.Splitmix.int g 6))
+          | _ -> Automaton.guard_clock "x" Expr.Le (Expr.i (1 + Prng.Splitmix.int g 6))
+        in
+        let resets = if Prng.Splitmix.bool g then [ "x" ] else [] in
+        Automaton.edge ~guard ~resets ~src ~dst ())
+  in
+  Automaton.make ~name:"m" ~clocks:[ "x" ] ~locations ~initial:"l0" ~edges ()
+
+let test_engines_agree_on_random_automata () =
+  let g = Prng.Splitmix.create 0xD15C_0B01L in
+  for trial = 1 to 60 do
+    let auto = random_closed_automaton g in
+    let net = Compiled.compile (Network.make ~automata:[ auto ] ()) in
+    let n_locs = List.length auto.Automaton.locations in
+    let target = Printf.sprintf "l%d" (n_locs - 1) in
+    let mi = Compiled.auto_index net "m" in
+    let li = Compiled.location_index net ~auto:"m" ~loc:target in
+    let zone_verdict =
+      Reachability.reachable net ~goal:(fun ~locs ~vars:_ -> locs.(mi) = li)
+    in
+    let discrete_verdict =
+      match
+        Priced.search ~max_expansions:200_000
+          ~goal:(fun (s : Discrete.state) -> s.locs.(mi) = li)
+          net
+      with
+      | _ -> true
+      | exception Priced.Search_exhausted _ -> false
+    in
+    if zone_verdict <> discrete_verdict then
+      Alcotest.failf "trial %d: zone says %b, digitized says %b" trial
+        zone_verdict discrete_verdict
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Expression and environment layer                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_env_eval () =
+  let st = Env.declare [ Env.Scalar ("x", 3); Env.Array ("a", [| 10; 20; 30 |]) ] in
+  let store = Env.initial st in
+  let eval e = Env.eval st store e in
+  check_int "scalar" 3 (eval Expr.(v "x"));
+  check_int "array" 20 (eval Expr.(a "a" (i 1)));
+  check_int "indexed by var" 30 (eval Expr.(a "a" (v "x" - i 1)));
+  check_int "sum" 60 (eval (Expr.Sum "a"));
+  check_int "arith" 23 (eval Expr.(v "x" + a "a" (i 1)));
+  check_int "mul" 9 (eval Expr.(Mul (v "x", v "x")));
+  check_int "div" 6 (eval Expr.(Div (a "a" (i 1), v "x")));
+  check_int "neg" (-3) (eval (Expr.Neg (Expr.v "x")))
+
+let test_env_eval_errors () =
+  let st = Env.declare [ Env.Scalar ("x", 3); Env.Array ("a", [| 1; 2 |]) ] in
+  let store = Env.initial st in
+  let raises e =
+    Alcotest.(check bool) "raises" true
+      (try ignore (Env.eval st store e); false with Env.Eval_error _ -> true)
+  in
+  raises (Expr.v "nope");
+  raises Expr.(a "a" (i 5));
+  raises Expr.(a "a" (i (-1)));
+  raises Expr.(a "x" (i 0));
+  raises (Expr.v "a");
+  raises Expr.(Div (v "x", i 0))
+
+let test_env_update_sequencing () =
+  let st = Env.declare [ Env.Scalar ("x", 1); Env.Scalar ("y", 0) ] in
+  let store = Env.initial st in
+  (* later updates see earlier ones, like Uppaal assignment lists *)
+  let store' =
+    Env.apply st store [ Expr.set "x" Expr.(v "x" + i 1); Expr.set "y" (Expr.v "x") ]
+  in
+  check_int "y sees new x" 2 (Env.read st store' "y");
+  (* the original store is untouched *)
+  check_int "original x" 1 (Env.read st store "x")
+
+let test_bexpr_short_circuit () =
+  let st = Env.declare [ Env.Scalar ("x", 5); Env.Array ("a", [| 7 |]) ] in
+  let store = Env.initial st in
+  (* the right conjunct would be out of bounds: && must not evaluate it *)
+  Alcotest.(check bool) "guarded index" false
+    (Env.eval_bexpr st store Expr.(v "x" < i 1 && a "a" (v "x") == i 0));
+  Alcotest.(check bool) "or short-circuits" true
+    (Env.eval_bexpr st store Expr.(v "x" > i 1 || a "a" (v "x") == i 0))
+
+let test_network_validation () =
+  let open Automaton in
+  let auto ~sync ~guard =
+    make ~name:"m" ~locations:[ location "a" ] ~initial:"a"
+      ~edges:[ edge ~src:"a" ~dst:"a" ~sync ~guard () ]
+      ()
+  in
+  let rejects f =
+    Alcotest.(check bool) "rejects" true
+      (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  (* undeclared variable in a guard *)
+  rejects (fun () ->
+      Network.make ~automata:[ auto ~sync:Tau ~guard:(guard_data Expr.(v "ghost" == i 0)) ] ());
+  (* undeclared channel *)
+  rejects (fun () ->
+      Network.make ~automata:[ auto ~sync:(Send ("ghost", None)) ~guard:tt ] ());
+  (* plain channel used with an index *)
+  rejects (fun () ->
+      Network.make
+        ~channels:[ Network.chan "c" ]
+        ~automata:[ auto ~sync:(Send ("c", Some (Expr.i 0))) ~guard:tt ]
+        ());
+  (* channel array used without an index *)
+  rejects (fun () ->
+      Network.make
+        ~channels:[ Network.chan ~arity:2 "c" ]
+        ~automata:[ auto ~sync:(Send ("c", None)) ~guard:tt ]
+        ());
+  (* undeclared clock in an automaton *)
+  rejects (fun () ->
+      make ~name:"m" ~locations:[ location "a" ] ~initial:"a"
+        ~edges:[ edge ~src:"a" ~dst:"a" ~resets:[ "ghost" ] () ]
+        ());
+  (* unknown initial location *)
+  rejects (fun () ->
+      make ~name:"m" ~locations:[ location "a" ] ~initial:"zzz" ~edges:[] ())
+
+(* ------------------------------------------------------------------ *)
+(* The bridge-crossing puzzle: a classic priced-reachability benchmark *)
+(* ------------------------------------------------------------------ *)
+
+(* Four people cross a bridge at night with one torch; at most two cross
+   at a time, at the speed of the slower; crossing times 1, 2, 5, 10.
+   The minimum total time is 17 — a standard test for cost-optimal
+   reachability (it requires the counter-intuitive 1&2 / 1 back / 5&10 /
+   2 back / 1&2 plan, so greedy searches get 19).  We model time as
+   cost: each person is a bit, moves flip bits, the mover pays. *)
+let bridge () =
+  let open Automaton in
+  let times = [| 1; 2; 5; 10 |] in
+  let side p = Expr.a "side" (Expr.i p) in
+  let torch = Expr.v "torch" in
+  let flip p = Expr.set_arr "side" (Expr.i p) Expr.(i 1 - side p) in
+  let cross_pair p q =
+    (* p and q are on the torch side; both cross; pay max time *)
+    edge ~src:"s" ~dst:"s"
+      ~guard:
+        (guard_data Expr.(And (side p == torch, side q == torch)))
+      ~updates:[ flip p; flip q; Expr.set "torch" Expr.(i 1 - torch) ]
+      ~cost:(Expr.i (max times.(p) times.(q)))
+      ~label:(Printf.sprintf "cross %d+%d" p q)
+      ()
+  in
+  let cross_solo p =
+    edge ~src:"s" ~dst:"s"
+      ~guard:(guard_data Expr.(side p == torch))
+      ~updates:[ flip p; Expr.set "torch" Expr.(i 1 - torch) ]
+      ~cost:(Expr.i times.(p))
+      ~label:(Printf.sprintf "cross %d" p)
+      ()
+  in
+  let pairs = ref [] in
+  for p = 0 to 3 do
+    pairs := cross_solo p :: !pairs;
+    for q = p + 1 to 3 do
+      pairs := cross_pair p q :: !pairs
+    done
+  done;
+  let m =
+    make ~name:"bridge" ~locations:[ location "s" ] ~initial:"s" ~edges:!pairs ()
+  in
+  Network.make
+    ~decls:[ Env.Array ("side", [| 0; 0; 0; 0 |]); Env.Scalar ("torch", 0) ]
+    ~automata:[ m ] ()
+
+let test_bridge_optimum () =
+  let net = Compiled.compile (bridge ()) in
+  let symtab = net.Compiled.symtab in
+  let goal (s : Discrete.state) =
+    List.for_all (fun p -> Env.read_elem symtab s.vars "side" p = 1) [ 0; 1; 2; 3 ]
+  in
+  let r = Priced.search ~goal net in
+  check_int "minimum crossing time 17" 17 r.cost;
+  (* the witness plan has 5 crossings *)
+  let crossings =
+    List.length
+      (List.filter (function Discrete.Fire _ -> true | _ -> false) r.trace)
+  in
+  check_int "five moves" 5 crossings
+
+(* ------------------------------------------------------------------ *)
+(* CTL model checking + Fischer's protocol                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Fischer's timed mutual-exclusion protocol for two processes: the
+   classic timed-automata benchmark.  Process i: idle -> (id = 0) start
+   -> req (x := 0, inv x <= d) -> (x <= d) set id := i -> wait (x := 0)
+   -> (x >= e && id = i) crit, with e > d guaranteeing exclusion. *)
+let fischer ~d ~e =
+  let open Automaton in
+  let proc pid =
+    let x = "x" in
+    make
+      ~name:(Printf.sprintf "p%d" pid)
+      ~clocks:[ x ]
+      ~locations:
+        [
+          location "idle";
+          location ~invariant:(guard_clock x Expr.Le (Expr.i d)) "req";
+          location "wait";
+          location "crit";
+        ]
+      ~initial:"idle"
+      ~edges:
+        [
+          edge ~src:"idle" ~dst:"req"
+            ~guard:(guard_data Expr.(v "id" == i 0))
+            ~resets:[ x ] ();
+          edge ~src:"req" ~dst:"wait"
+            ~guard:(guard_clock x Expr.Le (Expr.i d))
+            ~updates:[ Expr.set "id" (Expr.i pid) ]
+            ~resets:[ x ] ();
+          edge ~src:"wait" ~dst:"crit"
+            ~guard:
+              (guard_and
+                 (guard_clock x Expr.Ge (Expr.i e))
+                 (guard_data Expr.(v "id" == i pid)))
+            ();
+          edge ~src:"wait" ~dst:"idle"
+            ~guard:
+              (guard_and
+                 (guard_clock x Expr.Ge (Expr.i e))
+                 (guard_data Expr.(v "id" != i pid)))
+            ();
+          edge ~src:"crit" ~dst:"idle" ~updates:[ Expr.set "id" (Expr.i 0) ] ();
+        ]
+      ()
+  in
+  Network.make
+    ~decls:[ Env.Scalar ("id", 0) ]
+    ~automata:[ proc 1; proc 2 ] ()
+
+let mutex = Ctl.AG (Ctl.Not (Ctl.And (Ctl.Loc ("p1", "crit"), Ctl.Loc ("p2", "crit"))))
+
+let test_fischer_safe () =
+  (* e > d: mutual exclusion holds *)
+  let net = Compiled.compile (fischer ~d:2 ~e:3) in
+  let r = Ctl.check net mutex in
+  Alcotest.(check bool) "mutual exclusion" true r.Ctl.holds;
+  (* liveness in the CTL sense: some run reaches a critical section *)
+  Alcotest.(check bool) "crit reachable" true
+    (Ctl.holds net (Ctl.EF (Ctl.Loc ("p1", "crit"))))
+
+let test_fischer_broken () =
+  (* e <= d breaks the protocol: both processes can pass the d-window *)
+  let net = Compiled.compile (fischer ~d:3 ~e:2) in
+  let r = Ctl.check net mutex in
+  Alcotest.(check bool) "exclusion violated" false r.Ctl.holds;
+  (match r.Ctl.witness with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a witness state");
+  (* the zone engine agrees on the violation *)
+  let p1 = Compiled.auto_index net "p1" and p2 = Compiled.auto_index net "p2" in
+  let c1 = Compiled.location_index net ~auto:"p1" ~loc:"crit" in
+  let c2 = Compiled.location_index net ~auto:"p2" ~loc:"crit" in
+  Alcotest.(check bool) "zone engine finds it too" true
+    (Reachability.reachable net ~goal:(fun ~locs ~vars:_ ->
+         locs.(p1) = c1 && locs.(p2) = c2))
+
+let test_fischer_safe_zone_agrees () =
+  let net = Compiled.compile (fischer ~d:2 ~e:3) in
+  let p1 = Compiled.auto_index net "p1" and p2 = Compiled.auto_index net "p2" in
+  let c1 = Compiled.location_index net ~auto:"p1" ~loc:"crit" in
+  let c2 = Compiled.location_index net ~auto:"p2" ~loc:"crit" in
+  Alcotest.(check bool) "zone engine: no double crit" false
+    (Reachability.reachable net ~goal:(fun ~locs ~vars:_ ->
+         locs.(p1) = c1 && locs.(p2) = c2))
+
+let test_ctl_operators () =
+  (* a three-state chain a -> b -> c with a self-loop on c *)
+  let open Automaton in
+  let m =
+    make ~name:"m"
+      ~locations:[ location "a"; location "b"; location "c" ]
+      ~initial:"a"
+      ~edges:
+        [
+          edge ~src:"a" ~dst:"b" ();
+          edge ~src:"b" ~dst:"c" ();
+          edge ~src:"c" ~dst:"c" ();
+        ]
+      ()
+  in
+  let net = Compiled.compile (Network.make ~automata:[ m ] ()) in
+  let at l = Ctl.Loc ("m", l) in
+  let t f = Ctl.holds net f in
+  Alcotest.(check bool) "EF c" true (t (Ctl.EF (at "c")));
+  (* without invariants the process may delay in a forever: AF c fails *)
+  Alcotest.(check bool) "AF c fails (time divergence in a)" false
+    (t (Ctl.AF (at "c")));
+  Alcotest.(check bool) "EG a holds (stay forever)" true (t (Ctl.EG (at "a")));
+  Alcotest.(check bool) "AG exclusion" true
+    (t (Ctl.AG (Ctl.Not (Ctl.And (at "a", at "b")))));
+  Alcotest.(check bool) "EU a b" true (t (Ctl.EU (at "a", at "b")));
+  Alcotest.(check bool) "AX tautology" true
+    (t (Ctl.AX (Ctl.Or (at "a", Ctl.Or (at "b", at "c")))))
+
+let test_ctl_forced_progress () =
+  (* with urgency from invariants, the chain MUST advance: AF holds *)
+  let open Automaton in
+  let m =
+    make ~name:"m" ~clocks:[ "x" ]
+      ~locations:
+        [
+          location ~invariant:(guard_clock "x" Expr.Le (Expr.i 1)) "a";
+          location ~invariant:(guard_clock "x" Expr.Le (Expr.i 1)) "b";
+          location "c";
+        ]
+      ~initial:"a"
+      ~edges:
+        [
+          edge ~src:"a" ~dst:"b" ~guard:(guard_clock "x" Expr.Ge (Expr.i 1))
+            ~resets:[ "x" ] ();
+          edge ~src:"b" ~dst:"c" ~guard:(guard_clock "x" Expr.Ge (Expr.i 1)) ();
+        ]
+      ()
+  in
+  let net = Compiled.compile (Network.make ~automata:[ m ] ()) in
+  let at l = Ctl.Loc ("m", l) in
+  Alcotest.(check bool) "AF c holds under urgency" true
+    (Ctl.holds net (Ctl.AF (at "c")));
+  Alcotest.(check bool) "a leads to c" true
+    (Ctl.holds net (Ctl.Leads_to (at "a", at "c")))
+
+let test_ctl_deadlock () =
+  let open Automaton in
+  (* committed location with no outgoing edge: a genuine deadlock (no
+     delay allowed, no action) *)
+  let m =
+    make ~name:"m"
+      ~locations:[ location "a"; location ~committed:true "stuck" ]
+      ~initial:"a"
+      ~edges:[ edge ~src:"a" ~dst:"stuck" () ]
+      ()
+  in
+  let net = Compiled.compile (Network.make ~automata:[ m ] ()) in
+  Alcotest.(check bool) "deadlock found" true (Ctl.has_deadlock net);
+  (* with the self-loop totalization, AG (a or stuck) still holds *)
+  Alcotest.(check bool) "AG over totalized graph" true
+    (Ctl.holds net (Ctl.AG (Ctl.Or (Ctl.Loc ("m", "a"), Ctl.Loc ("m", "stuck")))))
+
+let test_ctl_until_operators () =
+  (* chain with forced progress: a(x<=1) -> b(x<=1) -> c, all urgent moves *)
+  let open Automaton in
+  let m =
+    make ~name:"m" ~clocks:[ "x" ]
+      ~locations:
+        [
+          location ~invariant:(guard_clock "x" Expr.Le (Expr.i 1)) "a";
+          location ~invariant:(guard_clock "x" Expr.Le (Expr.i 1)) "b";
+          location "c";
+        ]
+      ~initial:"a"
+      ~edges:
+        [
+          edge ~src:"a" ~dst:"b" ~guard:(guard_clock "x" Expr.Ge (Expr.i 1))
+            ~resets:[ "x" ] ();
+          edge ~src:"b" ~dst:"c" ~guard:(guard_clock "x" Expr.Ge (Expr.i 1)) ();
+        ]
+      ()
+  in
+  let net = Compiled.compile (Network.make ~automata:[ m ] ()) in
+  let at l = Ctl.Loc ("m", l) in
+  let t f = Ctl.holds net f in
+  (* on this forced chain A(not-c U c) holds *)
+  Alcotest.(check bool) "AU" true (t (Ctl.AU (Ctl.Not (at "c"), at "c")));
+  (* but A(a U c) fails: b intervenes *)
+  Alcotest.(check bool) "AU fails through b" false (t (Ctl.AU (at "a", at "c")));
+  Alcotest.(check bool) "EU through a and b" true
+    (t (Ctl.EU (Ctl.Or (at "a", at "b"), at "c")));
+  Alcotest.(check bool) "EX keeps a (delay)" true (t (Ctl.EX (at "a")));
+  Alcotest.(check bool) "pp total" true
+    (String.length (Format.asprintf "%a" Ctl.pp (Ctl.AU (at "a", Ctl.EF (at "c")))) > 0)
+
+let test_ctl_data_atoms () =
+  let open Automaton in
+  let m =
+    make ~name:"m"
+      ~locations:[ location "a" ]
+      ~initial:"a"
+      ~edges:
+        [
+          edge ~src:"a" ~dst:"a"
+            ~guard:(guard_data Expr.(v "n" < i 3))
+            ~updates:[ Expr.set "n" Expr.(v "n" + i 1) ]
+            ();
+        ]
+      ()
+  in
+  let net =
+    Compiled.compile (Network.make ~decls:[ Env.Scalar ("n", 0) ] ~automata:[ m ] ())
+  in
+  Alcotest.(check bool) "EF n=3" true (Ctl.holds net (Ctl.EF (Ctl.Data Expr.(v "n" == i 3))));
+  Alcotest.(check bool) "AG n<=3" true (Ctl.holds net (Ctl.AG (Ctl.Data Expr.(v "n" <= i 3))));
+  Alcotest.(check bool) "not EF n=4" false
+    (Ctl.holds net (Ctl.EF (Ctl.Data Expr.(v "n" == i 4))))
+
+let () =
+  Alcotest.run "pta"
+    [
+      ( "lamp (figures 2-4)",
+        [
+          Alcotest.test_case "fig2 bright reachable (discrete)" `Quick
+            test_fig2_bright_reachable_discrete;
+          Alcotest.test_case "fig2 bright reachable (zone)" `Quick
+            test_fig2_bright_reachable_zone;
+          Alcotest.test_case "guarded lamp unreachable (zone)" `Quick
+            test_unreachable_zone;
+          Alcotest.test_case "guarded lamp unreachable (discrete)" `Quick
+            test_unreachable_discrete;
+          Alcotest.test_case "fig4 min cost to bright" `Quick
+            test_fig4_min_cost_bright;
+          Alcotest.test_case "fig4 min cost full cycle" `Quick
+            test_fig4_min_cost_full_cycle;
+        ] );
+      ( "discrete semantics",
+        [
+          Alcotest.test_case "committed priority" `Quick test_committed_priority;
+          Alcotest.test_case "broadcast without receivers" `Quick
+            test_broadcast_no_receiver;
+          Alcotest.test_case "broadcast with receivers" `Quick
+            test_broadcast_all_receivers;
+          Alcotest.test_case "binary sync blocks" `Quick test_binary_blocks;
+          Alcotest.test_case "delay acceleration" `Quick test_delay_acceleration;
+          Alcotest.test_case "delay cost" `Quick test_delay_cost;
+          Alcotest.test_case "invariant urgency" `Quick test_invariant_urgency;
+          Alcotest.test_case "urgent locations" `Quick test_urgent_location;
+          Alcotest.test_case "expr clock bound (discrete)" `Quick
+            test_expr_bound_discrete;
+          Alcotest.test_case "expr clock bound refused by zones" `Quick
+            test_expr_bound_zone_refused;
+        ] );
+      ( "train gate",
+        [
+          Alcotest.test_case "controller keeps crossing exclusive" `Quick
+            test_train_gate_safety;
+          Alcotest.test_case "collision without controller" `Quick
+            test_train_gate_unsafe_without_controller;
+        ] );
+      ( "engine differential",
+        [
+          Alcotest.test_case "zone = digitized on closed automata" `Quick
+            test_engines_agree_on_random_automata;
+        ] );
+      ( "expressions and environments",
+        [
+          Alcotest.test_case "evaluation" `Quick test_env_eval;
+          Alcotest.test_case "evaluation errors" `Quick test_env_eval_errors;
+          Alcotest.test_case "update sequencing" `Quick test_env_update_sequencing;
+          Alcotest.test_case "short-circuiting" `Quick test_bexpr_short_circuit;
+          Alcotest.test_case "network validation" `Quick test_network_validation;
+        ] );
+      ( "uppaal export",
+        [
+          Alcotest.test_case "structure and escaping" `Quick (fun () ->
+              let xml =
+                Uppaal.network ~queries:[ "A[] not lamp.bright" ] (lamp_fig4 ())
+              in
+              let contains needle =
+                let nh = String.length xml and nn = String.length needle in
+                let rec go i =
+                  i + nn <= nh && (String.sub xml i nn = needle || go (i + 1))
+                in
+                nn = 0 || go 0
+              in
+              List.iter
+                (fun frag ->
+                  if not (contains frag) then
+                    Alcotest.failf "missing fragment %S" frag)
+                [
+                  "<nta>";
+                  "</nta>";
+                  "<template>";
+                  "<name>lamp</name>";
+                  "<declaration>clock y;</declaration>";
+                  "cost&apos; == 10";
+                  "y &lt;= 10";
+                  "press?";
+                  "cost += 50";
+                  "<system>system lamp, user;</system>";
+                  "<formula>A[] not lamp.bright</formula>";
+                  "broadcast chan press;";
+                ];
+              (* committed only appears in models that have one *)
+              Alcotest.(check bool) "lamp has no committed locations" true
+                (not (contains "<committed/>"));
+              (* balanced template tags *)
+              let count needle =
+                let nh = String.length xml and nn = String.length needle in
+                let rec go i acc =
+                  if i + nn > nh then acc
+                  else if String.sub xml i nn = needle then go (i + nn) (acc + 1)
+                  else go (i + 1) acc
+                in
+                go 0 0
+              in
+              check_int "balanced templates" (count "<template>") (count "</template>");
+              check_int "balanced locations" (count "<location") (count "</location>");
+              check_int "balanced transitions" (count "<transition>") (count "</transition>"));
+          Alcotest.test_case "sentinels clamped to Uppaal range" `Quick (fun () ->
+              let net =
+                Network.make
+                  ~decls:[ Env.Array ("big", [| max_int / 4; 5 |]) ]
+                  ~automata:
+                    [
+                      Automaton.make ~name:"m"
+                        ~locations:[ Automaton.location "a" ]
+                        ~initial:"a" ~edges:[] ();
+                    ]
+                  ()
+              in
+              let xml = Uppaal.network net in
+              let contains needle =
+                let nh = String.length xml and nn = String.length needle in
+                let rec go i =
+                  i + nn <= nh && (String.sub xml i nn = needle || go (i + 1))
+                in
+                go 0
+              in
+              Alcotest.(check bool) "clamped" true (contains "1000000000");
+              Alcotest.(check bool) "no overflow constant" false
+                (contains (string_of_int (max_int / 4))));
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "determinism" `Quick (fun () ->
+              let net = Compiled.compile (lamp_fig2 ()) in
+              let a = Simulate.run ~seed:7L ~max_transitions:50 net in
+              let b = Simulate.run ~seed:7L ~max_transitions:50 net in
+              check_int "same length" (List.length a.Simulate.steps)
+                (List.length b.Simulate.steps);
+              Alcotest.(check bool) "same final" true
+                (Discrete.state_equal a.final b.final));
+          Alcotest.test_case "estimate hits reachable predicate" `Quick (fun () ->
+              let net = Compiled.compile (lamp_fig2 ()) in
+              let lamp = Compiled.auto_index net "lamp" in
+              let bright = Compiled.location_index net ~auto:"lamp" ~loc:"bright" in
+              let frac =
+                Simulate.estimate ~runs:50 ~max_transitions:200
+                  ~pred:(fun s -> s.Discrete.locs.(lamp) = bright)
+                  net
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "fraction %.2f in (0, 1]" frac)
+                true
+                (frac > 0.0 && frac <= 1.0));
+          Alcotest.test_case "estimate zero for unreachable" `Quick (fun () ->
+              let net = Compiled.compile (lamp_unreachable ()) in
+              let lamp = Compiled.auto_index net "lamp" in
+              let bright = Compiled.location_index net ~auto:"lamp" ~loc:"bright" in
+              let frac =
+                Simulate.estimate ~runs:30 ~max_transitions:100
+                  ~pred:(fun s -> s.Discrete.locs.(lamp) = bright)
+                  net
+              in
+              Alcotest.(check (float 0.0)) "zero" 0.0 frac);
+          Alcotest.test_case "deadlock detection" `Quick (fun () ->
+              let open Automaton in
+              let m =
+                make ~name:"m"
+                  ~locations:[ location "a"; location ~committed:true "stuck" ]
+                  ~initial:"a"
+                  ~edges:[ edge ~src:"a" ~dst:"stuck" () ]
+                  ()
+              in
+              let net = Compiled.compile (Network.make ~automata:[ m ] ()) in
+              (* every walk ends in the committed dead end eventually;
+                 run until deadlock *)
+              let r = Simulate.run ~seed:3L ~max_transitions:1000 net in
+              Alcotest.(check bool) "deadlocked" true r.Simulate.deadlocked);
+        ] );
+      ( "priced puzzles",
+        [ Alcotest.test_case "bridge crossing = 17" `Quick test_bridge_optimum ] );
+      ( "ctl + fischer",
+        [
+          Alcotest.test_case "fischer safe (e > d)" `Quick test_fischer_safe;
+          Alcotest.test_case "fischer broken (e <= d)" `Quick test_fischer_broken;
+          Alcotest.test_case "fischer safe: zone engine agrees" `Quick
+            test_fischer_safe_zone_agrees;
+          Alcotest.test_case "ctl operators" `Quick test_ctl_operators;
+          Alcotest.test_case "ctl forced progress" `Quick test_ctl_forced_progress;
+          Alcotest.test_case "ctl until operators" `Quick test_ctl_until_operators;
+          Alcotest.test_case "ctl deadlock" `Quick test_ctl_deadlock;
+          Alcotest.test_case "ctl data atoms" `Quick test_ctl_data_atoms;
+        ] );
+      ( "dbm",
+        [
+          Alcotest.test_case "random constraints vs oracle" `Quick test_dbm_oracle;
+          Alcotest.test_case "zero and up" `Quick test_dbm_zero_and_up;
+          Alcotest.test_case "reset" `Quick test_dbm_reset;
+          Alcotest.test_case "inclusion" `Quick test_dbm_inclusion;
+          Alcotest.test_case "emptiness" `Quick test_dbm_empty;
+          Alcotest.test_case "extrapolation grows zones" `Quick
+            test_dbm_extrapolate_soundness;
+          QCheck_alcotest.to_alcotest prop_intersects_sym;
+          QCheck_alcotest.to_alcotest prop_includes_intersects;
+          QCheck_alcotest.to_alcotest prop_up_monotone;
+          QCheck_alcotest.to_alcotest prop_constrain_shrinks;
+        ] );
+    ]

@@ -1,0 +1,279 @@
+(* Tests for the TA-KiBaM network (Fig. 5): structural checks, agreement
+   with the direct dKiBaM engines on scaled-down instances (the key
+   cross-validation of DESIGN.md's Cora substitution), and schedule
+   extraction. *)
+
+let check_int = Alcotest.(check int)
+
+(* Toy unit system: Gamma = 1, T = 1 minute, so a 20 A*min cell has 20
+   charge units — small enough for the step-by-step PTA engine. *)
+let toy_params capacity = Kibam.Params.make ~c:0.166 ~k':0.122 ~capacity
+let toy_disc capacity = Dkibam.Discretization.make ~time_step:1.0 ~charge_unit:1.0 (toy_params capacity)
+let toy_enc load = Loads.Arrays.make ~time_step:1.0 ~charge_unit:1.0 load
+
+let toy_load ~jobs ~job_len ~idle_len ~current =
+  Loads.Epoch.concat
+    (List.init jobs (fun _ ->
+         Loads.Epoch.append
+           (Loads.Epoch.job ~current ~duration:job_len)
+           (Loads.Epoch.idle idle_len)))
+
+(* ------------------------------------------------------------------ *)
+(* Structure                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let build ?(n = 2) ?(capacity = 20.0) load =
+  Takibam.Model.build ~n_batteries:n (toy_disc capacity) (toy_enc load)
+
+let test_model_structure () =
+  let m = build (toy_load ~jobs:4 ~job_len:8.0 ~idle_len:4.0 ~current:0.5) in
+  (* 2 total_charge + 2 height_diff + load + scheduler + max_finder *)
+  check_int "7 automata" 7 (Array.length m.compiled.Pta.Compiled.autos);
+  (* per battery: c_disch + c_recov, plus the load clock t *)
+  check_int "5 clocks" 5 (Pta.Compiled.n_clocks m.compiled)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_dot_output () =
+  let m = build (toy_load ~jobs:2 ~job_len:8.0 ~idle_len:4.0 ~current:0.5) in
+  let dot = Takibam.Model.dot m in
+  List.iter
+    (fun fragment ->
+      if not (contains dot fragment) then
+        Alcotest.failf "dot output lacks %S" fragment)
+    [ "total_charge_0"; "height_diff_1"; "scheduler"; "max_finder"; "use_charge" ]
+
+(* ------------------------------------------------------------------ *)
+(* Single battery: TA run must equal the direct engine                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_battery_agrees_with_engine () =
+  (* race-free loads: the job length is NOT a multiple of the draw
+     cadence, so the final-draw/go_off race of the published model never
+     arises and the TA run must equal the direct engine step for step *)
+  List.iter
+    (fun (capacity, current, job_len, idle_len) ->
+      let load = toy_load ~jobs:30 ~job_len ~idle_len ~current in
+      let disc = toy_disc capacity in
+      let a = toy_enc load in
+      let engine_steps =
+        match Dkibam.Engine.run disc a with
+        | Dkibam.Engine.Dies_at_step (s, _) -> s
+        | Survives _ -> Alcotest.fail "toy battery should die"
+      in
+      let model = Takibam.Model.build ~n_batteries:1 disc a in
+      let r = Takibam.Optimal.search model in
+      if r.lifetime_steps <> engine_steps then
+        Alcotest.failf "capacity %.0f current %.1f: TA %d steps, engine %d"
+          capacity current r.lifetime_steps engine_steps)
+    [ (20.0, 0.5, 7.0, 4.0); (20.0, 0.5, 9.0, 2.0) ]
+
+let test_single_battery_racy_load_min_stranded () =
+  (* on a load WITH boundary draws, the TA can elide a job's final draw
+     (the published model's go_off race); the fast engine mirrors it with
+     allow_final_draw_skip, and the min-stranded optima must coincide *)
+  let load = toy_load ~jobs:30 ~job_len:6.0 ~idle_len:2.0 ~current:0.5 in
+  let disc = toy_disc 20.0 in
+  let a = toy_enc load in
+  let ta = Takibam.Optimal.search (Takibam.Model.build ~n_batteries:1 disc a) in
+  let fast =
+    Sched.Optimal.search ~switch_delay:0 ~objective:Sched.Optimal.Min_stranded
+      ~allow_final_draw_skip:true ~n_batteries:1 disc a
+  in
+  check_int "stranded agree" fast.stranded_units ta.stranded_units
+
+(* ------------------------------------------------------------------ *)
+(* Two batteries: generic min-cost search vs fast branch-and-bound     *)
+(* ------------------------------------------------------------------ *)
+
+let cross_validate (capacity, current, job_len, idle_len) =
+  let load = toy_load ~jobs:40 ~job_len ~idle_len ~current in
+  let disc = toy_disc capacity in
+  let a = toy_enc load in
+  let model = Takibam.Model.build ~n_batteries:2 disc a in
+  let ta = Takibam.Optimal.search model in
+  (* the TA observes hand-overs instantaneously (committed chain) and
+     allows the epoch-boundary draw/go_off race; minimizing the stranded
+     charge is its (and Cora's) objective *)
+  let fast =
+    Sched.Optimal.search ~switch_delay:0 ~objective:Sched.Optimal.Min_stranded
+      ~allow_final_draw_skip:true ~n_batteries:2 disc a
+  in
+  if ta.stranded_units <> fast.stranded_units then
+    Alcotest.failf
+      "capacity %.0f: TA stranded %d vs fast %d (lifetimes %d vs %d)" capacity
+      ta.stranded_units fast.stranded_units ta.lifetime_steps
+      fast.lifetime_steps;
+  (* max-lifetime objective with the same semantics must agree on time *)
+  let fast_lt =
+    Sched.Optimal.search ~switch_delay:0 ~allow_final_draw_skip:true
+      ~n_batteries:2 disc a
+  in
+  if fast_lt.lifetime_steps < ta.lifetime_steps then
+    Alcotest.failf "fast max-lifetime %d < TA lifetime %d" fast_lt.lifetime_steps
+      ta.lifetime_steps
+
+let test_cross_validation_instances () =
+  List.iter cross_validate
+    [ (20.0, 0.5, 8.0, 4.0); (16.0, 0.5, 6.0, 3.0); (12.0, 1.0, 3.0, 2.0) ]
+
+let test_ta_schedule_is_replayable () =
+  let load = toy_load ~jobs:40 ~job_len:8.0 ~idle_len:4.0 ~current:0.5 in
+  let disc = toy_disc 20.0 in
+  let a = toy_enc load in
+  let model = Takibam.Model.build ~n_batteries:2 disc a in
+  let ta = Takibam.Optimal.search model in
+  (* the go_on sequence, replayed as a Fixed policy under matching
+     semantics (no hand-over delay), reaches at least the same count of
+     scheduling decisions; its lifetime cannot exceed the TA optimum's
+     since the replay serves every boundary draw *)
+  let schedule = Array.of_list (List.map snd ta.schedule) in
+  let o =
+    Sched.Simulator.simulate ~switch_delay:0 ~n_batteries:2
+      ~policy:(Sched.Policy.Fixed schedule) disc a
+  in
+  match o.lifetime_steps with
+  | Some s -> Alcotest.(check bool) "replay <= TA optimum" true (s <= ta.lifetime_steps)
+  | None -> Alcotest.fail "replay survived the toy load"
+
+let test_stranded_cost_is_final_gamma () =
+  let load = toy_load ~jobs:40 ~job_len:8.0 ~idle_len:4.0 ~current:0.5 in
+  let model = Takibam.Model.build ~n_batteries:2 (toy_disc 20.0) (toy_enc load) in
+  let ta = Takibam.Optimal.search model in
+  Alcotest.(check bool) "stranded in (0, 2N)" true
+    (ta.stranded_units > 0 && ta.stranded_units < 40)
+
+let test_uppaal_export () =
+  let load = toy_load ~jobs:3 ~job_len:8.0 ~idle_len:4.0 ~current:0.5 in
+  let m = Takibam.Model.build ~n_batteries:2 (toy_disc 20.0) (toy_enc load) in
+  let xml =
+    Pta.Uppaal.network ~queries:[ "A[] not max_finder.done_" ]
+      m.Takibam.Model.network
+  in
+  List.iter
+    (fun frag ->
+      if not (contains xml frag) then Alcotest.failf "export lacks %S" frag)
+    [
+      "<name>total_charge_0</name>";
+      "<name>height_diff_1</name>";
+      "<name>scheduler</name>";
+      "<name>max_finder</name>";
+      "n_gamma[2] = { 20, 20 }";
+      "chan go_on[2];";
+      "broadcast chan all_empty;";
+      "use_charge[0]!";
+      "cost += sum(n_gamma)";
+      "<formula>A[] not max_finder.done_</formula>";
+      "<committed/>";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Policy replay inside the network                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_policy_replay_matches_simulator () =
+  (* every deterministic policy, executed inside the PTA network, must
+     reproduce the direct simulator (switch_delay = 0) exactly *)
+  List.iter
+    (fun (capacity, current, job_len, idle_len) ->
+      let load = toy_load ~jobs:40 ~job_len ~idle_len ~current in
+      let disc = toy_disc capacity in
+      let a = toy_enc load in
+      let model = Takibam.Model.build ~n_batteries:2 disc a in
+      List.iter
+        (fun (name, policy) ->
+          let direct =
+            Sched.Simulator.simulate ~switch_delay:0 ~n_batteries:2 ~policy
+              disc a
+          in
+          let ta = Takibam.Run.policy model policy in
+          match direct.lifetime_steps with
+          | Some s when s = ta.lifetime_steps && not ta.survived -> ()
+          | Some s ->
+              Alcotest.failf "%s (capacity %.0f): simulator %d vs network %d%s"
+                name capacity s ta.lifetime_steps
+                (if ta.survived then " (network survived)" else "")
+          | None -> Alcotest.failf "%s: simulator survived the toy load" name)
+        [
+          ("sequential", Sched.Policy.Sequential);
+          ("round robin", Sched.Policy.Round_robin);
+          ("best-of", Sched.Policy.Best_of);
+        ])
+    [ (20.0, 0.5, 7.0, 4.0); (20.0, 0.5, 8.0, 4.0); (16.0, 0.5, 6.0, 3.0) ]
+
+let test_policy_replay_decisions () =
+  let load = toy_load ~jobs:40 ~job_len:8.0 ~idle_len:4.0 ~current:0.5 in
+  let model = Takibam.Model.build ~n_batteries:2 (toy_disc 20.0) (toy_enc load) in
+  let r = Takibam.Run.policy model Sched.Policy.Round_robin in
+  (* round robin alternates batteries at job starts *)
+  match r.decisions with
+  | (_, 0) :: (_, 1) :: (_, 0) :: _ -> ()
+  | _ -> Alcotest.fail "round robin order not honoured in the network"
+
+(* ------------------------------------------------------------------ *)
+(* Model properties via the CTL layer                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_cora_query () =
+  (* the paper's check: A[] not max.done is FALSIFIED on a depletable
+     instance — that falsification is where the optimal schedule lives *)
+  let load = toy_load ~jobs:40 ~job_len:8.0 ~idle_len:4.0 ~current:0.5 in
+  let m = Takibam.Model.build ~n_batteries:2 (toy_disc 20.0) (toy_enc load) in
+  Alcotest.(check bool) "A[] not done falsified" false
+    (Pta.Ctl.holds m.compiled Takibam.Props.cora_query)
+
+let test_cora_query_short_load () =
+  (* a load too short to drain the batteries satisfies the property *)
+  let load = toy_load ~jobs:1 ~job_len:4.0 ~idle_len:2.0 ~current:0.5 in
+  let m = Takibam.Model.build ~n_batteries:2 (toy_disc 20.0) (toy_enc load) in
+  Alcotest.(check bool) "A[] not done holds" true
+    (Pta.Ctl.holds m.compiled Takibam.Props.cora_query)
+
+let test_model_invariants () =
+  let load = toy_load ~jobs:20 ~job_len:6.0 ~idle_len:3.0 ~current:0.5 in
+  let m = Takibam.Model.build ~n_batteries:2 (toy_disc 16.0) (toy_enc load) in
+  List.iter
+    (fun (name, ok) ->
+      if not ok then Alcotest.failf "invariant violated: %s" name)
+    (Takibam.Props.check_all m)
+
+let () =
+  Alcotest.run "takibam"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "automata and clocks" `Quick test_model_structure;
+          Alcotest.test_case "dot export" `Quick test_dot_output;
+          Alcotest.test_case "uppaal export" `Quick test_uppaal_export;
+        ] );
+      ( "cross-validation (Cora substitution)",
+        [
+          Alcotest.test_case "single battery = engine (race-free)" `Quick
+            test_single_battery_agrees_with_engine;
+          Alcotest.test_case "single battery racy load (min stranded)" `Quick
+            test_single_battery_racy_load_min_stranded;
+          Alcotest.test_case "two batteries: TA = fast B&B" `Quick
+            test_cross_validation_instances;
+          Alcotest.test_case "TA schedule replayable" `Quick
+            test_ta_schedule_is_replayable;
+          Alcotest.test_case "stranded cost sane" `Quick
+            test_stranded_cost_is_final_gamma;
+        ] );
+      ( "policy replay",
+        [
+          Alcotest.test_case "policies: network = simulator" `Quick
+            test_policy_replay_matches_simulator;
+          Alcotest.test_case "round robin decisions" `Quick
+            test_policy_replay_decisions;
+        ] );
+      ( "model properties (CTL)",
+        [
+          Alcotest.test_case "the Cora query (falsified)" `Quick test_cora_query;
+          Alcotest.test_case "the Cora query (short load)" `Quick
+            test_cora_query_short_load;
+          Alcotest.test_case "structural invariants" `Quick test_model_invariants;
+        ] );
+    ]
