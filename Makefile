@@ -1,0 +1,28 @@
+# Convenience wrapper over dune. `make verify` is the tier-1 gate.
+
+.PHONY: all check test verify bench fmt clean
+
+all:
+	dune build
+
+check:
+	dune build @check
+
+test:
+	dune runtest
+
+verify:
+	dune build @check
+	dune build
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- optimal-bench
+
+# Requires the ocamlformat binary on PATH (not bundled in every
+# container); config lives in .ocamlformat.
+fmt:
+	dune fmt
+
+clean:
+	dune clean

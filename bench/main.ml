@@ -11,7 +11,7 @@
    tables12, table3, table4, table5, figure1, figure5, figure6,
    ablation-capacity, ablation-complexity, ablation-models,
    ablation-lookahead, ablation-granularity, multi-battery,
-   random-ensemble, cross-validation, micro. *)
+   random-ensemble, cross-validation, optimal-bench, micro. *)
 
 let ppf = Format.std_formatter
 
@@ -128,6 +128,38 @@ let random_ensemble () =
 let cross_validation () =
   section "Engine cross-validation (DESIGN.md Cora substitution)";
   Batsched.Report.cross_validation ppf (Batsched.Experiments.cross_validate ())
+
+(* ------------------------------------------------------------------ *)
+(* Optimal-search wall time over the Table 5 loads                     *)
+(* ------------------------------------------------------------------ *)
+
+let optimal_bench () =
+  section "Optimal search on the Table 5 loads (cursor + bank kernel)";
+  let disc = Dkibam.Discretization.paper_b1 in
+  Format.fprintf ppf "  %-8s %9s %10s %9s  %s@." "load" "wall ms" "positions"
+    "segments" "cursor schedules (epochs, jobs)";
+  let total = ref 0.0 and total_sched = ref 0 in
+  List.iter
+    (fun name ->
+      let a = Batsched.Experiments.arrays_of name in
+      let cursor = Loads.Cursor.make a in
+      (* warm up once, then time the search proper *)
+      ignore (Sched.Optimal.search ~n_batteries:2 disc a);
+      let t0 = Unix.gettimeofday () in
+      let r = Sched.Optimal.search ~n_batteries:2 disc a in
+      let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      total := !total +. ms;
+      total_sched := !total_sched + Loads.Cursor.job_count cursor;
+      Format.fprintf ppf "  %-8s %9.2f %10d %9d  %d epochs, %d job schedules@."
+        (Loads.Testloads.to_string name)
+        ms r.stats.positions_explored r.stats.segments_run
+        (Loads.Cursor.epoch_count cursor)
+        (Loads.Cursor.job_count cursor))
+    Loads.Testloads.all_names;
+  Format.fprintf ppf
+    "  total %43.2f ms; %d precomputed draw schedules reused across every \
+     explored position@."
+    !total !total_sched
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -265,6 +297,7 @@ let artifacts =
     ("multi-battery", multi_battery);
     ("random-ensemble", random_ensemble);
     ("cross-validation", cross_validation);
+    ("optimal-bench", optimal_bench);
     ("micro", micro);
   ]
 

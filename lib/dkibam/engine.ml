@@ -1,45 +1,31 @@
 type outcome = Dies_at_step of int * Battery.t | Survives of Battery.t
 
+(* Both entry points are thin drivers over [Loads.Cursor]: the cursor owns
+   every piece of epoch/cadence arithmetic, the driver only ticks and
+   draws one battery. *)
+
 let run ?initial (d : Discretization.t) (load : Loads.Arrays.t) =
   Loads.Arrays.check_compatible load ~time_step:d.time_step
     ~charge_unit:d.charge_unit;
   let initial = match initial with Some b -> b | None -> Battery.full d in
-  let epochs = Loads.Arrays.epoch_count load in
-  (* [go_epoch] walks epoch y with the battery at the epoch's first step;
-     [abs_step] is the absolute time step at the epoch start. *)
-  let rec go_epoch y abs_step b =
-    if y >= epochs then Survives b
-    else begin
-      let len = Loads.Arrays.epoch_steps load y in
-      let cur = (load : Loads.Arrays.t).cur.(y) in
-      let ct = (load : Loads.Arrays.t).cur_times.(y) in
-      if cur = 0 then
-        go_epoch (y + 1) (abs_step + len) (Battery.tick_many d len b)
-      else begin
-        let draws = len / ct in
-        let rec do_draw i b =
-          if i > draws then begin
-            (* trailing steps with no draw *)
-            let rest = len - (draws * ct) in
-            go_epoch (y + 1) (abs_step + len) (Battery.tick_many d rest b)
-          end
-          else begin
-            let b = Battery.tick_many d ct b in
-            if b.Battery.n_gamma < cur then
-              Dies_at_step (abs_step + (i * ct), b)
-            else begin
-              let b = Battery.draw d ~cur b in
-              if Battery.is_empty d b then Dies_at_step (abs_step + (i * ct), b)
-              else do_draw (i + 1) b
-            end
-          end
-        in
-        do_draw 1 b
-      end
-    end
+  let cursor = Loads.Cursor.make load in
+  let rec go pos b =
+    match Loads.Cursor.next cursor pos with
+    | None -> Survives b
+    | Some (Loads.Cursor.Idle k, pos') -> go pos' (Battery.tick_many d k b)
+    | Some (Loads.Cursor.Epoch_end, pos') -> go pos' b
+    | Some (Loads.Cursor.Draw cur, pos') ->
+        if b.Battery.n_gamma < cur then
+          Dies_at_step (Loads.Cursor.step cursor pos', b)
+        else begin
+          let b = Battery.draw d ~cur b in
+          if Battery.is_empty d b then
+            Dies_at_step (Loads.Cursor.step cursor pos', b)
+          else go pos' b
+        end
   in
   if Battery.is_empty d initial then Dies_at_step (0, initial)
-  else go_epoch 0 0 initial
+  else go (Loads.Cursor.start cursor) initial
 
 let lifetime ?initial d load =
   match run ?initial d load with
@@ -60,48 +46,43 @@ let trace ?initial ?(sample_every = 10) (d : Discretization.t)
   Loads.Arrays.check_compatible load ~time_step:d.time_step
     ~charge_unit:d.charge_unit;
   let initial = match initial with Some b -> b | None -> Battery.full d in
+  let cursor = Loads.Cursor.make load in
   let samples = ref [ (0, initial) ] in
   let push step b = samples := (step, b) :: !samples in
-  let epochs = Loads.Arrays.epoch_count load in
   (* Step-by-step replay: clarity over speed, traces are bounded anyway. *)
-  let rec go_step step y next_draw b =
-    if step >= max_steps || y >= epochs then ()
-    else begin
-      let epoch_end = (load : Loads.Arrays.t).load_time.(y) in
-      let cur = (load : Loads.Arrays.t).cur.(y) in
-      let ct = (load : Loads.Arrays.t).cur_times.(y) in
-      let step = step + 1 in
-      let b = Battery.tick d b in
-      let drew, b, dead =
-        if cur > 0 && step = next_draw then begin
-          if b.Battery.n_gamma < cur then (false, b, true)
-          else begin
-            let b = Battery.draw d ~cur b in
-            (true, b, Battery.is_empty d b)
-          end
-        end
-        else (false, b, false)
-      in
-      if drew || step mod sample_every = 0 then push step b;
-      if dead then push step b
-      else begin
-        let next_draw = if drew then step + ct else next_draw in
-        if step = epoch_end then begin
-          if y + 1 < epochs then begin
-            let cur' = (load : Loads.Arrays.t).cur.(y + 1) in
-            let ct' = (load : Loads.Arrays.t).cur_times.(y + 1) in
-            let next_draw' = if cur' > 0 then step + ct' else max_int in
-            go_step step (y + 1) next_draw' b
-          end
-        end
-        else go_step step y next_draw b
-      end
-    end
+  let exception Done in
+  let step = ref 0 and b = ref initial in
+  let tick_one () =
+    if !step >= max_steps then raise Done;
+    incr step;
+    b := Battery.tick d !b
   in
-  let first_next_draw =
-    if epochs > 0 && (load : Loads.Arrays.t).cur.(0) > 0 then
-      (load : Loads.Arrays.t).cur_times.(0)
-    else max_int
+  let quiet_steps k =
+    for _ = 1 to k do
+      tick_one ();
+      if !step mod sample_every = 0 then push !step !b
+    done
   in
-  go_step 0 0 first_next_draw initial;
+  (try
+     for y = 0 to Loads.Cursor.epoch_count cursor - 1 do
+       let sch = Loads.Cursor.schedule cursor y in
+       for _ = 1 to sch.draws do
+         quiet_steps (sch.ct - 1);
+         tick_one ();
+         let drew, dead =
+           if !b.Battery.n_gamma < sch.cur then (false, true)
+           else begin
+             b := Battery.draw d ~cur:sch.cur !b;
+             (true, Battery.is_empty d !b)
+           end
+         in
+         if drew || !step mod sample_every = 0 then push !step !b;
+         if dead then begin
+           push !step !b;
+           raise Done
+         end
+       done;
+       quiet_steps sch.rest
+     done
+   with Done -> ());
   List.rev !samples

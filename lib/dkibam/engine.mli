@@ -2,11 +2,15 @@
 
     Replays the load arrays against one battery exactly as the TA-KiBaM
     network would with a single battery (the validation setting of paper
-    §5 / Tables 3–4): during a job epoch [y] a draw of [cur.(y)] units
-    occurs every [cur_times.(y)] steps (the discharge clock resets at each
-    job start, as [go_on] does), recovery runs continuously, and emptiness
-    is observed at draw instants — the battery dies at the draw that makes
-    eq. (8) hold. *)
+    §5 / Tables 3–4): during a job epoch a draw of [cur] units occurs on
+    every cadence interval (the discharge clock resets at each job start,
+    as [go_on] does), recovery runs continuously, and emptiness is
+    observed at draw instants — the battery dies at the draw that makes
+    eq. (8) hold.
+
+    Both entry points are thin drivers over the {!Loads.Cursor} event
+    stream: the cadence arithmetic lives in the cursor, shared with the
+    multi-battery engines in [Sched]. *)
 
 type outcome =
   | Dies_at_step of int * Battery.t

@@ -1,0 +1,112 @@
+type schedule = { ct : int; cur : int; draws : int; rest : int }
+
+type t = {
+  arrays : Arrays.t;
+  starts : int array;  (* absolute step of each epoch's first step *)
+  lens : int array;  (* epoch lengths in steps *)
+  scheds : schedule array;  (* full-epoch schedules *)
+  units_after : int array;  (* draw units in epochs y+1 .. end *)
+  jobs : int;  (* number of non-idle epochs *)
+}
+
+let span_schedule ~ct ~cur ~skip_final span =
+  if cur = 0 then { ct; cur = 0; draws = 0; rest = span }
+  else begin
+    let draws = span / ct in
+    let draws =
+      if skip_final && draws > 0 && draws * ct = span then draws - 1 else draws
+    in
+    { ct; cur; draws; rest = span - (draws * ct) }
+  end
+
+let make (arrays : Arrays.t) =
+  let n = Arrays.epoch_count arrays in
+  let starts = Array.make n 0
+  and lens = Array.make n 0
+  and units_after = Array.make (n + 1) 0 in
+  let jobs = ref 0 in
+  for y = 0 to n - 1 do
+    starts.(y) <- (if y = 0 then 0 else arrays.load_time.(y - 1));
+    lens.(y) <- arrays.load_time.(y) - starts.(y);
+    if arrays.cur.(y) > 0 then incr jobs
+  done;
+  let scheds =
+    Array.init n (fun y ->
+        span_schedule ~ct:arrays.cur_times.(y) ~cur:arrays.cur.(y)
+          ~skip_final:false lens.(y))
+  in
+  for y = n - 1 downto 0 do
+    units_after.(y) <- units_after.(y + 1) + (scheds.(y).draws * scheds.(y).cur)
+  done;
+  (* units_after.(y) currently includes epoch y itself; shift to a strict
+     suffix so [draw_units_after t y] is "after y". *)
+  let after = Array.init n (fun y -> units_after.(y + 1)) in
+  Array.blit after 0 units_after 0 n;
+  { arrays; starts; lens; scheds; units_after; jobs = !jobs }
+
+let arrays t = t.arrays
+let epoch_count t = Array.length t.starts
+let epoch_start t y = t.starts.(y)
+let epoch_end t y = t.arrays.load_time.(y)
+let epoch_len t y = t.lens.(y)
+
+let total_steps t =
+  let n = epoch_count t in
+  if n = 0 then 0 else t.arrays.load_time.(n - 1)
+
+let is_idle t y = t.arrays.cur.(y) = 0
+let job_count t = t.jobs
+let schedule t y = t.scheds.(y)
+
+let schedule_from ?(skip_final = false) t y ~local =
+  let s = t.scheds.(y) in
+  if local = 0 && not skip_final then s
+  else begin
+    if local < 0 || local > t.lens.(y) then
+      invalid_arg "Loads.Cursor.schedule_from: offset outside the epoch";
+    span_schedule ~ct:s.ct ~cur:s.cur ~skip_final (t.lens.(y) - local)
+  end
+
+let max_draw_units_within t y ~steps =
+  let s = t.scheds.(y) in
+  if s.cur = 0 || steps <= 0 then 0 else steps / s.ct * s.cur
+
+let draw_units t y =
+  let s = t.scheds.(y) in
+  s.draws * s.cur
+
+let draw_units_after t y = t.units_after.(y)
+
+type event = Idle of int | Draw of int | Epoch_end
+
+(* [i] indexes sub-events within epoch [y]: positions [0, 2*draws) pair up
+   as (Idle ct, Draw cur); position [2*draws] is [Idle rest] when rest > 0;
+   the last position is [Epoch_end]. *)
+type pos = { y : int; i : int }
+
+let start _t = { y = 0; i = 0 }
+
+let next t { y; i } =
+  if y >= epoch_count t then None
+  else begin
+    let s = t.scheds.(y) in
+    let draw_events = 2 * s.draws in
+    if i < draw_events then
+      let ev = if i land 1 = 0 then Idle s.ct else Draw s.cur in
+      Some (ev, { y; i = i + 1 })
+    else if i = draw_events && s.rest > 0 then Some (Idle s.rest, { y; i = i + 1 })
+    else Some (Epoch_end, { y = y + 1; i = 0 })
+  end
+
+let step t { y; i } =
+  if y >= epoch_count t then total_steps t
+  else begin
+    let s = t.scheds.(y) in
+    let within =
+      if i <= 2 * s.draws then (i + 1) / 2 * s.ct
+      else (s.draws * s.ct) + s.rest
+    in
+    t.starts.(y) + within
+  end
+
+let epoch _t { y; _ } = y

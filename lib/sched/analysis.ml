@@ -15,11 +15,6 @@ let default_policies =
     ("best-of", Policy.Best_of);
   ]
 
-let stranded batteries =
-  Array.fold_left
-    (fun acc (b : Dkibam.Battery.t) -> acc + b.n_gamma)
-    0 batteries
-
 let compare_policies ?switch_delay ?(policies = default_policies)
     ?(baseline = "round robin") ?(include_optimal = true) ~n_batteries
     (disc : Dkibam.Discretization.t) (load : Loads.Arrays.t) =
@@ -34,7 +29,7 @@ let compare_policies ?switch_delay ?(policies = default_policies)
     | Some steps ->
         ( name,
           steps,
-          stranded o.final,
+          Bank.stranded_units o.final,
           Dkibam.Discretization.minutes_of_steps disc steps )
   in
   let deterministic = List.map run_policy policies in

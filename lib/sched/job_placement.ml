@@ -22,20 +22,21 @@ type outcome =
   | Battery_dies
   | Window_infeasible of int
 
-(* Discretized job: steps, draw cadence, window in steps. *)
-type djob = { steps : int; ct : int; cur : int; rel : int; dl : int }
+(* Discretized job: duration, precomputed draw schedule, window in steps. *)
+type djob = { steps : int; sch : Loads.Cursor.schedule; rel : int; dl : int }
 
 let discretize (disc : Dkibam.Discretization.t) jobs =
   List.map
     (fun (j : job) ->
       let steps = Dkibam.Discretization.steps_of_minutes disc j.duration in
-      let ratio = j.current *. disc.time_step /. disc.charge_unit in
-      (* reuse the load encoder's exact-fraction logic through Arrays *)
-      let a =
-        Loads.Arrays.make ~time_step:disc.time_step ~charge_unit:disc.charge_unit
-          (Loads.Epoch.job ~current:j.current ~duration:j.duration)
+      (* reuse the load encoder's exact-fraction logic through Arrays, and
+         the kernel's cadence arithmetic through Cursor *)
+      let cursor =
+        Loads.Cursor.make
+          (Loads.Arrays.make ~time_step:disc.time_step
+             ~charge_unit:disc.charge_unit
+             (Loads.Epoch.job ~current:j.current ~duration:j.duration))
       in
-      ignore ratio;
       let rel =
         int_of_float (Float.ceil ((j.release /. disc.time_step) -. 1e-9))
       in
@@ -43,24 +44,15 @@ let discretize (disc : Dkibam.Discretization.t) jobs =
         if j.deadline = infinity then max_int
         else int_of_float (Float.floor ((j.deadline /. disc.time_step) +. 1e-9))
       in
-      { steps; ct = a.cur_times.(0); cur = a.cur.(0); rel; dl })
+      { steps; sch = Loads.Cursor.schedule cursor 0; rel; dl })
     jobs
 
 (* Serve one job with the battery from a given start; None if it dies. *)
 let serve disc (j : djob) battery =
-  let draws = j.steps / j.ct in
-  let rec go i b =
-    if i > draws then Some (Dkibam.Battery.tick_many disc (j.steps - (draws * j.ct)) b)
-    else begin
-      let b = Dkibam.Battery.tick_many disc j.ct b in
-      if b.Dkibam.Battery.n_gamma < j.cur then None
-      else begin
-        let b = Dkibam.Battery.draw disc ~cur:j.cur b in
-        if Dkibam.Battery.is_empty disc b then None else go (i + 1) b
-      end
-    end
-  in
-  go 1 battery
+  let bank = Bank.create ~initial:[| battery |] ~n_batteries:1 disc in
+  match Bank.serve bank ~b:0 j.sch with
+  | Bank.Completed -> Some (Bank.battery bank 0)
+  | Bank.Died _ -> None
 
 module Key = struct
   type t = int * int * int * int * int

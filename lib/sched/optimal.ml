@@ -14,8 +14,7 @@ exception Load_too_short
 type pos = {
   y : int;  (** job epoch index where serving (re)starts *)
   local : int;  (** offset into epoch [y] *)
-  batteries : Dkibam.Battery.t array;
-  dead : bool array;
+  bank : Bank.t;
 }
 
 type seg_outcome =
@@ -23,78 +22,44 @@ type seg_outcome =
   | Next of pos
   | Exhausted
 
-let stranded batteries =
-  Array.fold_left (fun acc (b : Dkibam.Battery.t) -> acc + b.n_gamma) 0 batteries
-
-(* Absolute step of an epoch's first step. *)
-let epoch_start (load : Loads.Arrays.t) y =
-  if y = 0 then 0 else load.load_time.(y - 1)
-
 (* Advance from the start of epoch [y] through idle epochs to the next job
-   epoch; batteries recover along the way.  Mutates [batteries]. *)
-let rec advance_to_job disc (load : Loads.Arrays.t) y batteries dead =
-  if y >= Loads.Arrays.epoch_count load then Exhausted
-  else if load.cur.(y) > 0 then Next { y; local = 0; batteries; dead }
+   epoch; batteries recover along the way.  Mutates [bank]. *)
+let rec advance_to_job cursor y bank =
+  if y >= Loads.Cursor.epoch_count cursor then Exhausted
+  else if not (Loads.Cursor.is_idle cursor y) then Next { y; local = 0; bank }
   else begin
-    let len = Loads.Arrays.epoch_steps load y in
-    Array.iteri
-      (fun i b -> batteries.(i) <- Dkibam.Battery.tick_many disc len b)
-      batteries;
-    advance_to_job disc load (y + 1) batteries dead
+    Bank.tick_all bank (Loads.Cursor.epoch_len cursor y);
+    advance_to_job cursor (y + 1) bank
   end
 
 (* Serve epoch [pos.y] from [pos.local] with battery [b]; deterministic up
    to the next decision point.  [skip_final] elides the draw that falls
    exactly on the epoch's last step — the go_off/use_charge race the
-   published TA leaves open (see mli). *)
-let run_segment disc (load : Loads.Arrays.t) ~switch_delay ~skip_final pos b =
+   published TA leaves open (see mli); the cursor folds it into the
+   schedule. *)
+let run_segment cursor ~switch_delay ~skip_final pos b =
   let y = pos.y in
-  let len = Loads.Arrays.epoch_steps load y in
-  let ct = load.cur_times.(y) and cur = load.cur.(y) in
-  let start = epoch_start load y in
-  let batteries = Array.copy pos.batteries in
-  let dead = Array.copy pos.dead in
-  let tick k =
-    Array.iteri
-      (fun i bat -> batteries.(i) <- Dkibam.Battery.tick_many disc k bat)
-      batteries
-  in
-  let rec draws local =
-    let next = local + ct in
-    if next > len || (skip_final && next = len) then begin
-      tick (len - local);
-      advance_to_job disc load (y + 1) batteries dead
-    end
-    else begin
-      tick ct;
-      let bat = batteries.(b) in
-      let fatal =
-        bat.Dkibam.Battery.n_gamma < cur
-        ||
-        let after = Dkibam.Battery.draw disc ~cur bat in
-        batteries.(b) <- after;
-        Dkibam.Battery.is_empty disc after
-      in
-      if not fatal then draws next
+  let len = Loads.Cursor.epoch_len cursor y in
+  let start = Loads.Cursor.epoch_start cursor y in
+  let bank = Bank.copy pos.bank in
+  let sch = Loads.Cursor.schedule_from ~skip_final cursor y ~local:pos.local in
+  match Bank.serve bank ~b sch with
+  | Bank.Completed -> advance_to_job cursor (y + 1) bank
+  | Bank.Died off ->
+      let next = pos.local + off in
+      let death_step = start + next in
+      if Bank.all_dead bank then Terminal (death_step, Bank.stranded bank)
       else begin
-        let death_step = start + next in
-        dead.(b) <- true;
-        if Array.for_all Fun.id dead then Terminal (death_step, stranded batteries)
+        let resume = next + switch_delay in
+        if resume < len then begin
+          Bank.tick_all bank switch_delay;
+          Next { y; local = resume; bank }
+        end
         else begin
-          let resume = next + switch_delay in
-          if resume < len then begin
-            tick switch_delay;
-            Next { y; local = resume; batteries; dead }
-          end
-          else begin
-            tick (len - next);
-            advance_to_job disc load (y + 1) batteries dead
-          end
+          Bank.tick_all bank (len - next);
+          advance_to_job cursor (y + 1) bank
         end
       end
-    end
-  in
-  draws pos.local
 
 (* Canonical memo key: decision point plus the multiset of battery states
    (identical cells make schedules confluent up to battery renaming). *)
@@ -109,14 +74,14 @@ module Key = struct
     !h
 
   let of_pos (p : pos) =
-    let n = Array.length p.batteries in
+    let n = Bank.size p.bank in
     let cells =
       Array.init n (fun i ->
-          let b = p.batteries.(i) in
+          let b = Bank.battery p.bank i in
           ( b.Dkibam.Battery.n_gamma,
             b.Dkibam.Battery.m_delta,
             b.Dkibam.Battery.recov_clock,
-            p.dead.(i) ))
+            Bank.is_dead p.bank i ))
     in
     Array.sort compare cells;
     let key = Array.make (2 + (4 * n)) 0 in
@@ -137,13 +102,14 @@ module Tbl = Hashtbl.Make (Key)
 let search ?(switch_delay = 1) ?(objective = Max_lifetime)
     ?(allow_final_draw_skip = false) ?initial ~n_batteries
     (disc : Dkibam.Discretization.t) (load : Loads.Arrays.t) =
-  if n_batteries < 1 then invalid_arg "Sched.Optimal.search: need >= 1 battery";
   (match initial with
   | Some a when Array.length a <> n_batteries ->
       invalid_arg "Sched.Optimal.search: initial length mismatch"
   | _ -> ());
+  if n_batteries < 1 then invalid_arg "Sched.Optimal.search: need >= 1 battery";
   Loads.Arrays.check_compatible load ~time_step:disc.time_step
     ~charge_unit:disc.charge_unit;
+  let cursor = Loads.Cursor.make load in
   let score (step, stranded_units) =
     match objective with
     | Max_lifetime -> step
@@ -152,14 +118,11 @@ let search ?(switch_delay = 1) ?(objective = Max_lifetime)
   in
   let memo : int Tbl.t = Tbl.create 4096 in
   let segments = ref 0 and pruned = ref 0 in
-  let alive_choices (p : pos) =
-    List.filter (fun i -> not p.dead.(i)) (List.init n_batteries Fun.id)
-  in
   let skip_options = if allow_final_draw_skip then [ false; true ] else [ false ] in
   let choices (p : pos) =
     List.concat_map
       (fun b -> List.map (fun sk -> (b, sk)) skip_options)
-      (alive_choices p)
+      (Bank.alive p.bank)
   in
   let rec value (p : pos) =
     let key = Key.of_pos p in
@@ -170,7 +133,7 @@ let search ?(switch_delay = 1) ?(objective = Max_lifetime)
         List.iter
           (fun (b, skip_final) ->
             incr segments;
-            match run_segment disc load ~switch_delay ~skip_final p b with
+            match run_segment cursor ~switch_delay ~skip_final p b with
             | Terminal t -> if score t > !best then best := score t
             | Next p' ->
                 let v = value p' in
@@ -182,16 +145,8 @@ let search ?(switch_delay = 1) ?(objective = Max_lifetime)
         Tbl.replace memo key !best;
         !best
   in
-  let start_batteries =
-    match initial with
-    | Some a -> Array.copy a
-    | None -> Array.init n_batteries (fun _ -> Dkibam.Battery.full disc)
-  in
-  let initial =
-    { y = 0; local = 0; batteries = start_batteries; dead = Array.make n_batteries false }
-  in
   let root =
-    match advance_to_job disc load 0 (Array.copy initial.batteries) (Array.copy initial.dead) with
+    match advance_to_job cursor 0 (Bank.create ?initial ~n_batteries disc) with
     | Next p -> p
     | Exhausted -> raise Load_too_short
     | Terminal _ -> assert false
@@ -204,7 +159,7 @@ let search ?(switch_delay = 1) ?(objective = Max_lifetime)
     let scored =
       List.map
         (fun (b, skip_final) ->
-          match run_segment disc load ~switch_delay ~skip_final p b with
+          match run_segment cursor ~switch_delay ~skip_final p b with
           | Terminal t -> (b, score t, None, Some t)
           | Next p' -> (b, value p', Some p', None)
           | Exhausted -> raise Load_too_short)
@@ -243,27 +198,20 @@ let lifetime ?switch_delay ?objective ?allow_final_draw_skip ?initial
        ~n_batteries disc load)
       .lifetime_steps
 
-(* Frontier score for bounded lookahead: death steps in [0, horizon) sort
-   below every survivor; survivors compare by remaining available charge. *)
-let frontier_score disc batteries dead =
-  let avail = ref 0 in
-  Array.iteri
-    (fun i b -> if not dead.(i) then avail := !avail + Dkibam.Battery.available_milli_units disc b)
-    batteries;
-  !avail
-
 let lookahead_policy ?(switch_delay = 1) ?(allow_final_draw_skip = false)
     ~depth (disc : Dkibam.Discretization.t) (load : Loads.Arrays.t) =
   if depth < 1 then invalid_arg "Sched.Optimal.lookahead_policy: depth >= 1";
   Loads.Arrays.check_compatible load ~time_step:disc.time_step
     ~charge_unit:disc.charge_unit;
+  let cursor = Loads.Cursor.make load in
   let skip_options = if allow_final_draw_skip then [ false; true ] else [ false ] in
   (* score of continuing from [p] with [d] decisions of lookahead left:
      (died?, death step or frontier charge) encoded so that later deaths
-     beat earlier ones and any survivor beats every death *)
+     beat earlier ones and any survivor beats every death.  The frontier
+     score is the remaining available charge over alive batteries. *)
   let survivor_bonus = 1 lsl 40 in
   let rec value d (p : pos) =
-    if d = 0 then survivor_bonus + frontier_score disc p.batteries p.dead
+    if d = 0 then survivor_bonus + Bank.alive_available_milli p.bank
     else begin
       let best = ref min_int in
       List.iter
@@ -271,7 +219,7 @@ let lookahead_policy ?(switch_delay = 1) ?(allow_final_draw_skip = false)
           List.iter
             (fun skip_final ->
               let v =
-                match run_segment disc load ~switch_delay ~skip_final p b with
+                match run_segment cursor ~switch_delay ~skip_final p b with
                 | Terminal (step, _) -> step
                 | Next p' -> value (d - 1) p'
                 | Exhausted ->
@@ -280,12 +228,12 @@ let lookahead_policy ?(switch_delay = 1) ?(allow_final_draw_skip = false)
               in
               if v > !best then best := v)
             skip_options)
-        (List.filter (fun i -> not p.dead.(i)) (List.init (Array.length p.batteries) Fun.id));
+        (Bank.alive p.bank);
       !best
     end
   in
   let decide (ctx : Policy.decision_context) =
-    let epoch_start_step = epoch_start load ctx.epoch_index in
+    let epoch_start_step = Loads.Cursor.epoch_start cursor ctx.epoch_index in
     (* at a mid-job hand-over the simulator applies the switch delay
        after consulting the policy: model the continuation from the
        post-delay state *)
@@ -294,11 +242,14 @@ let lookahead_policy ?(switch_delay = 1) ?(allow_final_draw_skip = false)
       {
         y = ctx.epoch_index;
         local = ctx.step - epoch_start_step + delay;
-        batteries =
-          Array.map (fun b -> Dkibam.Battery.tick_many disc delay b) ctx.batteries;
-        dead =
-          Array.init (Array.length ctx.batteries) (fun i ->
-              not (List.mem i ctx.alive));
+        bank =
+          Bank.of_parts disc
+            ~batteries:
+              (Array.map (fun b -> Dkibam.Battery.tick_many disc delay b)
+                 ctx.batteries)
+            ~dead:
+              (Array.init (Array.length ctx.batteries) (fun i ->
+                   not (List.mem i ctx.alive)));
       }
     in
     let scored =
@@ -308,7 +259,7 @@ let lookahead_policy ?(switch_delay = 1) ?(allow_final_draw_skip = false)
             List.fold_left
               (fun acc skip_final ->
                 let v =
-                  match run_segment disc load ~switch_delay ~skip_final p b with
+                  match run_segment cursor ~switch_delay ~skip_final p b with
                   | Terminal (step, _) -> step
                   | Next p' -> value (depth - 1) p'
                   | Exhausted -> survivor_bonus * 2

@@ -17,56 +17,40 @@ exception System_dead of int
 
 let simulate ?initial ?trace_every ?(switch_delay = 1) ~n_batteries ~policy
     (disc : Dkibam.Discretization.t) (load : Loads.Arrays.t) =
-  if n_batteries < 1 then invalid_arg "Sched.Simulator: need >= 1 battery";
   Loads.Arrays.check_compatible load ~time_step:disc.time_step
     ~charge_unit:disc.charge_unit;
-  let batteries =
-    match initial with
-    | Some a ->
-        if Array.length a <> n_batteries then
-          invalid_arg "Sched.Simulator: initial length mismatch";
-        Array.copy a
-    | None -> Array.init n_batteries (fun _ -> Dkibam.Battery.full disc)
-  in
-  let dead = Array.make n_batteries false in
+  let bank = Bank.create ?initial ~n_batteries disc in
+  let cursor = Loads.Cursor.make load in
   let deaths = ref [] and decisions = ref [] and intervals = ref [] in
   let samples = ref [] in
   let policy_state = ref 0 in
   let decision_no = ref 0 in
-  let alive () =
-    List.filter (fun i -> not dead.(i)) (List.init n_batteries Fun.id)
-  in
   let record_sample step serving =
     match trace_every with
     | None -> ()
     | Some _ ->
         samples :=
-          { s_step = step; s_batteries = Array.copy batteries; s_serving = serving }
+          { s_step = step; s_batteries = Bank.snapshot bank; s_serving = serving }
           :: !samples
   in
-  (* Advance all batteries by [k] steps of pure recovery, emitting trace
-     samples on the configured grid. *)
-  let tick_all from_step k serving =
+  (* The running absolute step; every recovery span goes through [tick],
+     which chops it into chunks so trace samples land on the grid. *)
+  let clock = ref 0 in
+  let tick serving k =
     (match trace_every with
-    | None ->
-        Array.iteri
-          (fun i b -> batteries.(i) <- Dkibam.Battery.tick_many disc k b)
-          batteries
+    | None -> Bank.tick_all bank k
     | Some every ->
-        (* step in chunks so samples land on the grid *)
         let rec go step remaining =
           if remaining > 0 then begin
             let next_grid = ((step / every) + 1) * every in
             let chunk = min remaining (next_grid - step) in
-            Array.iteri
-              (fun i b -> batteries.(i) <- Dkibam.Battery.tick_many disc chunk b)
-              batteries;
+            Bank.tick_all bank chunk;
             if step + chunk = next_grid then record_sample (step + chunk) serving;
             go (step + chunk) (remaining - chunk)
           end
         in
-        go from_step k);
-    from_step + k
+        go !clock k);
+    clock := !clock + k
   in
   let choose ~job_index ~epoch_index ~step ~mid_job =
     let ctx =
@@ -76,8 +60,8 @@ let simulate ?initial ?trace_every ?(switch_delay = 1) ~n_batteries ~policy
         epoch_index;
         step;
         mid_job;
-        batteries = Array.copy batteries;
-        alive = alive ();
+        batteries = Bank.snapshot bank;
+        alive = Bank.alive bank;
       }
     in
     let chosen = Policy.decide policy ~state:policy_state ctx in
@@ -85,64 +69,41 @@ let simulate ?initial ?trace_every ?(switch_delay = 1) ~n_batteries ~policy
     incr decision_no;
     chosen
   in
-  let epochs = Loads.Arrays.epoch_count load in
   let job_index = ref 0 in
   (* Serve one job epoch starting at absolute [start]; raises System_dead
      when the last battery dies. *)
   let serve_job y start len =
-    let ct = (load : Loads.Arrays.t).cur_times.(y) in
-    let cur = (load : Loads.Arrays.t).cur.(y) in
-    (* [serve b local]: battery [b] serving from local offset [local]. *)
+    (* [serve b local]: battery [b] serving from local offset [local];
+       the draw cadence restarts here (the go_on semantics). *)
     let rec serve b local =
       let span_start = start + local in
-      let draws = (len - local) / ct in
-      let rec do_draws i local =
-        if i > draws then begin
-          (* job tail without a draw *)
-          let local' = len in
-          ignore (tick_all (start + local) (local' - local) (Some b));
-          intervals := (span_start, start + len, b) :: !intervals
-        end
-        else begin
-          let local' = local + ct in
-          ignore (tick_all (start + local) ct (Some b));
-          let battery = batteries.(b) in
-          let fatal =
-            battery.Dkibam.Battery.n_gamma < cur
-            ||
-            let after = Dkibam.Battery.draw disc ~cur battery in
-            batteries.(b) <- after;
-            Dkibam.Battery.is_empty disc after
-          in
-          if not fatal then do_draws (i + 1) local'
+      let sch = Loads.Cursor.schedule_from cursor y ~local in
+      match Bank.serve ~tick:(tick (Some b)) bank ~b sch with
+      | Bank.Completed -> intervals := (span_start, start + len, b) :: !intervals
+      | Bank.Died off ->
+          let local' = local + off in
+          let death_step = start + local' in
+          deaths := (b, death_step) :: !deaths;
+          intervals := (span_start, death_step, b) :: !intervals;
+          record_sample death_step None;
+          if not (Bank.any_alive bank) then raise (System_dead death_step)
           else begin
-            let death_step = start + local' in
-            dead.(b) <- true;
-            deaths := (b, death_step) :: !deaths;
-            intervals := (span_start, death_step, b) :: !intervals;
-            record_sample death_step None;
-            if alive () = [] then raise (System_dead death_step)
-            else begin
-              (* The emptied -> new_job -> go_on hand-over chain consumes
-                 [switch_delay] time steps before the replacement starts
-                 serving. *)
-              let resume = local' + switch_delay in
-              if resume < len then begin
-                let b' =
-                  choose ~job_index:!job_index ~epoch_index:y ~step:death_step
-                    ~mid_job:true
-                in
-                ignore (tick_all death_step switch_delay None);
-                serve b' resume
-              end
-              else if len > local' then
-                (* hand-over outlives the job: burn the tail idle *)
-                ignore (tick_all death_step (len - local') None)
+            (* The emptied -> new_job -> go_on hand-over chain consumes
+               [switch_delay] time steps before the replacement starts
+               serving. *)
+            let resume = local' + switch_delay in
+            if resume < len then begin
+              let b' =
+                choose ~job_index:!job_index ~epoch_index:y ~step:death_step
+                  ~mid_job:true
+              in
+              tick None switch_delay;
+              serve b' resume
             end
+            else if len > local' then
+              (* hand-over outlives the job: burn the tail idle *)
+              tick None (len - local')
           end
-        end
-      in
-      do_draws 1 local
     in
     let b = choose ~job_index:!job_index ~epoch_index:y ~step:start ~mid_job:false in
     serve b 0;
@@ -151,15 +112,10 @@ let simulate ?initial ?trace_every ?(switch_delay = 1) ~n_batteries ~policy
   record_sample 0 None;
   let lifetime_steps =
     try
-      let step = ref 0 in
-      for y = 0 to epochs - 1 do
-        let len = Loads.Arrays.epoch_steps load y in
-        if (load : Loads.Arrays.t).cur.(y) = 0 then
-          step := tick_all !step len None
-        else begin
-          serve_job y !step len;
-          step := !step + len
-        end
+      for y = 0 to Loads.Cursor.epoch_count cursor - 1 do
+        let len = Loads.Cursor.epoch_len cursor y in
+        if Loads.Cursor.is_idle cursor y then tick None len
+        else serve_job y !clock len
       done;
       None
     with System_dead s -> Some s
@@ -169,7 +125,7 @@ let simulate ?initial ?trace_every ?(switch_delay = 1) ~n_batteries ~policy
     deaths = List.rev !deaths;
     decisions = List.rev !decisions;
     serving_intervals = List.rev !intervals;
-    final = batteries;
+    final = Bank.snapshot bank;
     samples = List.rev !samples;
   }
 

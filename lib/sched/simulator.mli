@@ -4,7 +4,7 @@
     event semantics of the TA-KiBaM network (paper §4.2–4.3):
 
     - all batteries recover concurrently, every time step;
-    - the serving battery draws [cur] units every [cur_times] steps,
+    - the serving battery draws [cur] units on every cadence interval,
       with the discharge cadence restarting at every switch-on;
     - emptiness is observed at draw instants; the fatal draw's instant is
       the battery's death time, and a replacement (chosen by the policy)

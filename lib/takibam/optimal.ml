@@ -15,18 +15,13 @@ exception Load_too_short
 let make_heuristic (model : Model.t) =
   let net = model.compiled in
   let symtab = net.Pta.Compiled.symtab in
-  let arrays = model.arrays in
-  let epochs = Loads.Arrays.epoch_count arrays in
+  (* the kernel cursor precomputes both the per-epoch draw schedules and
+     the suffix dot-product (draw units in epochs y+1 .. end) *)
+  let cursor = Loads.Cursor.make model.arrays in
+  let epochs = Loads.Cursor.epoch_count cursor in
   let t_clock = Pta.Compiled.clock_index net ~auto:"load" ~clock:"t" in
   let mf = Pta.Compiled.auto_index net "max_finder" in
   let mf_off = Pta.Compiled.location_index net ~auto:"max_finder" ~loc:"off" in
-  (* draws_after.(y) = draw units in epochs y+1 .. end *)
-  let draws_after = Array.make (epochs + 1) 0 in
-  for y = epochs - 1 downto 0 do
-    let len = Loads.Arrays.epoch_steps arrays y in
-    let draws = len / arrays.cur_times.(y) * arrays.cur.(y) in
-    draws_after.(y) <- draws_after.(y + 1) + draws
-  done;
   fun (s : Pta.Discrete.state) ->
     if s.locs.(mf) <> mf_off then
       (* the stranded-charge cost has already been paid *)
@@ -41,11 +36,11 @@ let make_heuristic (model : Model.t) =
         let t = s.clocks.(t_clock) in
         (* draws left in the current epoch cannot exceed one per cadence
            interval of the remaining time, whatever the cadence phase *)
-        let remaining_steps = max 0 (arrays.load_time.(j) - t) in
+        let remaining_steps = max 0 (Loads.Cursor.epoch_end cursor j - t) in
         let this_epoch =
-          remaining_steps / arrays.cur_times.(j) * arrays.cur.(j)
+          Loads.Cursor.max_draw_units_within cursor j ~steps:remaining_steps
         in
-        max 0 (held - this_epoch - draws_after.(j))
+        max 0 (held - this_epoch - Loads.Cursor.draw_units_after cursor j)
       end
     end
 

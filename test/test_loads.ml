@@ -181,6 +181,137 @@ let prop_arrays_duration_consistent =
       Float.abs (float_of_int total_steps *. 0.01 -. Loads.Epoch.duration l) < 1e-6)
 
 (* ------------------------------------------------------------------ *)
+(* The load cursor (execution kernel)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-built encodings at T = Γ = 1 keep the cadence arithmetic legible. *)
+let raw ~load_time ~cur_times ~cur =
+  Loads.Cursor.make
+    (Loads.Arrays.of_arrays ~time_step:1.0 ~charge_unit:1.0 ~load_time
+       ~cur_times ~cur)
+
+let check_sched msg (expect : Loads.Cursor.schedule) (got : Loads.Cursor.schedule) =
+  check_int (msg ^ " ct") expect.ct got.ct;
+  check_int (msg ^ " cur") expect.cur got.cur;
+  check_int (msg ^ " draws") expect.draws got.draws;
+  check_int (msg ^ " rest") expect.rest got.rest
+
+(* Walk the whole event stream, returning (events, steps at each event). *)
+let walk c =
+  let rec go pos acc =
+    match Loads.Cursor.next c pos with
+    | None -> List.rev acc
+    | Some (ev, pos') -> go pos' ((ev, Loads.Cursor.step c pos') :: acc)
+  in
+  go (Loads.Cursor.start c) []
+
+let test_cursor_zero_current_epoch () =
+  (* a zero-current epoch yields a single recovery span and no draws *)
+  let c = raw ~load_time:[| 10 |] ~cur_times:[| 10 |] ~cur:[| 0 |] in
+  Alcotest.(check bool) "idle" true (Loads.Cursor.is_idle c 0);
+  check_int "no job schedules" 0 (Loads.Cursor.job_count c);
+  check_sched "schedule" { ct = 10; cur = 0; draws = 0; rest = 10 }
+    (Loads.Cursor.schedule c 0);
+  check_int "no draw units" 0 (Loads.Cursor.draw_units c 0);
+  match walk c with
+  | [ (Loads.Cursor.Idle 10, 10); (Loads.Cursor.Epoch_end, 10) ] -> ()
+  | evs -> Alcotest.failf "unexpected event stream (%d events)" (List.length evs)
+
+let test_cursor_trailing_rest () =
+  (* cadence 4 into a 10-step epoch: two draws, two trailing rest steps *)
+  let c = raw ~load_time:[| 10 |] ~cur_times:[| 4 |] ~cur:[| 2 |] in
+  Alcotest.(check bool) "not idle" false (Loads.Cursor.is_idle c 0);
+  check_sched "schedule" { ct = 4; cur = 2; draws = 2; rest = 2 }
+    (Loads.Cursor.schedule c 0);
+  check_int "draw units" 4 (Loads.Cursor.draw_units c 0);
+  (match walk c with
+  | [
+   (Loads.Cursor.Idle 4, 4);
+   (Loads.Cursor.Draw 2, 4);
+   (Loads.Cursor.Idle 4, 8);
+   (Loads.Cursor.Draw 2, 8);
+   (Loads.Cursor.Idle 2, 10);
+   (Loads.Cursor.Epoch_end, 10);
+  ] ->
+      ()
+  | evs -> Alcotest.failf "unexpected event stream (%d events)" (List.length evs));
+  (* a mid-epoch switch-on restarts the cadence: 7 steps left -> 1 draw *)
+  check_sched "restart at 3" { ct = 4; cur = 2; draws = 1; rest = 3 }
+    (Loads.Cursor.schedule_from c 0 ~local:3);
+  (* cadence longer than the remaining span: a draw-free job tail *)
+  check_sched "restart at 8" { ct = 4; cur = 2; draws = 0; rest = 2 }
+    (Loads.Cursor.schedule_from c 0 ~local:8);
+  check_int "bound within 7 steps" 2 (Loads.Cursor.max_draw_units_within c 0 ~steps:7)
+
+let test_cursor_final_step_draw () =
+  (* cadence dividing the epoch exactly: the last draw lands on the
+     epoch's final step — the go_off/use_charge race documented in
+     sched/optimal.mli.  skip_final elides exactly that draw. *)
+  let c = raw ~load_time:[| 8 |] ~cur_times:[| 4 |] ~cur:[| 1 |] in
+  check_sched "race kept" { ct = 4; cur = 1; draws = 2; rest = 0 }
+    (Loads.Cursor.schedule c 0);
+  (match walk c with
+  | [
+   (Loads.Cursor.Idle 4, 4);
+   (Loads.Cursor.Draw 1, 4);
+   (Loads.Cursor.Idle 4, 8);
+   (Loads.Cursor.Draw 1, 8);
+   (Loads.Cursor.Epoch_end, 8);
+  ] ->
+      ()
+  | evs -> Alcotest.failf "unexpected event stream (%d events)" (List.length evs));
+  check_sched "race skipped" { ct = 4; cur = 1; draws = 1; rest = 4 }
+    (Loads.Cursor.schedule_from ~skip_final:true c 0 ~local:0);
+  (* skip_final only fires when the final draw is exactly on the edge *)
+  check_sched "no draw on the edge" { ct = 4; cur = 1; draws = 1; rest = 3 }
+    (Loads.Cursor.schedule_from ~skip_final:true c 0 ~local:1)
+
+let test_cursor_geometry_and_suffix () =
+  let c =
+    raw ~load_time:[| 10; 14; 26 |] ~cur_times:[| 2; 4; 3 |] ~cur:[| 1; 0; 2 |]
+  in
+  check_int "epochs" 3 (Loads.Cursor.epoch_count c);
+  check_int "jobs" 2 (Loads.Cursor.job_count c);
+  check_int "start 1" 10 (Loads.Cursor.epoch_start c 1);
+  check_int "end 1" 14 (Loads.Cursor.epoch_end c 1);
+  check_int "len 2" 12 (Loads.Cursor.epoch_len c 2);
+  check_int "total" 26 (Loads.Cursor.total_steps c);
+  (* suffix dot-product: epoch 0 draws 5x1, epoch 2 draws 4x2 *)
+  check_int "after 0" 8 (Loads.Cursor.draw_units_after c 0);
+  check_int "after 1" 8 (Loads.Cursor.draw_units_after c 1);
+  check_int "after 2" 0 (Loads.Cursor.draw_units_after c 2)
+
+(* The event stream is consistent with the raw arrays on every test load:
+   per epoch, draws match the precomputed schedule and elapsed steps match
+   the epoch length. *)
+let test_cursor_walk_matches_arrays () =
+  List.iter
+    (fun name ->
+      let a = paper_enc (Loads.Testloads.load name) in
+      let c = Loads.Cursor.make a in
+      let y = ref 0 and draws = ref 0 and last_step = ref 0 in
+      List.iter
+        (fun (ev, step) ->
+          match ev with
+          | Loads.Cursor.Draw cur ->
+              incr draws;
+              check_int "draw size" a.Loads.Arrays.cur.(!y) cur
+          | Loads.Cursor.Idle _ -> ()
+          | Loads.Cursor.Epoch_end ->
+              check_int
+                (Printf.sprintf "%s epoch %d ends on the boundary"
+                   (Loads.Testloads.to_string name) !y)
+                a.Loads.Arrays.load_time.(!y) step;
+              check_int "draw count" (Loads.Cursor.schedule c !y).draws !draws;
+              draws := 0;
+              incr y;
+              last_step := step)
+        (walk c);
+      check_int "all epochs walked" (Loads.Arrays.epoch_count a) !y;
+      check_int "full duration walked" (Loads.Cursor.total_steps c) !last_step)
+    Loads.Testloads.all_names
+
+(* ------------------------------------------------------------------ *)
 (* Test loads                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -323,6 +454,18 @@ let () =
           Alcotest.test_case "discretization compatibility" `Quick
             test_arrays_compatibility_check;
           QCheck_alcotest.to_alcotest prop_arrays_duration_consistent;
+        ] );
+      ( "cursor (execution kernel)",
+        [
+          Alcotest.test_case "zero-current epoch" `Quick
+            test_cursor_zero_current_epoch;
+          Alcotest.test_case "trailing rest" `Quick test_cursor_trailing_rest;
+          Alcotest.test_case "final-step draw race" `Quick
+            test_cursor_final_step_draw;
+          Alcotest.test_case "geometry + suffix units" `Quick
+            test_cursor_geometry_and_suffix;
+          Alcotest.test_case "event walk matches arrays" `Quick
+            test_cursor_walk_matches_arrays;
         ] );
       ( "spec language",
         [

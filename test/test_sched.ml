@@ -28,6 +28,50 @@ let test_one_battery_equals_engine () =
         [ Sched.Policy.Sequential; Sched.Policy.Round_robin; Sched.Policy.Best_of ])
     Loads.Testloads.all_names
 
+let test_differential_engine_vs_simulator () =
+  (* kernel pin: with a single battery there are no hand-overs, so the
+     simulator must agree with the single-battery engine step for step —
+     same fatal draw instant, same death bookkeeping, same final battery
+     state — on all ten test loads, both battery types, every policy *)
+  List.iter
+    (fun (disc_name, d) ->
+      List.iter
+        (fun name ->
+          let a = arrays name in
+          let engine_step, engine_final =
+            match Dkibam.Engine.run d a with
+            | Dkibam.Engine.Dies_at_step (s, b) -> (s, b)
+            | Dkibam.Engine.Survives _ ->
+                Alcotest.failf "%s (%s): engine survived"
+                  (Loads.Testloads.to_string name)
+                  disc_name
+          in
+          List.iter
+            (fun policy ->
+              let o = Sched.Simulator.simulate ~n_batteries:1 ~policy d a in
+              let fail fmt =
+                Alcotest.failf
+                  ("%s (%s, %s): " ^^ fmt)
+                  (Loads.Testloads.to_string name)
+                  disc_name
+                  (Sched.Policy.name policy)
+              in
+              (match o.lifetime_steps with
+              | Some s when s = engine_step -> ()
+              | Some s -> fail "engine dies at step %d, simulator %d" engine_step s
+              | None -> fail "simulator survived");
+              (match o.deaths with
+              | [ (0, s) ] when s = engine_step -> ()
+              | _ -> fail "death bookkeeping disagrees");
+              if not (Dkibam.Battery.equal o.final.(0) engine_final) then
+                fail "final battery state disagrees")
+            [ Sched.Policy.Sequential; Sched.Policy.Round_robin; Sched.Policy.Best_of ])
+        Loads.Testloads.all_names)
+    [
+      ("B1", Dkibam.Discretization.paper_b1);
+      ("B2", Dkibam.Discretization.paper_b2);
+    ]
+
 (* Table 5, deterministic columns: (load, seq, rr, best2).  With the
    1-step hand-over delay, 17 of 24 entries are exact; the paper's model
    leaves the hand-over timing open within one draw interval, so the
@@ -549,6 +593,8 @@ let () =
         [
           Alcotest.test_case "1 battery = engine (all loads)" `Quick
             test_one_battery_equals_engine;
+          Alcotest.test_case "differential: engine vs simulator, step-for-step"
+            `Quick test_differential_engine_vs_simulator;
           Alcotest.test_case "Table 5 deterministic columns" `Quick
             test_table5_deterministic_columns;
           Alcotest.test_case "two beat one" `Quick test_two_batteries_beat_one;
