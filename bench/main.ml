@@ -11,19 +11,25 @@
    tables12, table3, table4, table5, figure1, figure5, figure6,
    ablation-capacity, ablation-complexity, ablation-models,
    ablation-lookahead, ablation-granularity, multi-battery,
-   random-ensemble, cross-validation, optimal-bench, micro. *)
+   random-ensemble, cross-validation, optimal-bench, micro.
 
-let ppf = Format.std_formatter
+   `-j N` (or `--jobs N`) renders independent table/figure artifacts
+   concurrently on an Exec.Pool of N domains — each artifact formats
+   into its own buffer and the buffers are printed in request order, so
+   the output is byte-identical to the serial run.  The two
+   timing-sensitive artifacts (optimal-bench, micro) always run
+   serially, after the others; optimal-bench additionally measures the
+   serial-vs-parallel speedup of the optimal search and of a 50-load
+   ensemble, and writes the measurements to BENCH_parallel.json. *)
 
-let section title =
-  Format.fprintf ppf "@.=== %s ===@.@." title
+let section ppf title = Format.fprintf ppf "@.=== %s ===@.@." title
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1: the KiBaM two-well schematic, in ASCII                    *)
 (* ------------------------------------------------------------------ *)
 
-let figure1 () =
-  section "Figure 1: Kinetic Battery Model (schematic)";
+let figure1 ppf =
+  section ppf "Figure 1: Kinetic Battery Model (schematic)";
   Format.fprintf ppf
     "    bound charge          available charge@.\
     \   +-----------+   k    +-----------+@.\
@@ -40,8 +46,8 @@ let figure1 () =
 (* Tables 1 and 2: model inventory                                     *)
 (* ------------------------------------------------------------------ *)
 
-let tables12 () =
-  section "Tables 1-2: TA-KiBaM variables and channels (model inventory)";
+let tables12 ppf =
+  section ppf "Tables 1-2: TA-KiBaM variables and channels (model inventory)";
   Format.fprintf ppf
     "variables: n_gamma[id] (total charge, init N), m_delta[id] (height@.\
      difference, init 0), bat_empty[id], j (epoch index), empty_count,@.\
@@ -56,8 +62,8 @@ let tables12 () =
 (* Figure 5: the network itself, as Graphviz                           *)
 (* ------------------------------------------------------------------ *)
 
-let figure5 () =
-  section "Figure 5: the TA-KiBaM network (Graphviz)";
+let figure5 ppf =
+  section ppf "Figure 5: the TA-KiBaM network (Graphviz)";
   let disc = Dkibam.Discretization.paper_b1 in
   let arrays = Batsched.Experiments.arrays_of ~horizon:8.0 Loads.Testloads.ILs_alt in
   let model = Takibam.Model.build ~n_batteries:2 disc arrays in
@@ -67,57 +73,57 @@ let figure5 () =
 (* Reproduced evaluation artifacts                                     *)
 (* ------------------------------------------------------------------ *)
 
-let table3 () =
-  section "Table 3 (paper section 5)";
+let table3 ppf =
+  section ppf "Table 3 (paper section 5)";
   Batsched.Report.table3 ppf (Batsched.Experiments.table3 ())
 
-let table4 () =
-  section "Table 4 (paper section 5)";
+let table4 ppf =
+  section ppf "Table 4 (paper section 5)";
   Batsched.Report.table4 ppf (Batsched.Experiments.table4 ())
 
-let table5 () =
-  section "Table 5 (paper section 6)";
+let table5 ppf =
+  section ppf "Table 5 (paper section 6)";
   Batsched.Report.table5 ppf (Batsched.Experiments.table5 ())
 
-let figure6 () =
-  section "Figure 6 (paper section 6): ILs alt charge evolution + schedules";
+let figure6 ppf =
+  section ppf "Figure 6 (paper section 6): ILs alt charge evolution + schedules";
   Batsched.Report.figure6 ppf ~label:"best-of-two"
     (Batsched.Experiments.figure6 `Best_of_two);
   Format.fprintf ppf "@.";
   Batsched.Report.figure6 ppf ~label:"optimal"
     (Batsched.Experiments.figure6 `Optimal)
 
-let ablation_capacity () =
-  section "Ablation A1: stranded charge vs capacity (paper section 6 remark)";
+let ablation_capacity ppf =
+  section ppf "Ablation A1: stranded charge vs capacity (paper section 6 remark)";
   Batsched.Report.capacity_sweep ppf
     (Batsched.Experiments.capacity_sweep ~factors:[ 1.0; 2.0; 3.0; 5.0; 10.0 ] ())
 
-let ablation_complexity () =
-  section "Ablation A2: optimal-search complexity (paper section 4.4)";
+let ablation_complexity ppf =
+  section ppf "Ablation A2: optimal-search complexity (paper section 4.4)";
   Batsched.Report.complexity ppf (Batsched.Experiments.complexity_probe ())
 
-let ablation_models () =
-  section "Ablation S9: KiBaM vs Rakhmatov-Vrudhula diffusion model";
+let ablation_models ppf =
+  section ppf "Ablation S9: KiBaM vs Rakhmatov-Vrudhula diffusion model";
   Batsched.Report.model_comparison ppf (Batsched.Experiments.model_comparison ())
 
-let ablation_lookahead () =
-  section "Ablation X2: bounded lookahead between best-of and optimal";
+let ablation_lookahead ppf =
+  section ppf "Ablation X2: bounded lookahead between best-of and optimal";
   let load = Loads.Testloads.ILs_r1 in
   Batsched.Report.lookahead_sweep ppf ~load
     (Batsched.Experiments.lookahead_sweep ~load ~depths:[ 1; 2; 3; 4; 6; 8 ] ())
 
-let ablation_granularity () =
-  section "Ablation A3: discretization granularity (paper sections 2.3, 4.4)";
+let ablation_granularity ppf =
+  section ppf "Ablation A3: discretization granularity (paper sections 2.3, 4.4)";
   Batsched.Report.granularity_sweep ppf (Batsched.Experiments.granularity_sweep ())
 
-let multi_battery () =
-  section "Beyond the paper: packs of 2-4 batteries (ILs alt)";
+let multi_battery ppf =
+  section ppf "Beyond the paper: packs of 2-4 batteries (ILs alt)";
   let load = Loads.Testloads.ILs_alt in
   Batsched.Report.multi_battery ppf ~load
     (Batsched.Experiments.multi_battery ~load ())
 
-let random_ensemble () =
-  section
+let random_ensemble ppf =
+  section ppf
     "Random-load ensemble (section 7 outlook: what Cora could not analyze)";
   let e =
     Sched.Ensemble.run ~n_loads:30 ~jobs_per_load:40
@@ -125,48 +131,132 @@ let random_ensemble () =
   in
   Batsched.Report.ensemble ppf e
 
-let cross_validation () =
-  section "Engine cross-validation (DESIGN.md Cora substitution)";
+let cross_validation ppf =
+  section ppf "Engine cross-validation (DESIGN.md Cora substitution)";
   Batsched.Report.cross_validation ppf (Batsched.Experiments.cross_validate ())
 
 (* ------------------------------------------------------------------ *)
-(* Optimal-search wall time over the Table 5 loads                     *)
+(* Optimal-search wall time over the Table 5 loads, plus the           *)
+(* serial-vs-parallel speedup report (BENCH_parallel.json)             *)
 (* ------------------------------------------------------------------ *)
 
-let optimal_bench () =
-  section "Optimal search on the Table 5 loads (cursor + bank kernel)";
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let optimal_bench ~jobs ppf =
+  section ppf "Optimal search on the Table 5 loads (cursor + bank kernel)";
   let disc = Dkibam.Discretization.paper_b1 in
   Format.fprintf ppf "  %-8s %9s %10s %9s  %s@." "load" "wall ms" "positions"
     "segments" "cursor schedules (epochs, jobs)";
   let total = ref 0.0 and total_sched = ref 0 in
-  List.iter
-    (fun name ->
-      let a = Batsched.Experiments.arrays_of name in
-      let cursor = Loads.Cursor.make a in
-      (* warm up once, then time the search proper *)
-      ignore (Sched.Optimal.search ~n_batteries:2 disc a);
-      let t0 = Unix.gettimeofday () in
-      let r = Sched.Optimal.search ~n_batteries:2 disc a in
-      let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
-      total := !total +. ms;
-      total_sched := !total_sched + Loads.Cursor.job_count cursor;
-      Format.fprintf ppf "  %-8s %9.2f %10d %9d  %d epochs, %d job schedules@."
-        (Loads.Testloads.to_string name)
-        ms r.stats.positions_explored r.stats.segments_run
-        (Loads.Cursor.epoch_count cursor)
-        (Loads.Cursor.job_count cursor))
-    Loads.Testloads.all_names;
+  let serial_times =
+    List.map
+      (fun name ->
+        let a = Batsched.Experiments.arrays_of name in
+        let cursor = Loads.Cursor.make a in
+        (* warm up once, then time the search proper *)
+        ignore (Sched.Optimal.search ~n_batteries:2 disc a);
+        let r, ms = time_ms (fun () -> Sched.Optimal.search ~n_batteries:2 disc a) in
+        total := !total +. ms;
+        total_sched := !total_sched + Loads.Cursor.job_count cursor;
+        Format.fprintf ppf "  %-8s %9.2f %10d %9d  %d epochs, %d job schedules@."
+          (Loads.Testloads.to_string name)
+          ms r.stats.positions_explored r.stats.segments_run
+          (Loads.Cursor.epoch_count cursor)
+          (Loads.Cursor.job_count cursor);
+        (name, ms))
+      Loads.Testloads.all_names;
+  in
   Format.fprintf ppf
     "  total %43.2f ms; %d precomputed draw schedules reused across every \
      explored position@."
-    !total !total_sched
+    !total !total_sched;
+  (* --- serial vs parallel ------------------------------------------ *)
+  let domains =
+    if jobs > 1 then jobs else max 2 (Domain.recommended_domain_count ())
+  in
+  section ppf
+    (Printf.sprintf
+       "Parallel execution: Exec.Pool of %d domains vs serial (identical \
+        results, wall-clock only)"
+       domains);
+  Exec.Pool.with_pool ~domains (fun pool ->
+      Format.fprintf ppf "  %-30s %12s %12s %9s@." "workload" "serial ms"
+        "parallel ms" "speedup";
+      (* per-load optimal search: root fan-out *)
+      let load_rows =
+        List.map
+          (fun (name, serial_ms) ->
+            let a = Batsched.Experiments.arrays_of name in
+            ignore (Sched.Optimal.search ~pool ~n_batteries:2 disc a);
+            let _, par_ms =
+              time_ms (fun () -> Sched.Optimal.search ~pool ~n_batteries:2 disc a)
+            in
+            let label =
+              Printf.sprintf "optimal %s" (Loads.Testloads.to_string name)
+            in
+            Format.fprintf ppf "  %-30s %12.2f %12.2f %8.2fx@." label serial_ms
+              par_ms (serial_ms /. par_ms);
+            (Loads.Testloads.to_string name, serial_ms, par_ms))
+          serial_times
+      in
+      (* the headline workload: a 50-load random ensemble with the
+         per-load optimal search — fanned out one load per task *)
+      let run_ensemble ?pool () =
+        Sched.Ensemble.run ?pool ~n_loads:50 ~jobs_per_load:40 disc ()
+      in
+      let e_serial, ens_serial_ms = time_ms (fun () -> run_ensemble ()) in
+      let e_par, ens_par_ms = time_ms (fun () -> run_ensemble ~pool ()) in
+      assert (e_serial = e_par);
+      Format.fprintf ppf "  %-30s %12.2f %12.2f %8.2fx@."
+        "ensemble (50 loads + optimal)" ens_serial_ms ens_par_ms
+        (ens_serial_ms /. ens_par_ms);
+      Format.fprintf ppf
+        "  (parallel results asserted bit-identical to serial)@.";
+      (* machine-readable record of the same numbers *)
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "{\n";
+      Buffer.add_string buf (Printf.sprintf "  \"domains\": %d,\n" domains);
+      Buffer.add_string buf
+        (Printf.sprintf "  \"recommended_domain_count\": %d,\n"
+           (Domain.recommended_domain_count ()));
+      Buffer.add_string buf "  \"optimal_loads\": [\n";
+      List.iteri
+        (fun i (name, s, p) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "    {\"load\": \"%s\", \"serial_ms\": %.3f, \"parallel_ms\": \
+                %.3f, \"speedup\": %.3f}%s\n"
+               (json_escape name) s p (s /. p)
+               (if i = List.length load_rows - 1 then "" else ",")))
+        load_rows;
+      Buffer.add_string buf "  ],\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"ensemble\": {\"n_loads\": 50, \"jobs_per_load\": 40, \
+            \"n_batteries\": 2, \"include_optimal\": true, \"serial_ms\": \
+            %.3f, \"parallel_ms\": %.3f, \"speedup\": %.3f}\n"
+           ens_serial_ms ens_par_ms (ens_serial_ms /. ens_par_ms));
+      Buffer.add_string buf "}\n";
+      let oc = open_out "BENCH_parallel.json" in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Format.fprintf ppf "  measurements written to BENCH_parallel.json@.")
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
-let micro () =
-  section "Bechamel micro-benchmarks (one per reproduced artifact + engines)";
+let micro ppf =
+  section ppf "Bechamel micro-benchmarks (one per reproduced artifact + engines)";
   let open Bechamel in
   let disc = Dkibam.Discretization.paper_b1 in
   let ils_alt = Batsched.Experiments.arrays_of Loads.Testloads.ILs_alt in
@@ -280,7 +370,10 @@ let micro () =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let artifacts =
+(* Pure render artifacts are safe to regenerate concurrently (each
+   formats into its own buffer); the timing artifacts must keep the
+   machine to themselves and always run serially, last. *)
+let render_artifacts =
   [
     ("tables12", tables12);
     ("table3", table3);
@@ -297,23 +390,57 @@ let artifacts =
     ("multi-battery", multi_battery);
     ("random-ensemble", random_ensemble);
     ("cross-validation", cross_validation);
-    ("optimal-bench", optimal_bench);
-    ("micro", micro);
   ]
 
+let timing_artifacts ~jobs =
+  [ ("optimal-bench", optimal_bench ~jobs); ("micro", micro) ]
+
 let () =
+  let rec parse jobs names = function
+    | [] -> (jobs, List.rev names)
+    | ("-j" | "--jobs") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> parse j names rest
+        | _ ->
+            prerr_endline "bench: -j expects an integer >= 1";
+            exit 1)
+    | name :: rest -> parse jobs (name :: names) rest
+  in
+  let jobs, requested = parse 1 [] (List.tl (Array.to_list Sys.argv)) in
+  let known = render_artifacts @ timing_artifacts ~jobs in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst artifacts
+    match requested with [] -> List.map fst known | names -> names
   in
   List.iter
     (fun name ->
-      match List.assoc_opt name artifacts with
-      | Some run -> run ()
-      | None ->
-          Format.fprintf ppf "unknown artifact %S; known: %s@." name
-            (String.concat ", " (List.map fst artifacts));
-          exit 1)
+      if not (List.mem_assoc name known) then begin
+        Format.eprintf "unknown artifact %S; known: %s@." name
+          (String.concat ", " (List.map fst known));
+        exit 1
+      end)
     requested;
+  let renders, timings =
+    List.partition (fun name -> List.mem_assoc name render_artifacts) requested
+  in
+  let ppf = Format.std_formatter in
+  (* render artifacts: concurrently into buffers when -j allows, printed
+     in request order either way *)
+  let render name =
+    let buf = Buffer.create 4096 in
+    let bppf = Format.formatter_of_buffer buf in
+    (List.assoc name render_artifacts) bppf;
+    Format.pp_print_flush bppf ();
+    Buffer.contents buf
+  in
+  let outputs =
+    if jobs > 1 && List.length renders > 1 then
+      Exec.Pool.with_pool ~domains:jobs (fun pool ->
+          Exec.Pool.parallel_list_map ~chunk:1 pool render renders)
+    else List.map render renders
+  in
+  List.iter (Format.fprintf ppf "%s") outputs;
+  (* timing artifacts: always serial, in request order *)
+  List.iter
+    (fun name -> (List.assoc name (timing_artifacts ~jobs)) ppf)
+    timings;
   Format.pp_print_flush ppf ()

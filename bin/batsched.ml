@@ -5,11 +5,16 @@
                  multi-battery policy)
      compare   — all policies side by side on one load
      schedule  — compute and print the optimal schedule
+     ensemble  — lifetime distributions over an ensemble of random loads
      tables    — reproduce the paper's Tables 3, 4 and 5
      figure6   — emit the Figure 6 data series
      trace     — charge series of a simulated run under a policy
      dot       — dump the TA-KiBaM network as Graphviz
-     uppaal    — export the TA-KiBaM as an Uppaal/Cora XML model *)
+     uppaal    — export the TA-KiBaM as an Uppaal/Cora XML model
+
+   The search-heavy subcommands (compare, schedule, ensemble) take
+   --jobs N to fan the work out over N domains via Exec.Pool; results
+   are identical to --jobs 1, only faster. *)
 
 open Cmdliner
 
@@ -81,6 +86,24 @@ let policy_arg =
     & opt policy_conv Sched.Policy.Best_of
     & info [ "policy" ] ~docv:"POLICY" ~doc:"sequential | round-robin | best-of.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run the optimal search / ensemble over $(docv) domains \
+           (default 1 = serial; results are identical either way).")
+
+(* Run [f] with a shared pool when more than one domain was asked for;
+   --jobs 1 stays on the serial code path, no domains spawned. *)
+let with_jobs jobs f =
+  if jobs < 1 then begin
+    prerr_endline "jobs must be >= 1";
+    1
+  end
+  else if jobs = 1 then f None
+  else Exec.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
+
 let params_of_battery = function
   | "b1" | "B1" -> Ok Kibam.Params.b1
   | "b2" | "B2" -> Ok Kibam.Params.b2
@@ -127,7 +150,7 @@ let lifetime_cmd =
   Cmd.v (Cmd.info "lifetime" ~doc:"Battery lifetime for one test load.") term
 
 let compare_cmd =
-  let run battery n spec load =
+  let run battery n jobs spec load =
     with_params battery (fun params ->
         match resolve_load spec load with
         | Error e ->
@@ -143,43 +166,103 @@ let compare_cmd =
             let lt policy =
               Sched.Simulator.lifetime_exn ~n_batteries:n ~policy disc arrays
             in
-            Printf.printf "load %s, %d x %s batteries:\n" label n battery;
-            Printf.printf "  sequential : %8.3f min\n" (lt Sched.Policy.Sequential);
-            Printf.printf "  round robin: %8.3f min\n" (lt Sched.Policy.Round_robin);
-            Printf.printf "  best-of    : %8.3f min\n" (lt Sched.Policy.Best_of);
-            Printf.printf "  optimal    : %8.3f min\n"
-              (Sched.Optimal.lifetime ~n_batteries:n disc arrays);
-            0)
+            with_jobs jobs (fun pool ->
+                Printf.printf "load %s, %d x %s batteries:\n" label n battery;
+                Printf.printf "  sequential : %8.3f min\n"
+                  (lt Sched.Policy.Sequential);
+                Printf.printf "  round robin: %8.3f min\n"
+                  (lt Sched.Policy.Round_robin);
+                Printf.printf "  best-of    : %8.3f min\n" (lt Sched.Policy.Best_of);
+                Printf.printf "  optimal    : %8.3f min\n"
+                  (Sched.Optimal.lifetime ?pool ~n_batteries:n disc arrays);
+                0))
   in
   let term =
-    Term.(const run $ battery_arg $ n_batteries_arg $ spec_arg $ load_arg)
+    Term.(
+      const run $ battery_arg $ n_batteries_arg $ jobs_arg $ spec_arg $ load_arg)
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"All scheduling policies side by side on one load.")
     term
 
 let schedule_cmd =
-  let run battery n load =
+  let run battery n jobs load =
     with_params battery (fun params ->
         let disc =
           Dkibam.Discretization.make ~time_step:Batsched.Experiments.time_step
             ~charge_unit:Batsched.Experiments.charge_unit params
         in
         let arrays = Batsched.Experiments.arrays_of load in
-        let r = Sched.Optimal.search ~n_batteries:n disc arrays in
-        Printf.printf
-          "optimal schedule for %s (%d x %s): lifetime %.3f min, %d decisions\n"
-          (Loads.Testloads.to_string load)
-          n battery
-          (Dkibam.Discretization.minutes_of_steps disc r.lifetime_steps)
-          (Array.length r.schedule);
-        Array.iteri
-          (fun k b -> Printf.printf "  decision %2d -> battery %d\n" k b)
-          r.schedule;
-        0)
+        with_jobs jobs (fun pool ->
+            let r = Sched.Optimal.search ?pool ~n_batteries:n disc arrays in
+            Printf.printf
+              "optimal schedule for %s (%d x %s): lifetime %.3f min, %d decisions\n"
+              (Loads.Testloads.to_string load)
+              n battery
+              (Dkibam.Discretization.minutes_of_steps disc r.lifetime_steps)
+              (Array.length r.schedule);
+            Array.iteri
+              (fun k b -> Printf.printf "  decision %2d -> battery %d\n" k b)
+              r.schedule;
+            0))
   in
-  let term = Term.(const run $ battery_arg $ n_batteries_arg $ load_arg) in
+  let term =
+    Term.(const run $ battery_arg $ n_batteries_arg $ jobs_arg $ load_arg)
+  in
   Cmd.v (Cmd.info "schedule" ~doc:"Compute and print the optimal schedule.") term
+
+let ensemble_cmd =
+  let run battery n jobs seed n_loads jobs_per_load no_optimal =
+    with_params battery (fun params ->
+        let disc =
+          Dkibam.Discretization.make ~time_step:Batsched.Experiments.time_step
+            ~charge_unit:Batsched.Experiments.charge_unit params
+        in
+        with_jobs jobs (fun pool ->
+            let e =
+              Sched.Ensemble.run ?pool ~seed:(Int64.of_int seed) ~n_loads
+                ~jobs_per_load ~n_batteries:n
+                ~include_optimal:(not no_optimal) disc ()
+            in
+            Batsched.Report.ensemble Format.std_formatter e;
+            Format.pp_print_flush Format.std_formatter ();
+            0))
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Root seed for the load ensemble.")
+  in
+  let loads_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "loads" ] ~docv:"K" ~doc:"Number of random loads to draw.")
+  in
+  let jobs_per_load_arg =
+    Arg.(
+      value & opt int 60
+      & info [ "jobs-per-load" ] ~docv:"J"
+          ~doc:"Random 250/500 mA jobs per load.")
+  in
+  let no_optimal_arg =
+    Arg.(
+      value & flag
+      & info [ "no-optimal" ]
+          ~doc:
+            "Skip the per-load optimal search; gains are then measured \
+             against best-of (the report says so explicitly).")
+  in
+  let term =
+    Term.(
+      const run $ battery_arg $ n_batteries_arg $ jobs_arg $ seed_arg
+      $ loads_arg $ jobs_per_load_arg $ no_optimal_arg)
+  in
+  Cmd.v
+    (Cmd.info "ensemble"
+       ~doc:
+         "Lifetime distributions over an ensemble of random loads (the \
+          paper's section 7 outlook), optionally across --jobs domains.")
+    term
 
 let tables_cmd =
   let run () =
@@ -311,6 +394,7 @@ let () =
             lifetime_cmd;
             compare_cmd;
             schedule_cmd;
+            ensemble_cmd;
             tables_cmd;
             figure6_cmd;
             trace_cmd;

@@ -1,0 +1,161 @@
+(* A queue of thunks drained by [domains - 1] worker domains plus the
+   submitting domain itself.  All coordination goes through one mutex:
+   the queue, the shutdown flag, and each batch's completion counter.
+   Determinism needs no care here — tasks write disjoint result slots,
+   and the mutex hand-off at batch completion publishes them to the
+   submitter (happens-before). *)
+
+type batch = {
+  mutable remaining : int;
+  mutable error : (exn * Printexc.raw_backtrace) option;
+}
+
+type t = {
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  batch_done : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let worker_loop t =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.shutting_down do
+      Condition.wait t.work_available t.mutex
+    done;
+    if Queue.is_empty t.queue then begin
+      (* shutting down and drained *)
+      running := false;
+      Mutex.unlock t.mutex
+    end
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      task ()
+    end
+  done
+
+let create ?domains () =
+  let domains =
+    match domains with
+    | None -> max 1 (Domain.recommended_domain_count ())
+    | Some d when d >= 1 -> d
+    | Some d ->
+        invalid_arg (Printf.sprintf "Exec.Pool.create: domains = %d < 1" d)
+  in
+  let t =
+    {
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      batch_done = Condition.create ();
+      queue = Queue.create ();
+      shutting_down = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = Array.length t.workers + 1
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.shutting_down <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Run every thunk in [tasks]; the caller helps drain the queue, then
+   blocks until in-flight tasks land.  Wrapped tasks never raise: the
+   first failure is recorded in the batch and re-raised here once the
+   whole batch has completed. *)
+(* Only the owning domain submits and shuts down, so reading
+   [shutting_down] without the mutex here is race-free. *)
+let check_open t =
+  if t.shutting_down then invalid_arg "Exec.Pool: pool is shut down"
+
+let run_tasks t (tasks : (unit -> unit) array) =
+  check_open t;
+  if Array.length tasks = 0 then ()
+  else if Array.length t.workers = 0 then Array.iter (fun f -> f ()) tasks
+  else begin
+    let b = { remaining = Array.length tasks; error = None } in
+    let wrap f () =
+      (try f ()
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock t.mutex;
+         if b.error = None then b.error <- Some (e, bt);
+         Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      b.remaining <- b.remaining - 1;
+      if b.remaining = 0 then Condition.broadcast t.batch_done;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    if t.shutting_down then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Exec.Pool: pool is shut down"
+    end;
+    Array.iter (fun f -> Queue.push (wrap f) t.queue) tasks;
+    Condition.broadcast t.work_available;
+    let continue = ref true in
+    while !continue do
+      if Queue.is_empty t.queue then continue := false
+      else begin
+        let task = Queue.pop t.queue in
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex
+      end
+    done;
+    while b.remaining > 0 do
+      Condition.wait t.batch_done t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    match b.error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let parallel_init ?chunk t n f =
+  check_open t;
+  if n < 0 then invalid_arg (Printf.sprintf "Exec.Pool.parallel_init: n = %d" n);
+  (match chunk with
+  | Some c when c < 1 ->
+      invalid_arg (Printf.sprintf "Exec.Pool.parallel_init: chunk = %d" c)
+  | _ -> ());
+  if n = 0 then [||]
+  else if Array.length t.workers = 0 then Array.init n f
+  else begin
+    let chunk =
+      match chunk with
+      | Some c -> c
+      | None -> max 1 (n / (8 * size t))
+    in
+    let n_chunks = (n + chunk - 1) / chunk in
+    let slots = Array.make n_chunks [||] in
+    let tasks =
+      Array.init n_chunks (fun ci () ->
+          let lo = ci * chunk in
+          let len = min chunk (n - lo) in
+          slots.(ci) <- Array.init len (fun i -> f (lo + i)))
+    in
+    run_tasks t tasks;
+    Array.concat (Array.to_list slots)
+  end
+
+let parallel_map ?chunk t f a =
+  parallel_init ?chunk t (Array.length a) (fun i -> f a.(i))
+
+let parallel_list_map ?chunk t f l =
+  let a = Array.of_list l in
+  Array.to_list (parallel_init ?chunk t (Array.length a) (fun i -> f a.(i)))

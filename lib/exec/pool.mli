@@ -1,0 +1,62 @@
+(** A fixed-size domain pool for embarrassingly parallel fan-out.
+
+    OCaml 5 gives the runtime real parallelism through domains; this
+    module packages it in the only shape the library needs: a fixed set
+    of worker domains created once and shared across call sites (pools
+    are expensive — {!Domain.spawn} is a system thread), plus chunked
+    [parallel_map] / [parallel_init] combinators whose results are
+    {e deterministic}: slot [i] of the output always holds [f] applied
+    to input [i], no matter which domain ran it or in which order
+    chunks completed.
+
+    The submitting domain participates in the work, so a pool of
+    [domains = n] applies [n]-way parallelism with [n - 1] spawned
+    workers; [domains = 1] spawns nothing and degenerates to the plain
+    serial combinators — callers can thread one code path through both
+    modes.  Tasks must not themselves submit work to the same pool from
+    a worker (the library never does); submitting from the one domain
+    that owns the pool is the supported pattern.
+
+    Exceptions raised by tasks are captured; the batch runs to
+    completion (every task either runs or is drained) and the first
+    captured exception is re-raised — with its backtrace — in the
+    submitting domain.
+
+    Determinism contract: given pure per-item work, results are
+    bit-identical to the serial path for every [domains] and [chunk]
+    value.  The scheduling parallelism changes only wall-clock time,
+    never values — asserted across this repo's test suite for the
+    ensemble and optimal-search call sites. *)
+
+type t
+(** A pool handle.  Not itself thread-safe: submit batches from one
+    domain at a time (typically the domain that created it). *)
+
+val create : ?domains:int -> unit -> t
+(** [create ()] sizes the pool to {!Domain.recommended_domain_count}.
+    [domains] overrides the size (total parallelism, including the
+    submitting domain); it must be [>= 1].  [domains = 1] spawns no
+    worker domains. *)
+
+val size : t -> int
+(** Total parallelism: worker domains + the submitting domain. *)
+
+val shutdown : t -> unit
+(** Signal the workers to exit and join them.  Idempotent.  Submitting
+    to a pool after [shutdown] raises [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f]: [create], run [f], always [shutdown]. *)
+
+val parallel_init : ?chunk:int -> t -> int -> (int -> 'a) -> 'a array
+(** [parallel_init pool n f] is [Array.init n f] with the calls to [f]
+    distributed over the pool in contiguous chunks of [chunk] indices
+    (default: [n] split about eight ways per domain, at least 1).
+    Result slot [i] always holds [f i].  [n] must be [>= 0]; [chunk]
+    must be [>= 1]. *)
+
+val parallel_map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f a] is [Array.map f a], distributed. *)
+
+val parallel_list_map : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_list_map pool f l] is [List.map f l], distributed. *)

@@ -99,7 +99,7 @@ end
 
 module Tbl = Hashtbl.Make (Key)
 
-let search ?(switch_delay = 1) ?(objective = Max_lifetime)
+let search ?pool ?(switch_delay = 1) ?(objective = Max_lifetime)
     ?(allow_final_draw_skip = false) ?initial ~n_batteries
     (disc : Dkibam.Discretization.t) (load : Loads.Arrays.t) =
   (match initial with
@@ -124,10 +124,15 @@ let search ?(switch_delay = 1) ?(objective = Max_lifetime)
       (fun b -> List.map (fun sk -> (b, sk)) skip_options)
       (Bank.alive p.bank)
   in
-  let rec value (p : pos) =
+  (* The recursive exact value of a position, memoized in [memo] with
+     hit/segment counters [pruned]/[segments].  Parameterized over the
+     table so that parallel root branches can each own one. *)
+  let rec value_in memo segments pruned (p : pos) =
     let key = Key.of_pos p in
     match Tbl.find_opt memo key with
-    | Some v -> v
+    | Some v ->
+        incr pruned;
+        v
     | None ->
         let best = ref min_int in
         List.iter
@@ -136,7 +141,7 @@ let search ?(switch_delay = 1) ?(objective = Max_lifetime)
             match run_segment cursor ~switch_delay ~skip_final p b with
             | Terminal t -> if score t > !best then best := score t
             | Next p' ->
-                let v = value p' in
+                let v = value_in memo segments pruned p' in
                 if v > !best then best := v
             | Exhausted -> raise Load_too_short)
           (choices p);
@@ -145,13 +150,57 @@ let search ?(switch_delay = 1) ?(objective = Max_lifetime)
         Tbl.replace memo key !best;
         !best
   in
+  let value p = value_in memo segments pruned p in
   let root =
     match advance_to_job cursor 0 (Bank.create ?initial ~n_batteries disc) with
     | Next p -> p
     | Exhausted -> raise Load_too_short
     | Terminal _ -> assert false
   in
-  ignore (value root);
+  (match pool with
+  | Some pool when List.length (choices root) > 1 ->
+      (* Root fan-out: each first decision is searched in its own
+         domain with a private memo table (values are exact, so any
+         table agrees with any other on shared keys), then the tables
+         are merged into [memo] and the root entry derived from the
+         branch values.  The replay below then runs against the merged
+         table and reproduces the serial schedule exactly — branch
+         values are the same integers the serial search computes. *)
+      let branch (b, skip_final) =
+        let memo = Tbl.create 4096 in
+        let segments = ref 0 and pruned = ref 0 in
+        let v =
+          incr segments;
+          match run_segment cursor ~switch_delay ~skip_final root b with
+          | Terminal t -> score t
+          | Next p' -> value_in memo segments pruned p'
+          | Exhausted -> raise Load_too_short
+        in
+        (v, memo, !segments, !pruned)
+      in
+      let branches =
+        Exec.Pool.parallel_map ~chunk:1 pool branch
+          (Array.of_list (choices root))
+      in
+      let best = ref min_int in
+      Array.iter
+        (fun (v, m, s, pr) ->
+          if v > !best then best := v;
+          segments := !segments + s;
+          pruned := !pruned + pr;
+          Tbl.iter (fun k v -> Tbl.replace memo k v) m)
+        branches;
+      Tbl.replace memo (Key.of_pos root) !best
+  | _ -> ignore (value root));
+  (* Search-phase statistics, snapshotted before the replay below adds
+     its own (all-hit) memo lookups. *)
+  let stats =
+    {
+      positions_explored = Tbl.length memo;
+      segments_run = !segments;
+      pruned = !pruned;
+    }
+  in
   (* Reconstruct one optimal schedule by replaying argmax choices. *)
   let schedule = ref [] in
   let final = ref (0, 0) in
@@ -183,18 +232,13 @@ let search ?(switch_delay = 1) ?(objective = Max_lifetime)
     lifetime_steps;
     stranded_units;
     schedule = Array.of_list (List.rev !schedule);
-    stats =
-      {
-        positions_explored = Tbl.length memo;
-        segments_run = !segments;
-        pruned = !pruned;
-      };
+    stats;
   }
 
-let lifetime ?switch_delay ?objective ?allow_final_draw_skip ?initial
+let lifetime ?pool ?switch_delay ?objective ?allow_final_draw_skip ?initial
     ~n_batteries disc load =
   Dkibam.Discretization.minutes_of_steps disc
-    (search ?switch_delay ?objective ?allow_final_draw_skip ?initial
+    (search ?pool ?switch_delay ?objective ?allow_final_draw_skip ?initial
        ~n_batteries disc load)
       .lifetime_steps
 

@@ -7,10 +7,13 @@
     (job start, or mid-job hand-over after a battery death) and battery
     choice, the system evolves deterministically to the next decision
     point, so the search tree branches only over the
-    [B^(number of decisions)] battery choices.  Memoization over
-    (position, canonical battery multiset) collapses the tree — identical
-    batteries make many choice orders confluent — and an admissible
-    total-charge bound prunes hopeless branches.
+    [B^(number of decisions)] battery choices.  All pruning comes from
+    memoization over (position, canonical battery multiset): identical
+    batteries make many choice orders confluent, so whole subtrees
+    collapse onto already-solved positions ({!stats.pruned} counts those
+    hits).  No admissible-bound pruning is applied — the memoized tree
+    is already small on the paper's instances, and exact values keep the
+    parallel root fan-out trivially correct.
 
     The hand-over semantics (including the one-step switch delay) are
     exactly those of {!Simulator}, so an optimal schedule replayed through
@@ -38,11 +41,21 @@ type result = {
 }
 
 and stats = {
-  positions_explored : int;  (** memo table size *)
-  segments_run : int;  (** deterministic segment simulations *)
+  positions_explored : int;
+      (** memo table size — distinct (decision point, battery multiset)
+          positions solved.  Identical between the serial and pooled
+          searches: the pooled per-branch tables union to the same set. *)
+  segments_run : int;
+      (** deterministic segment simulations during the search (the
+          replay's lookups are excluded).  Under [?pool] this exceeds
+          the serial count: branches explored privately in two domains
+          are simulated in both — redundancy is the price of sharing
+          nothing. *)
   pruned : int;
-      (** reserved; 0 — the memoized search needs no pruning on the
-          paper's instances *)
+      (** subtree explorations cut short by a memo hit — the §4.4
+          confluence at work.  Counted per table, so the pooled search
+          reports the sum over its private branch tables, not the
+          serial figure. *)
 }
 
 (** [initial] admits heterogeneous packs — e.g. a main cell plus a
@@ -64,6 +77,7 @@ exception Load_too_short
     meaningful schedules that serve the whole load. *)
 
 val search :
+  ?pool:Exec.Pool.t ->
   ?switch_delay:int ->
   ?objective:objective ->
   ?allow_final_draw_skip:bool ->
@@ -76,9 +90,19 @@ val search :
     decisions in the worst case (cf. paper §4.4) but heavily memoized
     over (decision point, battery multiset) — identical batteries make
     choice orders confluent; the paper's ten two-battery test loads each
-    complete in well under a second. *)
+    complete in well under a second.
+
+    [pool] explores the first-decision branches in parallel, one domain
+    pool task per branch, each with a private memo table; the tables are
+    merged before the schedule is reconstructed.  Because every memo
+    entry is an {e exact} subtree value (never a bound), the merge is
+    order-independent and the returned lifetime, stranded charge and
+    schedule are identical to the serial search — asserted over all ten
+    Table 5 loads in the test suite.  Only {!stats.segments_run} and
+    {!stats.pruned} differ (see {!stats}). *)
 
 val lifetime :
+  ?pool:Exec.Pool.t ->
   ?switch_delay:int ->
   ?objective:objective ->
   ?allow_final_draw_skip:bool ->
@@ -87,7 +111,8 @@ val lifetime :
   Dkibam.Discretization.t ->
   Loads.Arrays.t ->
   float
-(** Optimal system lifetime in minutes. *)
+(** Optimal system lifetime in minutes ([search] composed with
+    {!Dkibam.Discretization.minutes_of_steps}; [pool] as in [search]). *)
 
 (** {2 Bounded lookahead}
 

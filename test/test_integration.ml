@@ -257,6 +257,29 @@ let test_multi_battery_monotone () =
         (optimal_of three > optimal_of two)
   | _ -> Alcotest.fail "expected two rows"
 
+(* The pooled optimal search must reproduce the serial search exactly —
+   lifetime, stranded charge AND the reconstructed schedule — on every
+   Table 5 load (the acceptance bar for the lib/exec root fan-out). *)
+let test_optimal_pool_bit_identical () =
+  let disc = Dkibam.Discretization.paper_b1 in
+  Exec.Pool.with_pool ~domains:3 (fun pool ->
+      List.iter
+        (fun name ->
+          let arrays = Batsched.Experiments.arrays_of name in
+          let serial = Sched.Optimal.search ~n_batteries:2 disc arrays in
+          let pooled = Sched.Optimal.search ~pool ~n_batteries:2 disc arrays in
+          let label = Loads.Testloads.to_string name in
+          Alcotest.(check int)
+            (label ^ ": lifetime") serial.lifetime_steps pooled.lifetime_steps;
+          Alcotest.(check int)
+            (label ^ ": stranded") serial.stranded_units pooled.stranded_units;
+          Alcotest.(check (array int))
+            (label ^ ": schedule") serial.schedule pooled.schedule;
+          Alcotest.(check int)
+            (label ^ ": positions explored")
+            serial.stats.positions_explored pooled.stats.positions_explored)
+        Loads.Testloads.all_names)
+
 let test_ensemble_smoke () =
   let e =
     Sched.Ensemble.run ~n_loads:4 ~jobs_per_load:25 ~include_optimal:false
@@ -310,6 +333,8 @@ let () =
           Alcotest.test_case "granularity sweep" `Quick test_granularity_sweep;
           Alcotest.test_case "multi-battery" `Quick test_multi_battery_monotone;
           Alcotest.test_case "ensemble smoke" `Quick test_ensemble_smoke;
+          Alcotest.test_case "pooled optimal = serial (Table 5 loads)" `Quick
+            test_optimal_pool_bit_identical;
         ] );
       ( "reports", [ Alcotest.test_case "render" `Quick test_reports_render ] );
     ]

@@ -450,9 +450,36 @@ let test_ensemble_deterministic_and_ordered () =
   Alcotest.(check bool) "rr <= best-of (mean)" true (rr.mean <= bo.mean +. 1e-9);
   Alcotest.(check bool) "best-of <= optimal (mean)" true (bo.mean <= opt.mean +. 1e-9);
   (* gains are non-negative: the optimum dominates round robin per load *)
-  Alcotest.(check bool) "gain >= 0" true (a.optimal_gain_over_rr.minimum >= -1e-9);
+  Alcotest.(check bool) "gain >= 0" true (a.top_gain_over_rr.minimum >= -1e-9);
   Alcotest.(check bool) "fraction in [0,1]" true
-    (a.best_of_is_optimal_fraction >= 0.0 && a.best_of_is_optimal_fraction <= 1.0)
+    (a.best_of_matches_top_fraction >= 0.0
+    && a.best_of_matches_top_fraction <= 1.0);
+  Alcotest.(check string) "baseline is the optimum" "optimal" a.gain_baseline
+
+let test_ensemble_pool_bit_identical () =
+  let run ?pool () =
+    Sched.Ensemble.run ?pool ~seed:7L ~n_loads:6 ~jobs_per_load:30
+      ~include_optimal:true disc ()
+  in
+  let serial = run () in
+  List.iter
+    (fun domains ->
+      Exec.Pool.with_pool ~domains (fun pool ->
+          let parallel = run ~pool () in
+          Alcotest.(check bool)
+            (Printf.sprintf "pool of %d = serial" domains)
+            true (serial = parallel)))
+    [ 1; 2; 4 ]
+
+let test_ensemble_baseline_without_optimal () =
+  let e =
+    Sched.Ensemble.run ~seed:7L ~n_loads:4 ~jobs_per_load:25
+      ~include_optimal:false disc ()
+  in
+  Alcotest.(check string) "baseline surfaced" "best-of" e.gain_baseline;
+  (* with best-of as its own baseline, the match fraction is trivial *)
+  Alcotest.(check (float 1e-9)) "trivial fraction" 1.0
+    e.best_of_matches_top_fraction
 
 (* ------------------------------------------------------------------ *)
 (* Job placement (section 7 outlook)                                   *)
@@ -642,6 +669,10 @@ let () =
           Alcotest.test_case "stats" `Quick test_stats_of;
           Alcotest.test_case "deterministic + ordered" `Quick
             test_ensemble_deterministic_and_ordered;
+          Alcotest.test_case "pool of 1/2/4 bit-identical" `Quick
+            test_ensemble_pool_bit_identical;
+          Alcotest.test_case "best-of baseline surfaced" `Quick
+            test_ensemble_baseline_without_optimal;
         ] );
       ( "job placement",
         [
