@@ -221,6 +221,24 @@ let optimal_bench ~jobs ppf =
         (ens_serial_ms /. ens_par_ms);
       Format.fprintf ppf
         "  (parallel results asserted bit-identical to serial)@.";
+      (* instrumented re-run of the headline workload: metrics only,
+         collected after — and apart from — the wall-clock measurements
+         above, so lib/obs cannot skew them *)
+      Obs.reset ();
+      Obs.enable ();
+      ignore (run_ensemble ~pool ());
+      Obs.disable ();
+      let obs_json =
+        Obs.Json.to_string (Obs.snapshot_json (Obs.snapshot ()))
+      in
+      Obs.reset ();
+      (* a single-core box cannot show a speedup: flag the record so
+         downstream comparisons do not read pool overhead as regression *)
+      let single_core = Domain.recommended_domain_count () = 1 in
+      if single_core then
+        Format.fprintf ppf
+          "  (single-core machine: parallel columns measure pool overhead \
+           only)@.";
       (* machine-readable record of the same numbers *)
       let buf = Buffer.create 1024 in
       Buffer.add_string buf "{\n";
@@ -228,6 +246,8 @@ let optimal_bench ~jobs ppf =
       Buffer.add_string buf
         (Printf.sprintf "  \"recommended_domain_count\": %d,\n"
            (Domain.recommended_domain_count ()));
+      Buffer.add_string buf
+        (Printf.sprintf "  \"single_core\": %b,\n" single_core);
       Buffer.add_string buf "  \"optimal_loads\": [\n";
       List.iteri
         (fun i (name, s, p) ->
@@ -243,9 +263,11 @@ let optimal_bench ~jobs ppf =
         (Printf.sprintf
            "  \"ensemble\": {\"n_loads\": 50, \"jobs_per_load\": 40, \
             \"n_batteries\": 2, \"include_optimal\": true, \"serial_ms\": \
-            %.3f, \"parallel_ms\": %.3f, \"speedup\": %.3f}\n"
+            %.3f, \"parallel_ms\": %.3f, \"speedup\": %.3f},\n"
            ens_serial_ms ens_par_ms (ens_serial_ms /. ens_par_ms));
-      Buffer.add_string buf "}\n";
+      Buffer.add_string buf "  \"obs\": ";
+      Buffer.add_string buf obs_json;
+      Buffer.add_string buf "\n}\n";
       let oc = open_out "BENCH_parallel.json" in
       output_string oc (Buffer.contents buf);
       close_out oc;

@@ -14,7 +14,11 @@
 
    The search-heavy subcommands (compare, schedule, ensemble) take
    --jobs N to fan the work out over N domains via Exec.Pool; results
-   are identical to --jobs 1, only faster. *)
+   are identical to --jobs 1, only faster.
+
+   Every subcommand honours --stats (print the lib/obs counters after
+   the output) and --trace FILE (record a Chrome trace_event JSON);
+   see doc/OBSERVABILITY.md for what the numbers mean. *)
 
 open Cmdliner
 
@@ -38,6 +42,21 @@ let load_arg =
     & pos 0 (some load_conv) None
     & info [] ~docv:"LOAD" ~doc:"Test load, e.g. 'ILs alt' or ils_alt.")
 
+(* compare accepts the load either positionally or as --loads NAME, so
+   scripted invocations need no argument-order care. *)
+let opt_load_arg =
+  Arg.(
+    value
+    & pos 0 (some load_conv) None
+    & info [] ~docv:"LOAD" ~doc:"Test load, e.g. 'ILs alt' or ils_alt.")
+
+let named_load_arg =
+  Arg.(
+    value
+    & opt (some load_conv) None
+    & info [ "loads" ] ~docv:"LOAD"
+        ~doc:"Named alternative to the positional $(docv).")
+
 let spec_arg =
   Arg.(
     value
@@ -47,14 +66,15 @@ let spec_arg =
           "Use a load written in the spec language instead of LOAD, e.g. \
            'repeat 40 (job 0.5 1; idle 1)'.")
 
-(* Resolve the effective load: --spec wins over the positional name. *)
+(* Resolve the effective load: --spec wins over a load name. *)
 let resolve_load spec name =
-  match spec with
-  | None -> Ok (Loads.Testloads.load name, Loads.Testloads.to_string name)
-  | Some s -> (
+  match (spec, name) with
+  | Some s, _ -> (
       match Loads.Spec.parse s with
       | load -> Ok (load, "spec load")
       | exception Loads.Spec.Parse_error msg -> Error ("bad --spec: " ^ msg))
+  | None, Some n -> Ok (Loads.Testloads.load n, Loads.Testloads.to_string n)
+  | None, None -> Error "no load given: name a LOAD (or use --loads/--spec)"
 
 let arrays_of_load load =
   Loads.Arrays.make ~time_step:Batsched.Experiments.time_step
@@ -104,6 +124,69 @@ let with_jobs jobs f =
   else if jobs = 1 then f None
   else Exec.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
 
+(* --stats / --trace: the observability switches, shared by every
+   subcommand.  [with_obs] turns collection on around the command body,
+   prints the merged stats block after the command's own output, and
+   writes the Chrome trace file. *)
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "After the output, print the observability counters and spans \
+           (optimal-search nodes/memo hits/pruned subtrees, pool busy \
+           fractions, ...; see doc/OBSERVABILITY.md).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record every span as a Chrome trace_event JSON document in \
+           $(docv); open it in Perfetto or chrome://tracing.")
+
+let obs_term = Term.(const (fun s t -> (s, t)) $ stats_arg $ trace_arg)
+
+(* The generic stats block, plus the one derived figure the raw
+   counters do not show directly: per-domain pool busy fractions
+   (busy time in a domain's sink over total batch wall time). *)
+let print_stats ppf snap =
+  Obs.pp ppf snap;
+  (match
+     ( List.assoc_opt "pool.busy_ns" snap.Obs.per_domain,
+       List.assoc_opt "pool.batch" snap.Obs.spans )
+   with
+  | Some per, Some { Obs.total_ns; _ } when total_ns > 0 ->
+      Format.fprintf ppf "pool busy fractions (of %.2f ms batch wall):@."
+        (float_of_int total_ns /. 1e6);
+      List.iter
+        (fun (d, busy) ->
+          Format.fprintf ppf "  domain %d: %5.1f%%@." d
+            (100.0 *. float_of_int busy /. float_of_int total_ns))
+        per
+  | _ -> ());
+  Format.pp_print_flush ppf ()
+
+let with_obs (stats, trace) f =
+  if not (stats || Option.is_some trace) then f ()
+  else begin
+    Obs.enable ~trace:(Option.is_some trace) ();
+    let finish () =
+      Obs.disable ();
+      if stats then begin
+        print_newline ();
+        print_stats Format.std_formatter (Obs.snapshot ())
+      end;
+      Option.iter
+        (fun file ->
+          Obs.write_trace file;
+          Printf.eprintf "trace written to %s\n%!" file)
+        trace
+    in
+    Fun.protect ~finally:finish f
+  end
+
 let params_of_battery = function
   | "b1" | "B1" -> Ok Kibam.Params.b1
   | "b2" | "B2" -> Ok Kibam.Params.b2
@@ -117,7 +200,8 @@ let with_params battery f =
   | Ok params -> f params
 
 let lifetime_cmd =
-  let run battery n policy load =
+  let run obs battery n policy load =
+    with_obs obs @@ fun () ->
     with_params battery (fun params ->
         let disc =
           Dkibam.Discretization.make ~time_step:Batsched.Experiments.time_step
@@ -146,13 +230,19 @@ let lifetime_cmd =
         end;
         0)
   in
-  let term = Term.(const run $ battery_arg $ n_batteries_arg $ policy_arg $ load_arg) in
+  let term =
+    Term.(
+      const run $ obs_term $ battery_arg $ n_batteries_arg $ policy_arg
+      $ load_arg)
+  in
   Cmd.v (Cmd.info "lifetime" ~doc:"Battery lifetime for one test load.") term
 
 let compare_cmd =
-  let run battery n jobs spec load =
+  let run obs battery n jobs spec named pos_load =
+    with_obs obs @@ fun () ->
     with_params battery (fun params ->
-        match resolve_load spec load with
+        let name = match named with Some _ -> named | None -> pos_load in
+        match resolve_load spec name with
         | Error e ->
             prerr_endline e;
             1
@@ -179,14 +269,16 @@ let compare_cmd =
   in
   let term =
     Term.(
-      const run $ battery_arg $ n_batteries_arg $ jobs_arg $ spec_arg $ load_arg)
+      const run $ obs_term $ battery_arg $ n_batteries_arg $ jobs_arg
+      $ spec_arg $ named_load_arg $ opt_load_arg)
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"All scheduling policies side by side on one load.")
     term
 
 let schedule_cmd =
-  let run battery n jobs load =
+  let run obs battery n jobs load =
+    with_obs obs @@ fun () ->
     with_params battery (fun params ->
         let disc =
           Dkibam.Discretization.make ~time_step:Batsched.Experiments.time_step
@@ -207,12 +299,15 @@ let schedule_cmd =
             0))
   in
   let term =
-    Term.(const run $ battery_arg $ n_batteries_arg $ jobs_arg $ load_arg)
+    Term.(
+      const run $ obs_term $ battery_arg $ n_batteries_arg $ jobs_arg
+      $ load_arg)
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Compute and print the optimal schedule.") term
 
 let ensemble_cmd =
-  let run battery n jobs seed n_loads jobs_per_load no_optimal =
+  let run obs battery n jobs seed n_loads jobs_per_load no_optimal =
+    with_obs obs @@ fun () ->
     with_params battery (fun params ->
         let disc =
           Dkibam.Discretization.make ~time_step:Batsched.Experiments.time_step
@@ -254,8 +349,8 @@ let ensemble_cmd =
   in
   let term =
     Term.(
-      const run $ battery_arg $ n_batteries_arg $ jobs_arg $ seed_arg
-      $ loads_arg $ jobs_per_load_arg $ no_optimal_arg)
+      const run $ obs_term $ battery_arg $ n_batteries_arg $ jobs_arg
+      $ seed_arg $ loads_arg $ jobs_per_load_arg $ no_optimal_arg)
   in
   Cmd.v
     (Cmd.info "ensemble"
@@ -265,7 +360,8 @@ let ensemble_cmd =
     term
 
 let tables_cmd =
-  let run () =
+  let run obs () =
+    with_obs obs @@ fun () ->
     let ppf = Format.std_formatter in
     Batsched.Report.table3 ppf (Batsched.Experiments.table3 ());
     Format.pp_print_newline ppf ();
@@ -276,10 +372,11 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Reproduce the paper's Tables 3, 4 and 5.")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term $ const ())
 
 let figure6_cmd =
-  let run () =
+  let run obs () =
+    with_obs obs @@ fun () ->
     let ppf = Format.std_formatter in
     Batsched.Report.figure6 ppf ~label:"best-of-two"
       (Batsched.Experiments.figure6 `Best_of_two);
@@ -290,12 +387,13 @@ let figure6_cmd =
   in
   Cmd.v
     (Cmd.info "figure6" ~doc:"Emit the Figure 6 charge/schedule series.")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term $ const ())
 
 let trace_cmd =
-  let run battery n policy spec load sample =
+  let run obs battery n policy spec load sample =
+    with_obs obs @@ fun () ->
     with_params battery (fun params ->
-        match resolve_load spec load with
+        match resolve_load spec (Some load) with
         | Error e ->
             prerr_endline e;
             1
@@ -341,8 +439,8 @@ let trace_cmd =
   in
   let term =
     Term.(
-      const run $ battery_arg $ n_batteries_arg $ policy_arg $ spec_arg
-      $ load_arg $ sample_arg)
+      const run $ obs_term $ battery_arg $ n_batteries_arg $ policy_arg
+      $ spec_arg $ load_arg $ sample_arg)
   in
   Cmd.v
     (Cmd.info "trace"
@@ -350,7 +448,8 @@ let trace_cmd =
     term
 
 let uppaal_cmd =
-  let run n load =
+  let run obs n load =
+    with_obs obs @@ fun () ->
     let disc = Dkibam.Discretization.paper_b1 in
     let arrays = Batsched.Experiments.arrays_of load in
     let model = Takibam.Model.build ~n_batteries:n disc arrays in
@@ -360,7 +459,7 @@ let uppaal_cmd =
          model.Takibam.Model.network);
     0
   in
-  let term = Term.(const run $ n_batteries_arg $ load_arg) in
+  let term = Term.(const run $ obs_term $ n_batteries_arg $ load_arg) in
   Cmd.v
     (Cmd.info "uppaal"
        ~doc:
@@ -368,14 +467,15 @@ let uppaal_cmd =
     term
 
 let dot_cmd =
-  let run n load =
+  let run obs n load =
+    with_obs obs @@ fun () ->
     let disc = Dkibam.Discretization.paper_b1 in
     let arrays = Batsched.Experiments.arrays_of load in
     let model = Takibam.Model.build ~n_batteries:n disc arrays in
     print_string (Takibam.Model.dot model);
     0
   in
-  let term = Term.(const run $ n_batteries_arg $ load_arg) in
+  let term = Term.(const run $ obs_term $ n_batteries_arg $ load_arg) in
   Cmd.v
     (Cmd.info "dot" ~doc:"Dump the TA-KiBaM network (Figure 5) as Graphviz.")
     term

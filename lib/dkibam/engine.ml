@@ -1,5 +1,14 @@
 type outcome = Dies_at_step of int * Battery.t | Survives of Battery.t
 
+(* Observability: event totals are accumulated in plain local refs
+   (cheap enough to keep unconditional) and handed to lib/obs once per
+   run, so the disabled-mode cost is one flag read at the end. *)
+let c_runs = Obs.counter "engine.runs"
+let c_steps = Obs.counter "engine.steps"
+let c_draws = Obs.counter "engine.draws"
+let c_recovery = Obs.counter "engine.recovery_spans"
+let c_deaths = Obs.counter "engine.deaths"
+
 (* Both entry points are thin drivers over [Loads.Cursor]: the cursor owns
    every piece of epoch/cadence arithmetic, the driver only ticks and
    draws one battery. *)
@@ -9,22 +18,37 @@ let run ?initial (d : Discretization.t) (load : Loads.Arrays.t) =
     ~charge_unit:d.charge_unit;
   let initial = match initial with Some b -> b | None -> Battery.full d in
   let cursor = Loads.Cursor.make load in
+  let steps = ref 0 and draws = ref 0 and recovery = ref 0 in
+  let finish outcome =
+    Obs.incr c_runs;
+    Obs.add c_steps !steps;
+    Obs.add c_draws !draws;
+    Obs.add c_recovery !recovery;
+    (match outcome with
+    | Dies_at_step _ -> Obs.incr c_deaths
+    | Survives _ -> ());
+    outcome
+  in
   let rec go pos b =
     match Loads.Cursor.next cursor pos with
-    | None -> Survives b
-    | Some (Loads.Cursor.Idle k, pos') -> go pos' (Battery.tick_many d k b)
+    | None -> finish (Survives b)
+    | Some (Loads.Cursor.Idle k, pos') ->
+        steps := !steps + k;
+        incr recovery;
+        go pos' (Battery.tick_many d k b)
     | Some (Loads.Cursor.Epoch_end, pos') -> go pos' b
     | Some (Loads.Cursor.Draw cur, pos') ->
+        incr draws;
         if b.Battery.n_gamma < cur then
-          Dies_at_step (Loads.Cursor.step cursor pos', b)
+          finish (Dies_at_step (Loads.Cursor.step cursor pos', b))
         else begin
           let b = Battery.draw d ~cur b in
           if Battery.is_empty d b then
-            Dies_at_step (Loads.Cursor.step cursor pos', b)
+            finish (Dies_at_step (Loads.Cursor.step cursor pos', b))
           else go pos' b
         end
   in
-  if Battery.is_empty d initial then Dies_at_step (0, initial)
+  if Battery.is_empty d initial then finish (Dies_at_step (0, initial))
   else go (Loads.Cursor.start cursor) initial
 
 let lifetime ?initial d load =

@@ -10,7 +10,13 @@
 
     Both entry points are thin drivers over the {!Loads.Cursor} event
     stream: the cadence arithmetic lives in the cursor, shared with the
-    multi-battery engines in [Sched]. *)
+    multi-battery engines in [Sched].
+
+    Observability: with [Obs] enabled, {!run} (and {!lifetime} through
+    it) records the [engine.runs] / [engine.steps] / [engine.draws] /
+    [engine.recovery_spans] / [engine.deaths] counters, synced once per
+    run so the per-step loop stays untouched; see
+    doc/OBSERVABILITY.md. *)
 
 type outcome =
   | Dies_at_step of int * Battery.t
@@ -18,11 +24,17 @@ type outcome =
   | Survives of Battery.t  (** the load ended first *)
 
 val run : ?initial:Battery.t -> Discretization.t -> Loads.Arrays.t -> outcome
+(** Run the load to its end or to the battery's death ([initial]
+    defaults to a full battery).  Raises [Invalid_argument] if the load
+    arrays and the discretization disagree on [time_step] or
+    [charge_unit]. *)
 
 val lifetime : ?initial:Battery.t -> Discretization.t -> Loads.Arrays.t -> float option
 (** Death time in minutes, [None] if the battery outlives the load. *)
 
 val lifetime_exn : ?initial:Battery.t -> Discretization.t -> Loads.Arrays.t -> float
+(** {!lifetime}, failing if the battery outlives the load (extend the
+    load horizon instead of trusting a truncated lifetime). *)
 
 val trace :
   ?initial:Battery.t ->

@@ -5,6 +5,27 @@
    and the mutex hand-off at batch completion publishes them to the
    submitter (happens-before). *)
 
+(* Observability: per-task queue latency (submit-to-start) and busy
+   time.  The busy counter lands in the sink of the domain that ran the
+   task, so the merged snapshot's per-domain breakdown is the pool's
+   utilization picture.  Instrumentation is decided once per batch (at
+   submit time) so the disabled path pays a single flag read. *)
+let c_tasks = Obs.counter "pool.tasks"
+let c_busy_ns = Obs.counter "pool.busy_ns"
+let c_queue_wait_ns = Obs.counter "pool.queue_wait_ns"
+let h_chunk = Obs.histogram "pool.chunk_size"
+let s_batch = Obs.span "pool.batch"
+
+let instrument f =
+  let t_submit = Obs.now_ns () in
+  fun () ->
+    let t_start = Obs.now_ns () in
+    Obs.incr c_tasks;
+    Obs.add c_queue_wait_ns (max 0 (t_start - t_submit));
+    Fun.protect
+      ~finally:(fun () -> Obs.add c_busy_ns (max 0 (Obs.now_ns () - t_start)))
+      f
+
 type batch = {
   mutable remaining : int;
   mutable error : (exn * Printexc.raw_backtrace) option;
@@ -84,9 +105,12 @@ let check_open t =
 
 let run_tasks t (tasks : (unit -> unit) array) =
   check_open t;
+  let tasks = if Obs.enabled () then Array.map instrument tasks else tasks in
   if Array.length tasks = 0 then ()
-  else if Array.length t.workers = 0 then Array.iter (fun f -> f ()) tasks
+  else if Array.length t.workers = 0 then
+    Obs.time s_batch (fun () -> Array.iter (fun f -> f ()) tasks)
   else begin
+    Obs.time s_batch @@ fun () ->
     let b = { remaining = Array.length tasks; error = None } in
     let wrap f () =
       (try f ()
@@ -141,6 +165,7 @@ let parallel_init ?chunk t n f =
       | Some c -> c
       | None -> max 1 (n / (8 * size t))
     in
+    Obs.observe h_chunk chunk;
     let n_chunks = (n + chunk - 1) / chunk in
     let slots = Array.make n_chunks [||] in
     let tasks =

@@ -3,7 +3,7 @@
     OCaml 5 gives the runtime real parallelism through domains; this
     module packages it in the only shape the library needs: a fixed set
     of worker domains created once and shared across call sites (pools
-    are expensive — {!Domain.spawn} is a system thread), plus chunked
+    are expensive — [Domain.spawn] is a system thread), plus chunked
     [parallel_map] / [parallel_init] combinators whose results are
     {e deterministic}: slot [i] of the output always holds [f] applied
     to input [i], no matter which domain ran it or in which order
@@ -26,14 +26,24 @@
     bit-identical to the serial path for every [domains] and [chunk]
     value.  The scheduling parallelism changes only wall-clock time,
     never values — asserted across this repo's test suite for the
-    ensemble and optimal-search call sites. *)
+    ensemble and optimal-search call sites.
+
+    Observability: with [Obs] enabled each batch records the
+    [pool.batch] span plus per-task [pool.tasks] / [pool.busy_ns] /
+    [pool.queue_wait_ns] counters — busy time lands in the sink of the
+    domain that ran the task, so the merged snapshot's per-domain
+    breakdown is the pool's utilization picture ([--stats] derives the
+    busy fractions from it).  [parallel_init] also records chosen chunk
+    sizes in the [pool.chunk_size] histogram.  Instrumentation is
+    decided once per batch; disabled, the pool's hot path is
+    unchanged. *)
 
 type t
 (** A pool handle.  Not itself thread-safe: submit batches from one
     domain at a time (typically the domain that created it). *)
 
 val create : ?domains:int -> unit -> t
-(** [create ()] sizes the pool to {!Domain.recommended_domain_count}.
+(** [create ()] sizes the pool to [Domain.recommended_domain_count].
     [domains] overrides the size (total parallelism, including the
     submitting domain); it must be [>= 1].  [domains = 1] spawns no
     worker domains. *)

@@ -17,8 +17,15 @@ val tt : guard
 (** The trivial guard. *)
 
 val guard_data : Expr.bexpr -> guard
+(** A guard over data variables only (no clock atoms). *)
+
 val guard_clock : string -> Expr.cmp -> Expr.t -> guard
+(** [guard_clock c op bound] is the single clock atom [c op bound];
+    [bound] may be any data expression (see the module preamble for
+    which engines accept non-constant bounds). *)
+
 val guard_and : guard -> guard -> guard
+(** Conjunction: data parts are [&&]-ed, clock-atom lists appended. *)
 
 type sync =
   | Tau  (** internal step *)
@@ -47,6 +54,8 @@ val edge :
   dst:string ->
   unit ->
   edge
+(** Edge constructor with the common defaults: guard [tt], sync [Tau],
+    no updates or resets, cost [Int 0], empty label. *)
 
 type location = {
   loc_name : string;
@@ -65,6 +74,8 @@ val location :
   ?urgent:bool ->
   string ->
   location
+(** Location constructor: invariant [tt], cost rate [Int 0], neither
+    committed nor urgent unless said otherwise. *)
 
 type t = {
   name : string;
@@ -87,4 +98,9 @@ val make :
     declared. *)
 
 val location_index : t -> string -> int
+(** Position of a location in [locations] (declaration order — the
+    index every compiled representation uses).  Raises [Not_found] for
+    unknown names. *)
+
 val num_locations : t -> int
+(** [List.length t.locations]. *)

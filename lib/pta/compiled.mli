@@ -63,15 +63,27 @@ type t = {
 }
 
 val compile : Network.t -> t
+(** Resolve every name in the network to its dense index and group
+    edges by source location.  Raises [Invalid_argument] on dangling
+    references (unknown channels, variables or clocks). *)
 
 val set_clock_cap : t -> clock:int -> cap:int -> unit
 (** Override a clock's saturation value.  Unsound if some reachable state
     compares the clock against a constant [>= cap]. *)
 
 val auto_index : t -> string -> int
+(** Index of the automaton named so; [Not_found] if absent. *)
+
 val clock_index : t -> auto:string -> clock:string -> int
+(** Global index of [auto]'s clock [clock] (clock ids are global across
+    the network; the zone engine's DBM dimension is {!n_clocks}). *)
+
 val location_index : t -> auto:string -> loc:string -> int
+(** Index of [loc] within [auto] — the value the engines store in their
+    location vectors. *)
+
 val n_clocks : t -> int
+(** Total clock count over all automata. *)
 
 (** {2 Action matching} *)
 
@@ -99,6 +111,8 @@ val enabled_actions :
     leaving a committed location are returned. *)
 
 val committed_active : t -> locs:int array -> bool
+(** Is some automaton currently in a committed location?  While true,
+    delay is forbidden and only committed actions may fire. *)
 
 val urgent_active : t -> locs:int array -> bool
 (** Is some automaton in an urgent (or committed) location?  Delay is

@@ -3,7 +3,7 @@
     The paper drives Cora with a single query, [A\[\] not max.done]
     (§4.3).  This module generalizes that interface: full computation-tree
     logic over the finite digitized graph of a compiled network (clock
-    saturation makes it finite — see {!Compiled.t.clock_caps}), with
+    saturation makes it finite — see [Compiled.t.clock_caps]), with
     atoms over locations, data variables and arbitrary state predicates.
 
     Semantics notes:
@@ -54,8 +54,11 @@ val check : ?max_states:int -> Compiled.t -> formula -> result
     initial state. *)
 
 val holds : ?max_states:int -> Compiled.t -> formula -> bool
+(** [(check ... f).holds] — the paper's yes/no answer to
+    [A[] not max.done]. *)
 
 val has_deadlock : ?max_states:int -> Compiled.t -> bool
 (** Is a state with no successor (before totalization) reachable? *)
 
 val pp : Format.formatter -> formula -> unit
+(** Uppaal-style rendering ([A[] not ...], [E<> ...], [p --> q]). *)

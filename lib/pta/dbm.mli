@@ -17,9 +17,18 @@ type bound
 (** An upper bound [(m, ≺)] with [≺ ∈ {<, ≤}], or +∞. *)
 
 val inf : bound
+(** No bound: [x_i − x_j < ∞]. *)
+
 val le : int -> bound
+(** [le m] is [(m, ≤)]. *)
+
 val lt : int -> bound
+(** [lt m] is [(m, <)]. *)
+
 val bound_compare : bound -> bound -> int
+(** Total order by tightness: negative when the first bound is strictly
+    tighter (admits fewer valuations), 0 when equal. *)
+
 val pp_bound : Format.formatter -> bound -> unit
 
 val dim : t -> int
@@ -52,10 +61,13 @@ val reset : t -> int -> int -> t
 (** [reset z x v]: clock [x] set to the constant [v]. *)
 
 val equal : t -> t -> bool
+(** Same zone (entry-wise equality of the canonical forms). *)
+
 val includes : t -> t -> bool
 (** [includes a b]: every valuation of [b] is in [a]. *)
 
 val intersects : t -> t -> bool
+(** Do the two zones share a valuation? *)
 
 val extrapolate : t -> int -> t
 (** Classical max-constant (k-)extrapolation: abstract away bounds beyond
@@ -64,7 +76,11 @@ val extrapolate : t -> int -> t
     compared against. *)
 
 val hash : t -> int
+(** Hash of the canonical form, consistent with {!equal} — DBMs key the
+    reachability engine's passed list. *)
+
 val pp : Format.formatter -> t -> unit
+(** Conjunction of the non-trivial constraints, for debugging. *)
 
 val sat : t -> (int -> int) -> bool
 (** [sat z v] checks whether the integer valuation [v] (indexed 1..n)

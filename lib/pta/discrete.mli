@@ -29,6 +29,8 @@ type step =
 type transition = { step : step; cost : int; target : state }
 
 val initial : Compiled.t -> state
+(** Every automaton in its initial location, variables at their declared
+    initial values, clocks at 0. *)
 
 val successors : Compiled.t -> state -> transition list
 (** All one-step successors: enabled actions, plus at most one delay
@@ -48,11 +50,19 @@ val delay_allowed : Compiled.t -> state -> int -> bool
 (** Can the network let [k] time units pass? *)
 
 val invariants_hold : Compiled.t -> state -> bool
+(** Does every automaton's current-location invariant hold in [state]? *)
 
 val state_equal : state -> state -> bool
+(** Componentwise equality — with {!state_hash}, the key functions the
+    digitized graph explorations ({!Ctl}, {!Priced}) hash states by. *)
+
 val state_hash : state -> int
+
 val pp_state : Compiled.t -> Format.formatter -> state -> unit
+(** Location names, non-zero variables and clocks, human-readable. *)
+
 val pp_step : Compiled.t -> Format.formatter -> step -> unit
+(** [Delay k] or the fired action's label/channel. *)
 
 val run :
   Compiled.t ->

@@ -11,4 +11,7 @@ val network : Format.formatter -> Network.t -> unit
 (** All automata of a network as clustered subgraphs of one [digraph]. *)
 
 val automaton_to_string : Automaton.t -> string
+(** {!automaton} into a string (what [batsched dot] prints). *)
+
 val network_to_string : Network.t -> string
+(** {!network} into a string. *)

@@ -20,9 +20,16 @@ val initial : symtab -> int array
 (** Fresh storage holding the declared initial values. *)
 
 val size : symtab -> int
+(** Total number of slots — the length {!initial} allocates. *)
+
 val mem : symtab -> string -> bool
+(** Is the name declared (scalar or array)? *)
+
 val is_array : symtab -> string -> bool
+(** True for arrays, false for scalars; [Invalid_argument] if absent. *)
+
 val length_of : symtab -> string -> int
+(** Element count of an array (1 for a scalar). *)
 
 val read : symtab -> int array -> string -> int
 (** Scalar read; raises [Invalid_argument] on arrays or unknown names. *)
@@ -37,6 +44,7 @@ val eval : symtab -> int array -> Expr.t -> int
     misuse, out-of-bounds indices, or division by zero. *)
 
 val eval_bexpr : symtab -> int array -> Expr.bexpr -> bool
+(** Evaluate a boolean guard; error conditions as in {!eval}. *)
 
 val apply : symtab -> int array -> Expr.update list -> int array
 (** Apply updates left to right to a {e copy} of the storage: later

@@ -35,7 +35,13 @@ type lhs = Lvar of string | Larr of string * t
 type update = lhs * t
 (** [lhs := rhs]. *)
 
-(* Convenience constructors, so models read close to the Uppaal syntax. *)
+(** {2 Convenience constructors}
+
+    Shadowed arithmetic/comparison operators plus the short names
+    [i]/[v]/[a] (integer literal, scalar variable, array element), so
+    models read close to the Uppaal syntax:
+    [a "n_gamma" (v "id") <= i 0].  Open the module locally when
+    building models. *)
 
 val ( + ) : t -> t -> t
 val ( - ) : t -> t -> t
@@ -54,7 +60,10 @@ val ( && ) : bexpr -> bexpr -> bexpr
 val ( || ) : bexpr -> bexpr -> bexpr
 
 val set : string -> t -> update
+(** [set x e] is the scalar assignment [x := e]. *)
+
 val set_arr : string -> t -> t -> update
+(** [set_arr x idx e] is the array assignment [x[idx] := e]. *)
 
 val vars_of_expr : t -> string list
 (** Names (scalars and arrays) referenced, without duplicates. *)
@@ -67,3 +76,5 @@ val pp_bexpr : Format.formatter -> bexpr -> unit
 val pp_update : Format.formatter -> update -> unit
 
 val eval_cmp : cmp -> int -> int -> bool
+(** [eval_cmp op l r] applies the comparison to two integers — shared
+    by every engine so [Le]/[Ne]/... mean the same thing everywhere. *)

@@ -18,9 +18,9 @@ val chan : ?kind:channel_kind -> ?arity:int -> string -> channel_decl
 (** Defaults: binary, arity 0. *)
 
 type t = {
-  decls : Env.decl list;
+  decls : Env.decl list;  (** shared integer variables, with initial values *)
   channels : channel_decl list;
-  automata : Automaton.t list;
+  automata : Automaton.t list;  (** run in parallel, in this order *)
 }
 
 val make :

@@ -1,5 +1,15 @@
 type symbolic_state = { locs : int array; vars : int array; zone : Dbm.t }
 
+(* Observability: explored/stored are synced from the engine's own
+   stats refs when the search returns, [dbm_ops] counts the symbolic
+   workload (constrain atoms applied, up/reset/extrapolate calls and
+   inclusion tests), and the gauge records the waiting-queue peak. *)
+let c_explored = Obs.counter "pta.reach.explored"
+let c_stored = Obs.counter "pta.reach.stored"
+let c_dbm_ops = Obs.counter "pta.reach.dbm_ops"
+let g_queue_peak = Obs.gauge "pta.reach.queue_peak"
+let s_search = Obs.span "pta.reach.search"
+
 type result = {
   trace : (Compiled.action option * symbolic_state) list;
   stats : stats;
@@ -67,10 +77,20 @@ let rebuild node =
   go [] node
 
 let search ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
+  Obs.time s_search @@ fun () ->
   let k_const = Compiled.max_clock_constant net in
   let n_clocks = Compiled.n_clocks net in
   let passed : (Dbm.t * node) list ref Tbl.t = Tbl.create 1024 in
-  let stored = ref 0 and explored = ref 0 in
+  let stored = ref 0 and explored = ref 0 and dbm_ops = ref 0 in
+  let sync_obs () =
+    Obs.add c_explored !explored;
+    Obs.add c_stored !stored;
+    Obs.add c_dbm_ops !dbm_ops
+  in
+  let apply_atoms z atoms =
+    dbm_ops := !dbm_ops + List.length atoms;
+    apply_guard_atoms z atoms
+  in
   let queue = Queue.create () in
   let add_state node =
     let key = (node.state.locs, node.state.vars) in
@@ -82,13 +102,22 @@ let search ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
           Tbl.replace passed key l;
           l
     in
-    if List.exists (fun (z, _) -> Dbm.includes z node.state.zone) !cell then false
+    if
+      List.exists
+        (fun (z, _) ->
+          incr dbm_ops;
+          Dbm.includes z node.state.zone)
+        !cell
+    then false
     else begin
       cell := (node.state.zone, node) :: !cell;
       incr stored;
-      if !stored > max_states then
-        failwith "Pta.Reachability.search: state limit exceeded";
+      if !stored > max_states then begin
+        sync_obs ();
+        failwith "Pta.Reachability.search: state limit exceeded"
+      end;
       Queue.push node queue;
+      Obs.gauge_max g_queue_peak (Queue.length queue);
       true
     end
   in
@@ -97,15 +126,21 @@ let search ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
   let vars0 = Env.initial net.symtab in
   let initial_zone =
     let z = Dbm.zero n_clocks in
-    let z = apply_guard_atoms z (invariant_atoms net locs0) in
+    let z = apply_atoms z (invariant_atoms net locs0) in
     let z =
       if Compiled.urgent_active net ~locs:locs0 then z
-      else apply_guard_atoms (Dbm.up z) (invariant_atoms net locs0)
+      else begin
+        incr dbm_ops;
+        apply_atoms (Dbm.up z) (invariant_atoms net locs0)
+      end
     in
+    incr dbm_ops;
     Dbm.extrapolate z k_const
   in
-  if Dbm.is_empty initial_zone || not (data_invariants_hold net locs0 vars0) then
+  if Dbm.is_empty initial_zone || not (data_invariants_hold net locs0 vars0) then begin
+    sync_obs ();
     None
+  end
   else begin
     let root =
       { state = { locs = locs0; vars = vars0; zone = initial_zone }; parent = None }
@@ -121,7 +156,7 @@ let search ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
            result := Some { trace = rebuild node; stats = { explored = !explored; stored = !stored } }
          else begin
            let edge_ok (e : Compiled.cedge) =
-             not (Dbm.is_empty (apply_guard_atoms zone e.e_guard.cg_atoms))
+             not (Dbm.is_empty (apply_atoms zone e.e_guard.cg_atoms))
            in
            let actions = Compiled.enabled_actions net ~locs ~vars ~edge_ok in
            List.iter
@@ -130,7 +165,7 @@ let search ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
                let z_guarded =
                  List.fold_left
                    (fun z (e : Compiled.cedge) ->
-                     apply_guard_atoms z e.e_guard.cg_atoms)
+                     apply_atoms z e.e_guard.cg_atoms)
                    zone act.act_edges
                in
                if not (Dbm.is_empty z_guarded) then begin
@@ -141,16 +176,24 @@ let search ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
                    (fun (e : Compiled.cedge) ->
                      locs'.(e.e_auto) <- e.e_dst;
                      Env.apply_in_place net.symtab vars' e.e_updates;
-                     List.iter (fun c -> z := Dbm.reset !z (c + 1) 0) e.e_resets)
+                     List.iter
+                       (fun c ->
+                         incr dbm_ops;
+                         z := Dbm.reset !z (c + 1) 0)
+                       e.e_resets)
                    act.act_edges;
                  if data_invariants_hold net locs' vars' then begin
                    let inv = invariant_atoms net locs' in
-                   let z_in = apply_guard_atoms !z inv in
+                   let z_in = apply_atoms !z inv in
                    if not (Dbm.is_empty z_in) then begin
                      let z_delayed =
                        if Compiled.urgent_active net ~locs:locs' then z_in
-                       else apply_guard_atoms (Dbm.up z_in) inv
+                       else begin
+                         incr dbm_ops;
+                         apply_atoms (Dbm.up z_in) inv
+                       end
                      in
+                     incr dbm_ops;
                      let z_final = Dbm.extrapolate z_delayed k_const in
                      if not (Dbm.is_empty z_final) then
                        ignore
@@ -166,6 +209,7 @@ let search ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
          end
        done
      with Exit -> ());
+    sync_obs ();
     !result
   end
 

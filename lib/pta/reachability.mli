@@ -11,7 +11,13 @@
 
     Its role in this reproduction is validation: it double-checks the
     discrete engine on the paper's Figures 2–4 lamp models and anchors the
-    PTA substrate's correctness with property-based tests. *)
+    PTA substrate's correctness with property-based tests.
+
+    Observability: when [Obs] is enabled, a search records the
+    [pta.reach.explored] / [pta.reach.stored] / [pta.reach.dbm_ops]
+    counters, the [pta.reach.queue_peak] gauge and the
+    [pta.reach.search] span (see doc/OBSERVABILITY.md); the returned
+    {!stats} are computed independently and are unaffected. *)
 
 type symbolic_state = {
   locs : int array;
@@ -26,6 +32,8 @@ type result = {
 }
 
 and stats = { explored : int; stored : int }
+(** [explored]: symbolic states popped and expanded; [stored]: states
+    kept in the passed list after inclusion checks. *)
 
 val search :
   ?max_states:int ->
@@ -43,3 +51,4 @@ val reachable :
   goal:(locs:int array -> vars:int array -> bool) ->
   Compiled.t ->
   bool
+(** [search] without the trace: is a goal state reachable at all? *)

@@ -1,3 +1,11 @@
+(* Observability: one span execution per load (tagged with the load's
+   index, so a trace shows the fan-out lane by lane) and a load
+   counter; the per-domain split of [ensemble.load] total time is the
+   pool-utilization picture for this workload. *)
+let c_loads = Obs.counter "ensemble.loads"
+let s_run = Obs.span "ensemble.run"
+let s_load = Obs.span "ensemble.load"
+
 type stats = {
   mean : float;
   stddev : float;
@@ -57,6 +65,7 @@ let run ?pool ?(seed = 42L) ?(n_loads = 50) ?(jobs_per_load = 60)
     ?(n_batteries = 2) ?(include_optimal = true)
     (disc : Dkibam.Discretization.t) () =
   if n_loads < 1 then invalid_arg "Sched.Ensemble.run: need >= 1 load";
+  Obs.time s_run @@ fun () ->
   let g = Prng.Splitmix.create seed in
   let policies =
     [
@@ -68,7 +77,9 @@ let run ?pool ?(seed = 42L) ?(n_loads = 50) ?(jobs_per_load = 60)
   (* Per-load PRNG streams are seed-split up front, so the per-load work
      below depends only on its own seed — embarrassingly parallel. *)
   let seeds = Array.init n_loads (fun _ -> Prng.Splitmix.next_int64 g) in
-  let one load_seed =
+  let one i load_seed =
+    Obs.incr c_loads;
+    Obs.time ~index:i s_load @@ fun () ->
     let load =
       Loads.Random_load.intermitted ~seed:load_seed ~jobs:jobs_per_load ()
     in
@@ -92,8 +103,9 @@ let run ?pool ?(seed = 42L) ?(n_loads = 50) ?(jobs_per_load = 60)
   in
   let per_load =
     match pool with
-    | Some p -> Exec.Pool.parallel_map ~chunk:1 p one seeds
-    | None -> Array.map one seeds
+    | Some p ->
+        Exec.Pool.parallel_init ~chunk:1 p n_loads (fun i -> one i seeds.(i))
+    | None -> Array.mapi one seeds
   in
   (* Serial, order-preserving fold over the per-load results. *)
   let results = Hashtbl.create 8 in

@@ -15,7 +15,12 @@
     domain pool: per-load PRNG streams are split from the root seed up
     front, each load's work is pure given its stream, and the results
     are folded back in load order — so [run ?pool] is bit-identical to
-    the serial path for every pool size (asserted in the test suite). *)
+    the serial path for every pool size (asserted in the test suite).
+
+    Observability: with [Obs] enabled a run records the
+    [ensemble.loads] counter and the [ensemble.run] / [ensemble.load]
+    spans (the latter tagged with the load index in traces); see
+    doc/OBSERVABILITY.md. *)
 
 type stats = {
   mean : float;

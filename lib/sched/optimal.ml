@@ -1,5 +1,19 @@
 type objective = Max_lifetime | Min_stranded | Min_lifetime
 
+(* Observability (lib/obs).  The integer counters are synced from the
+   search's own [stats] refs at the moment the stats snapshot is taken,
+   so the reported Obs counters are bit-equal to [result.stats] by
+   construction (asserted in the test suite); only the depth histogram
+   and the spans are recorded in-loop, behind the enabled flag. *)
+let c_positions = Obs.counter "optimal.positions"
+let c_segments = Obs.counter "optimal.segments"
+let c_memo_hits = Obs.counter "optimal.memo_hits"
+let c_memo_misses = Obs.counter "optimal.memo_misses"
+let c_searches = Obs.counter "optimal.searches"
+let h_depth = Obs.histogram "optimal.depth"
+let s_search = Obs.span "optimal.search"
+let s_branch = Obs.span "optimal.branch"
+
 type result = {
   lifetime_steps : int;
   stranded_units : int;
@@ -109,6 +123,8 @@ let search ?pool ?(switch_delay = 1) ?(objective = Max_lifetime)
   if n_batteries < 1 then invalid_arg "Sched.Optimal.search: need >= 1 battery";
   Loads.Arrays.check_compatible load ~time_step:disc.time_step
     ~charge_unit:disc.charge_unit;
+  Obs.incr c_searches;
+  Obs.time s_search @@ fun () ->
   let cursor = Loads.Cursor.make load in
   let score (step, stranded_units) =
     match objective with
@@ -117,7 +133,7 @@ let search ?pool ?(switch_delay = 1) ?(objective = Max_lifetime)
     | Min_lifetime -> -step
   in
   let memo : int Tbl.t = Tbl.create 4096 in
-  let segments = ref 0 and pruned = ref 0 in
+  let segments = ref 0 and pruned = ref 0 and misses = ref 0 in
   let skip_options = if allow_final_draw_skip then [ false; true ] else [ false ] in
   let choices (p : pos) =
     List.concat_map
@@ -125,15 +141,19 @@ let search ?pool ?(switch_delay = 1) ?(objective = Max_lifetime)
       (Bank.alive p.bank)
   in
   (* The recursive exact value of a position, memoized in [memo] with
-     hit/segment counters [pruned]/[segments].  Parameterized over the
-     table so that parallel root branches can each own one. *)
-  let rec value_in memo segments pruned (p : pos) =
+     hit/miss/segment counters [pruned]/[misses]/[segments].
+     Parameterized over the table so that parallel root branches can
+     each own one.  [depth] counts decisions from the root and only
+     feeds the observability histogram. *)
+  let rec value_in memo segments pruned misses ~depth (p : pos) =
     let key = Key.of_pos p in
     match Tbl.find_opt memo key with
     | Some v ->
         incr pruned;
         v
     | None ->
+        incr misses;
+        Obs.observe h_depth depth;
         let best = ref min_int in
         List.iter
           (fun (b, skip_final) ->
@@ -141,7 +161,7 @@ let search ?pool ?(switch_delay = 1) ?(objective = Max_lifetime)
             match run_segment cursor ~switch_delay ~skip_final p b with
             | Terminal t -> if score t > !best then best := score t
             | Next p' ->
-                let v = value_in memo segments pruned p' in
+                let v = value_in memo segments pruned misses ~depth:(depth + 1) p' in
                 if v > !best then best := v
             | Exhausted -> raise Load_too_short)
           (choices p);
@@ -150,7 +170,7 @@ let search ?pool ?(switch_delay = 1) ?(objective = Max_lifetime)
         Tbl.replace memo key !best;
         !best
   in
-  let value p = value_in memo segments pruned p in
+  let value p = value_in memo segments pruned misses ~depth:0 p in
   let root =
     match advance_to_job cursor 0 (Bank.create ?initial ~n_batteries disc) with
     | Next p -> p
@@ -168,32 +188,36 @@ let search ?pool ?(switch_delay = 1) ?(objective = Max_lifetime)
          values are the same integers the serial search computes. *)
       let branch (b, skip_final) =
         let memo = Tbl.create 4096 in
-        let segments = ref 0 and pruned = ref 0 in
+        let segments = ref 0 and pruned = ref 0 and misses = ref 0 in
         let v =
           incr segments;
           match run_segment cursor ~switch_delay ~skip_final root b with
           | Terminal t -> score t
-          | Next p' -> value_in memo segments pruned p'
+          | Next p' -> value_in memo segments pruned misses ~depth:1 p'
           | Exhausted -> raise Load_too_short
         in
-        (v, memo, !segments, !pruned)
+        (v, memo, !segments, !pruned, !misses)
       in
+      let root_choices = Array.of_list (choices root) in
       let branches =
-        Exec.Pool.parallel_map ~chunk:1 pool branch
-          (Array.of_list (choices root))
+        Exec.Pool.parallel_init ~chunk:1 pool (Array.length root_choices)
+          (fun i -> Obs.time ~index:i s_branch (fun () -> branch root_choices.(i)))
       in
       let best = ref min_int in
       Array.iter
-        (fun (v, m, s, pr) ->
+        (fun (v, m, s, pr, mi) ->
           if v > !best then best := v;
           segments := !segments + s;
           pruned := !pruned + pr;
+          misses := !misses + mi;
           Tbl.iter (fun k v -> Tbl.replace memo k v) m)
         branches;
       Tbl.replace memo (Key.of_pos root) !best
   | _ -> ignore (value root));
   (* Search-phase statistics, snapshotted before the replay below adds
-     its own (all-hit) memo lookups. *)
+     its own (all-hit) memo lookups.  The Obs counters are synced from
+     the very same values, so [--stats] reports exactly [result.stats]
+     plus the miss count. *)
   let stats =
     {
       positions_explored = Tbl.length memo;
@@ -201,6 +225,10 @@ let search ?pool ?(switch_delay = 1) ?(objective = Max_lifetime)
       pruned = !pruned;
     }
   in
+  Obs.add c_positions stats.positions_explored;
+  Obs.add c_segments stats.segments_run;
+  Obs.add c_memo_hits stats.pruned;
+  Obs.add c_memo_misses !misses;
   (* Reconstruct one optimal schedule by replaying argmax choices. *)
   let schedule = ref [] in
   let final = ref (0, 0) in

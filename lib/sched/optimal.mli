@@ -10,7 +10,7 @@
     [B^(number of decisions)] battery choices.  All pruning comes from
     memoization over (position, canonical battery multiset): identical
     batteries make many choice orders confluent, so whole subtrees
-    collapse onto already-solved positions ({!stats.pruned} counts those
+    collapse onto already-solved positions ([stats.pruned] counts those
     hits).  No admissible-bound pruning is applied — the memoized tree
     is already small on the paper's instances, and exact values keep the
     parallel root fan-out trivially correct.
@@ -18,7 +18,15 @@
     The hand-over semantics (including the one-step switch delay) are
     exactly those of {!Simulator}, so an optimal schedule replayed through
     {!Simulator.simulate} with [Policy.Fixed] reproduces the same
-    lifetime — asserted in the test suite. *)
+    lifetime — asserted in the test suite.
+
+    Observability: with [Obs] enabled a search records the
+    [optimal.searches] / [optimal.positions] / [optimal.segments] /
+    [optimal.memo_hits] / [optimal.memo_misses] counters (the first
+    four mirror {!stats} exactly — asserted in the test suite), the
+    [optimal.depth] histogram and the [optimal.search] /
+    [optimal.branch] spans; see doc/OBSERVABILITY.md.  Results are
+    bit-identical with observability on or off. *)
 
 type objective =
   | Max_lifetime  (** maximize the last battery's death time (default) *)
@@ -98,8 +106,8 @@ val search :
     entry is an {e exact} subtree value (never a bound), the merge is
     order-independent and the returned lifetime, stranded charge and
     schedule are identical to the serial search — asserted over all ten
-    Table 5 loads in the test suite.  Only {!stats.segments_run} and
-    {!stats.pruned} differ (see {!stats}). *)
+    Table 5 loads in the test suite.  Only [stats.segments_run] and
+    [stats.pruned] differ (see {!stats}). *)
 
 val lifetime :
   ?pool:Exec.Pool.t ->

@@ -33,11 +33,11 @@
       [switch_delay = 0], which is what the cross-validation tests use). *)
 
 type t = {
-  network : Pta.Network.t;
-  compiled : Pta.Compiled.t;
+  network : Pta.Network.t;  (** the Figure-5 network, pre-compilation *)
+  compiled : Pta.Compiled.t;  (** what the engines execute *)
   n_batteries : int;
-  disc : Dkibam.Discretization.t;
-  arrays : Loads.Arrays.t;
+  disc : Dkibam.Discretization.t;  (** fixes charge units / recov_time *)
+  arrays : Loads.Arrays.t;  (** the §4.1 load encoding baked in *)
 }
 
 val build :
