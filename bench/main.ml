@@ -239,6 +239,39 @@ let optimal_bench ~jobs ppf =
         Format.fprintf ppf
           "  (single-core machine: parallel columns measure pool overhead \
            only)@.";
+      (* previous run's record, if one is on disk: writes are atomic
+         (below), so a torn file can only be a stale or hand-edited
+         artifact — either way a note, never a failure *)
+      let previous_speedup =
+        match
+          In_channel.with_open_bin "BENCH_parallel.json" In_channel.input_all
+        with
+        | exception Sys_error _ -> None
+        | contents -> (
+            match Obs.Json.of_string contents with
+            | Error _ -> Some (Error "unreadable")
+            | Ok j -> (
+                match
+                  Option.bind
+                    (Obs.Json.member "ensemble" j)
+                    (Obs.Json.member "speedup")
+                with
+                | Some (Obs.Json.Float f) -> Some (Ok f)
+                | Some (Obs.Json.Int n) -> Some (Ok (float_of_int n))
+                | _ -> Some (Error "missing its ensemble speedup")))
+      in
+      (match previous_speedup with
+      | None -> ()
+      | Some (Error what) ->
+          Format.fprintf ppf
+            "  (previous BENCH_parallel.json is %s; skipping the \
+             run-over-run comparison)@."
+            what
+      | Some (Ok prev) ->
+          let now = ens_serial_ms /. ens_par_ms in
+          Format.fprintf ppf
+            "  ensemble speedup vs previous run: %.2fx -> %.2fx (%+.2f)@."
+            prev now (now -. prev));
       (* machine-readable record of the same numbers *)
       let buf = Buffer.create 1024 in
       Buffer.add_string buf "{\n";
@@ -268,9 +301,10 @@ let optimal_bench ~jobs ppf =
       Buffer.add_string buf "  \"obs\": ";
       Buffer.add_string buf obs_json;
       Buffer.add_string buf "\n}\n";
-      let oc = open_out "BENCH_parallel.json" in
-      output_string oc (Buffer.contents buf);
-      close_out oc;
+      (* temp-file+rename: a reader (or a killed bench) never sees a
+         torn BENCH_parallel.json *)
+      Guard.Checkpoint.write_atomic ~path:"BENCH_parallel.json"
+        (Buffer.contents buf);
       Format.fprintf ppf "  measurements written to BENCH_parallel.json@.")
 
 (* ------------------------------------------------------------------ *)

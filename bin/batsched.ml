@@ -66,18 +66,21 @@ let spec_arg =
           "Use a load written in the spec language instead of LOAD, e.g. \
            'repeat 40 (job 0.5 1; idle 1)'.")
 
-(* Resolve the effective load: --spec wins over a load name. *)
+(* Resolve the effective load: --spec wins over a load name.  Bad specs
+   come back as a structured Guard.Error rendered with the offending
+   field and the accepted shape. *)
 let resolve_load spec name =
   match (spec, name) with
   | Some s, _ -> (
-      match Loads.Spec.parse s with
-      | load -> Ok (load, "spec load")
-      | exception Loads.Spec.Parse_error msg -> Error ("bad --spec: " ^ msg))
+      match Loads.Spec.parse_result s with
+      | Ok load -> Ok (load, "spec load")
+      | Error e -> Error (Guard.Error.to_string e))
   | None, Some n -> Ok (Loads.Testloads.load n, Loads.Testloads.to_string n)
   | None, None -> Error "no load given: name a LOAD (or use --loads/--spec)"
 
-let arrays_of_load load =
-  Loads.Arrays.make ~time_step:Batsched.Experiments.time_step
+let arrays_of_load ~label load =
+  Loads.Arrays.make_result ~input:label
+    ~time_step:Batsched.Experiments.time_step
     ~charge_unit:Batsched.Experiments.charge_unit load
 
 let battery_arg =
@@ -190,14 +193,76 @@ let with_obs (stats, trace) f =
 let params_of_battery = function
   | "b1" | "B1" -> Ok Kibam.Params.b1
   | "b2" | "B2" -> Ok Kibam.Params.b2
-  | s -> Error (Printf.sprintf "unknown battery %S (use b1 or b2)" s)
+  | s ->
+      Error
+        (Guard.Error.make ~subsystem:"batsched" ~input:"--battery"
+           ~field:"battery" ~value:s ~accepted:"b1 | b2"
+           "unknown battery type")
 
 let with_params battery f =
   match params_of_battery battery with
   | Error e ->
-      prerr_endline e;
+      prerr_endline (Guard.Error.to_string e);
       1
   | Ok params -> f params
+
+(* --deadline / --max-segments build one Guard.Budget shared by the
+   command's searches; flag validation is reported structurally, like
+   every other bad input. *)
+let budget_of deadline max_segments =
+  let err field value accepted =
+    Error
+      (Guard.Error.make ~subsystem:"batsched" ~field ~value ~accepted
+         "bad budget flag")
+  in
+  match (deadline, max_segments) with
+  | Some d, _ when d <= 0.0 ->
+      err "--deadline" (string_of_float d) "a positive number of seconds"
+  | _, Some n when n < 1 ->
+      err "--max-segments" (string_of_int n) "an integer >= 1"
+  | None, None -> Ok None
+  | d, s -> Ok (Some (Guard.Budget.create ?deadline_s:d ?max_segments:s ()))
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for the optimal search(es).  On exhaustion \
+           the search returns its best feasible schedule so far (anytime \
+           behavior) and says so, instead of failing.")
+
+let max_segments_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-segments" ] ~docv:"N"
+        ~doc:
+          "Work budget for the optimal search(es), in simulated segments \
+           (deterministic, unlike --deadline).  Same anytime behavior.")
+
+let budget_term = Term.(const (fun d s -> (d, s)) $ deadline_arg $ max_segments_arg)
+
+let with_budget (deadline, max_segments) f =
+  match budget_of deadline max_segments with
+  | Error e ->
+      prerr_endline (Guard.Error.to_string e);
+      1
+  | Ok budget -> f budget
+
+let print_status = function
+  | Sched.Optimal.Optimal -> ()
+  | Sched.Optimal.Budget_exhausted { trip; fallback } ->
+      Printf.printf
+        "  budget exhausted (%s): %s — feasible and at least best-of-two, \
+         but not proven optimal\n"
+        (Guard.Budget.trip_to_string trip)
+        (match fallback with
+        | Sched.Optimal.Search_prefix ->
+            "schedule is the best fully-searched first branch"
+        | Sched.Optimal.Policy_floor ->
+            "schedule is the best-of-two policy fallback")
 
 let lifetime_cmd =
   let run obs battery n policy load =
@@ -238,7 +303,7 @@ let lifetime_cmd =
   Cmd.v (Cmd.info "lifetime" ~doc:"Battery lifetime for one test load.") term
 
 let compare_cmd =
-  let run obs battery n jobs spec named pos_load =
+  let run obs battery n jobs budget spec named pos_load =
     with_obs obs @@ fun () ->
     with_params battery (fun params ->
         let name = match named with Some _ -> named | None -> pos_load in
@@ -246,38 +311,52 @@ let compare_cmd =
         | Error e ->
             prerr_endline e;
             1
-        | Ok (load, label) ->
+        | Ok (load, label) -> (
             let disc =
               Dkibam.Discretization.make
                 ~time_step:Batsched.Experiments.time_step
                 ~charge_unit:Batsched.Experiments.charge_unit params
             in
-            let arrays = arrays_of_load load in
-            let lt policy =
-              Sched.Simulator.lifetime_exn ~n_batteries:n ~policy disc arrays
-            in
-            with_jobs jobs (fun pool ->
-                Printf.printf "load %s, %d x %s batteries:\n" label n battery;
-                Printf.printf "  sequential : %8.3f min\n"
-                  (lt Sched.Policy.Sequential);
-                Printf.printf "  round robin: %8.3f min\n"
-                  (lt Sched.Policy.Round_robin);
-                Printf.printf "  best-of    : %8.3f min\n" (lt Sched.Policy.Best_of);
-                Printf.printf "  optimal    : %8.3f min\n"
-                  (Sched.Optimal.lifetime ?pool ~n_batteries:n disc arrays);
-                0))
+            match arrays_of_load ~label load with
+            | Error e ->
+                prerr_endline (Guard.Error.to_string e);
+                1
+            | Ok arrays ->
+                let lt policy =
+                  Sched.Simulator.lifetime_exn ~n_batteries:n ~policy disc
+                    arrays
+                in
+                with_budget budget @@ fun budget ->
+                with_jobs jobs (fun pool ->
+                    Printf.printf "load %s, %d x %s batteries:\n" label n
+                      battery;
+                    Printf.printf "  sequential : %8.3f min\n"
+                      (lt Sched.Policy.Sequential);
+                    Printf.printf "  round robin: %8.3f min\n"
+                      (lt Sched.Policy.Round_robin);
+                    Printf.printf "  best-of    : %8.3f min\n"
+                      (lt Sched.Policy.Best_of);
+                    let r =
+                      Sched.Optimal.search ?pool ?budget ~n_batteries:n disc
+                        arrays
+                    in
+                    Printf.printf "  optimal    : %8.3f min\n"
+                      (Dkibam.Discretization.minutes_of_steps disc
+                         r.lifetime_steps);
+                    print_status r.status;
+                    0)))
   in
   let term =
     Term.(
       const run $ obs_term $ battery_arg $ n_batteries_arg $ jobs_arg
-      $ spec_arg $ named_load_arg $ opt_load_arg)
+      $ budget_term $ spec_arg $ named_load_arg $ opt_load_arg)
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"All scheduling policies side by side on one load.")
     term
 
 let schedule_cmd =
-  let run obs battery n jobs load =
+  let run obs battery n jobs budget ckpt_file ckpt_every resume load =
     with_obs obs @@ fun () ->
     with_params battery (fun params ->
         let disc =
@@ -285,38 +364,96 @@ let schedule_cmd =
             ~charge_unit:Batsched.Experiments.charge_unit params
         in
         let arrays = Batsched.Experiments.arrays_of load in
-        with_jobs jobs (fun pool ->
-            let r = Sched.Optimal.search ?pool ~n_batteries:n disc arrays in
-            Printf.printf
-              "optimal schedule for %s (%d x %s): lifetime %.3f min, %d decisions\n"
-              (Loads.Testloads.to_string load)
-              n battery
-              (Dkibam.Discretization.minutes_of_steps disc r.lifetime_steps)
-              (Array.length r.schedule);
-            Array.iteri
-              (fun k b -> Printf.printf "  decision %2d -> battery %d\n" k b)
-              r.schedule;
-            0))
+        with_budget budget @@ fun budget ->
+        if ckpt_every < 1 then begin
+          prerr_endline
+            (Guard.Error.to_string
+               (Guard.Error.make ~subsystem:"batsched"
+                  ~field:"--checkpoint-every"
+                  ~value:(string_of_int ckpt_every) ~accepted:"an integer >= 1"
+                  "bad checkpoint cadence"));
+          1
+        end
+        else begin
+          let checkpoint =
+            Option.map
+              (Sched.Optimal.checkpoint ~every_segments:ckpt_every ~resume)
+              ckpt_file
+          in
+          with_jobs jobs (fun pool ->
+              match
+                Sched.Optimal.search ?pool ?budget ?checkpoint ~n_batteries:n
+                  disc arrays
+              with
+              | exception Guard.Error.Error e ->
+                  (* e.g. a checkpoint from different inputs on --resume *)
+                  prerr_endline (Guard.Error.to_string e);
+                  1
+              | r ->
+                  Printf.printf
+                    "%s schedule for %s (%d x %s): lifetime %.3f min, %d \
+                     decisions\n"
+                    (match r.Sched.Optimal.status with
+                    | Sched.Optimal.Optimal -> "optimal"
+                    | Sched.Optimal.Budget_exhausted _ -> "anytime")
+                    (Loads.Testloads.to_string load)
+                    n battery
+                    (Dkibam.Discretization.minutes_of_steps disc
+                       r.lifetime_steps)
+                    (Array.length r.schedule);
+                  print_status r.status;
+                  Array.iteri
+                    (fun k b ->
+                      Printf.printf "  decision %2d -> battery %d\n" k b)
+                    r.schedule;
+                  0)
+        end)
+  in
+  let ckpt_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Periodically snapshot the search memo to $(docv) (atomic \
+             temp-file+rename writes; forces the serial search).  A killed \
+             run can then continue with --resume.")
+  in
+  let ckpt_every_arg =
+    Arg.(
+      value & opt int 65536
+      & info [ "checkpoint-every" ] ~docv:"SEGMENTS"
+          ~doc:"Snapshot cadence in simulated segments.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Preload the --checkpoint file if it exists (it must come from \
+             the same load, pack and search settings); the result is \
+             identical to an uninterrupted run.")
   in
   let term =
     Term.(
       const run $ obs_term $ battery_arg $ n_batteries_arg $ jobs_arg
-      $ load_arg)
+      $ budget_term $ ckpt_file_arg $ ckpt_every_arg $ resume_arg $ load_arg)
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Compute and print the optimal schedule.") term
 
 let ensemble_cmd =
-  let run obs battery n jobs seed n_loads jobs_per_load no_optimal =
+  let run obs battery n jobs budget seed n_loads jobs_per_load no_optimal =
     with_obs obs @@ fun () ->
     with_params battery (fun params ->
         let disc =
           Dkibam.Discretization.make ~time_step:Batsched.Experiments.time_step
             ~charge_unit:Batsched.Experiments.charge_unit params
         in
+        with_budget budget @@ fun budget ->
         with_jobs jobs (fun pool ->
             let e =
-              Sched.Ensemble.run ?pool ~seed:(Int64.of_int seed) ~n_loads
-                ~jobs_per_load ~n_batteries:n
+              Sched.Ensemble.run ?pool ?budget ~seed:(Int64.of_int seed)
+                ~n_loads ~jobs_per_load ~n_batteries:n
                 ~include_optimal:(not no_optimal) disc ()
             in
             Batsched.Report.ensemble Format.std_formatter e;
@@ -350,7 +487,8 @@ let ensemble_cmd =
   let term =
     Term.(
       const run $ obs_term $ battery_arg $ n_batteries_arg $ jobs_arg
-      $ seed_arg $ loads_arg $ jobs_per_load_arg $ no_optimal_arg)
+      $ budget_term $ seed_arg $ loads_arg $ jobs_per_load_arg
+      $ no_optimal_arg)
   in
   Cmd.v
     (Cmd.info "ensemble"
@@ -397,13 +535,17 @@ let trace_cmd =
         | Error e ->
             prerr_endline e;
             1
-        | Ok (load, label) ->
+        | Ok (load, label) -> (
             let disc =
               Dkibam.Discretization.make
                 ~time_step:Batsched.Experiments.time_step
                 ~charge_unit:Batsched.Experiments.charge_unit params
             in
-            let arrays = arrays_of_load load in
+            match arrays_of_load ~label load with
+            | Error e ->
+                prerr_endline (Guard.Error.to_string e);
+                1
+            | Ok arrays ->
             let o =
               Sched.Simulator.simulate ~trace_every:sample ~n_batteries:n
                 ~policy disc arrays
@@ -430,7 +572,7 @@ let trace_cmd =
                 Printf.printf "# system died at %.2f min\n"
                   (Dkibam.Discretization.minutes_of_steps disc st)
             | None -> Printf.printf "# batteries outlived the load\n");
-            0)
+            0))
   in
   let sample_arg =
     Arg.(

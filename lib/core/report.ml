@@ -186,4 +186,9 @@ let ensemble ppf (e : Sched.Ensemble.t) =
     Format.fprintf ppf
       "(optimal search skipped: gains are measured against %s, a lower \
        bound on the true optimal gain)@."
-      e.gain_baseline
+      e.gain_baseline;
+  if e.budget_exhausted > 0 then
+    Format.fprintf ppf
+      "(budget exhausted on %d of %d loads: their \"optimal\" figures are \
+       anytime lower bounds, not proven optima)@."
+      e.budget_exhausted e.n_loads

@@ -11,6 +11,28 @@ let make (d : Discretization.t) ~n_gamma ~m_delta ~recov_clock =
   if recov_clock < 0 then invalid_arg "Dkibam.Battery.make: negative clock";
   { n_gamma; m_delta; recov_clock }
 
+(* Same checks as [make], reported as data: battery states can come
+   from user input (CLI pack descriptions, checkpointed states), where
+   a range violation is a bad input, not a programming error. *)
+let make_result ?input (d : Discretization.t) ~n_gamma ~m_delta ~recov_clock =
+  let err field value accepted what =
+    Error
+      (Guard.Error.make ~subsystem:"dkibam.battery" ?input ~field
+         ~value:(string_of_int value) ~accepted what)
+  in
+  if n_gamma < 0 || n_gamma > d.n_units then
+    err "n_gamma" n_gamma
+      (Printf.sprintf "0 <= n_gamma <= %d (the pack's N)" d.n_units)
+      "remaining charge units out of range"
+  else if m_delta < 0 || m_delta > d.n_units then
+    err "m_delta" m_delta
+      (Printf.sprintf "0 <= m_delta <= %d (the pack's N)" d.n_units)
+      "height-difference units out of range"
+  else if recov_clock < 0 then
+    err "recov_clock" recov_clock "a non-negative number of time steps"
+      "recovery clock out of range"
+  else Ok { n_gamma; m_delta; recov_clock }
+
 (* Re-establish the height automaton's invariant c_recov <= recov_time[m]
    at the current instant: fire any recovery that is already due.  A single
    firing resets the clock to 0 < recov_time[m'], so one pass suffices. *)

@@ -31,6 +31,17 @@ val make : Discretization.t -> n_gamma:int -> m_delta:int -> recov_clock:int -> 
 (** Arbitrary (validated) state, for tests: requires
     [0 <= n_gamma <= N], [0 <= m_delta <= N] and [recov_clock >= 0]. *)
 
+val make_result :
+  ?input:string ->
+  Discretization.t ->
+  n_gamma:int ->
+  m_delta:int ->
+  recov_clock:int ->
+  (t, Guard.Error.t) result
+(** [make] with the range violations reported as structured data — for
+    battery states that originate from user input rather than code;
+    [input] names the source (a CLI flag, a file). *)
+
 val tick : Discretization.t -> t -> t
 (** One time step of recovery. *)
 

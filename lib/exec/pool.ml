@@ -13,6 +13,8 @@
 let c_tasks = Obs.counter "pool.tasks"
 let c_busy_ns = Obs.counter "pool.busy_ns"
 let c_queue_wait_ns = Obs.counter "pool.queue_wait_ns"
+let c_retries = Obs.counter "pool.retries"
+let c_skipped = Obs.counter "pool.cancelled_tasks"
 let h_chunk = Obs.histogram "pool.chunk_size"
 let s_batch = Obs.span "pool.batch"
 
@@ -28,6 +30,7 @@ let instrument f =
 
 type batch = {
   mutable remaining : int;
+  mutable skipped : int;
   mutable error : (exn * Printexc.raw_backtrace) option;
 }
 
@@ -38,7 +41,33 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable shutting_down : bool;
   mutable workers : unit Domain.t array;
+  chaos : Guard.Chaos.t option;
+  retries : int;
 }
+
+(* Fault injection (tests only — see Guard.Chaos): every dispatch may be
+   delayed, and may crash before the task body runs.  Injected crashes
+   are retried — tasks are pure per the module contract, so re-running
+   one is always safe; any real exception still propagates on first
+   throw.  Retries exhausted, the Injected_crash itself propagates, so
+   an over-aggressive chaos configuration is loud, not silent. *)
+let with_chaos t f =
+  match t.chaos with
+  | None -> f
+  | Some chaos ->
+      fun () ->
+        let rec attempt k =
+          Guard.Chaos.maybe_delay chaos;
+          match
+            Guard.Chaos.maybe_crash chaos;
+            f ()
+          with
+          | v -> v
+          | exception Guard.Chaos.Injected_crash _ when k < t.retries ->
+              Obs.incr c_retries;
+              attempt (k + 1)
+        in
+        attempt 0
 
 let worker_loop t =
   let running = ref true in
@@ -59,7 +88,7 @@ let worker_loop t =
     end
   done
 
-let create ?domains () =
+let create ?domains ?chaos ?(retries = 3) () =
   let domains =
     match domains with
     | None -> max 1 (Domain.recommended_domain_count ())
@@ -67,6 +96,8 @@ let create ?domains () =
     | Some d ->
         invalid_arg (Printf.sprintf "Exec.Pool.create: domains = %d < 1" d)
   in
+  if retries < 0 then
+    invalid_arg (Printf.sprintf "Exec.Pool.create: retries = %d < 0" retries);
   let t =
     {
       mutex = Mutex.create ();
@@ -75,6 +106,8 @@ let create ?domains () =
       queue = Queue.create ();
       shutting_down = false;
       workers = [||];
+      chaos;
+      retries;
     }
   in
   t.workers <- Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
@@ -90,8 +123,8 @@ let shutdown t =
   Array.iter Domain.join t.workers;
   t.workers <- [||]
 
-let with_pool ?domains f =
-  let t = create ?domains () in
+let with_pool ?domains ?chaos ?retries f =
+  let t = create ?domains ?chaos ?retries () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 (* Run every thunk in [tasks]; the caller helps drain the queue, then
@@ -103,22 +136,41 @@ let with_pool ?domains f =
 let check_open t =
   if t.shutting_down then invalid_arg "Exec.Pool: pool is shut down"
 
-let run_tasks t (tasks : (unit -> unit) array) =
+let run_tasks ?cancel t (tasks : (unit -> unit) array) =
   check_open t;
+  let tasks = Array.map (with_chaos t) tasks in
   let tasks = if Obs.enabled () then Array.map instrument tasks else tasks in
+  (* A fired token makes every not-yet-started task of the batch a
+     no-op — the prompt-stop path for a tripped Guard.Budget — and the
+     batch reports the cancellation by raising once it has drained. *)
+  let cancelled () =
+    match cancel with Some c -> Guard.Cancel.is_set c | None -> false
+  in
   if Array.length tasks = 0 then ()
   else if Array.length t.workers = 0 then
-    Obs.time s_batch (fun () -> Array.iter (fun f -> f ()) tasks)
+    Obs.time s_batch (fun () ->
+        let skipped = ref 0 in
+        Array.iter (fun f -> if cancelled () then incr skipped else f ()) tasks;
+        if !skipped > 0 then begin
+          Obs.add c_skipped !skipped;
+          raise Guard.Cancel.Cancelled
+        end)
   else begin
     Obs.time s_batch @@ fun () ->
-    let b = { remaining = Array.length tasks; error = None } in
+    let b = { remaining = Array.length tasks; skipped = 0; error = None } in
     let wrap f () =
-      (try f ()
-       with e ->
-         let bt = Printexc.get_raw_backtrace () in
+      (if cancelled () then begin
          Mutex.lock t.mutex;
-         if b.error = None then b.error <- Some (e, bt);
-         Mutex.unlock t.mutex);
+         b.skipped <- b.skipped + 1;
+         Mutex.unlock t.mutex
+       end
+       else
+         try f ()
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           Mutex.lock t.mutex;
+           if b.error = None then b.error <- Some (e, bt);
+           Mutex.unlock t.mutex);
       Mutex.lock t.mutex;
       b.remaining <- b.remaining - 1;
       if b.remaining = 0 then Condition.broadcast t.batch_done;
@@ -147,10 +199,14 @@ let run_tasks t (tasks : (unit -> unit) array) =
     Mutex.unlock t.mutex;
     match b.error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ()
+    | None ->
+        if b.skipped > 0 then begin
+          Obs.add c_skipped b.skipped;
+          raise Guard.Cancel.Cancelled
+        end
   end
 
-let parallel_init ?chunk t n f =
+let parallel_init ?cancel ?chunk t n f =
   check_open t;
   if n < 0 then invalid_arg (Printf.sprintf "Exec.Pool.parallel_init: n = %d" n);
   (match chunk with
@@ -158,7 +214,8 @@ let parallel_init ?chunk t n f =
       invalid_arg (Printf.sprintf "Exec.Pool.parallel_init: chunk = %d" c)
   | _ -> ());
   if n = 0 then [||]
-  else if Array.length t.workers = 0 then Array.init n f
+  else if Array.length t.workers = 0 && t.chaos = None && cancel = None then
+    Array.init n f
   else begin
     let chunk =
       match chunk with
@@ -174,13 +231,13 @@ let parallel_init ?chunk t n f =
           let len = min chunk (n - lo) in
           slots.(ci) <- Array.init len (fun i -> f (lo + i)))
     in
-    run_tasks t tasks;
+    run_tasks ?cancel t tasks;
     Array.concat (Array.to_list slots)
   end
 
-let parallel_map ?chunk t f a =
-  parallel_init ?chunk t (Array.length a) (fun i -> f a.(i))
+let parallel_map ?cancel ?chunk t f a =
+  parallel_init ?cancel ?chunk t (Array.length a) (fun i -> f a.(i))
 
-let parallel_list_map ?chunk t f l =
+let parallel_list_map ?cancel ?chunk t f l =
   let a = Array.of_list l in
-  Array.to_list (parallel_init ?chunk t (Array.length a) (fun i -> f a.(i)))
+  Array.to_list (parallel_init ?cancel ?chunk t (Array.length a) (fun i -> f a.(i)))

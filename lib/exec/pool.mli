@@ -22,6 +22,24 @@
     captured exception is re-raised — with its backtrace — in the
     submitting domain.
 
+    Cancellation: the batch combinators accept a {!Guard.Cancel.t}
+    token.  Once the token fires, every task of the batch that has not
+    yet started becomes a no-op (in-flight tasks finish — nothing is
+    interrupted mid-update), and the combinator raises
+    {!Guard.Cancel.Cancelled} after the batch drains, unless a task
+    exception takes precedence.  This is how a tripped
+    {!Guard.Budget} stops all domains promptly: the budget's token is
+    the one passed here, and budget-aware tasks additionally observe
+    the same token through their own budget checks.
+
+    Fault injection (tests only): a pool created with a
+    {!Guard.Chaos.t} hook wraps every task dispatch with an injected
+    delay and a possible injected crash.  Injected crashes are
+    retried up to [retries] times — tasks are pure, so re-running one
+    is safe — and the [pool.retries] counter records each retry; real
+    exceptions are never retried.  Production call sites simply omit
+    [chaos].
+
     Determinism contract: given pure per-item work, results are
     bit-identical to the serial path for every [domains] and [chunk]
     value.  The scheduling parallelism changes only wall-clock time,
@@ -42,11 +60,13 @@ type t
 (** A pool handle.  Not itself thread-safe: submit batches from one
     domain at a time (typically the domain that created it). *)
 
-val create : ?domains:int -> unit -> t
+val create : ?domains:int -> ?chaos:Guard.Chaos.t -> ?retries:int -> unit -> t
 (** [create ()] sizes the pool to [Domain.recommended_domain_count].
     [domains] overrides the size (total parallelism, including the
     submitting domain); it must be [>= 1].  [domains = 1] spawns no
-    worker domains. *)
+    worker domains.  [chaos] injects dispatch faults and [retries]
+    (default 3, [>= 0]) bounds the re-runs of an injected crash — see
+    the module preamble. *)
 
 val size : t -> int
 (** Total parallelism: worker domains + the submitting domain. *)
@@ -55,18 +75,24 @@ val shutdown : t -> unit
 (** Signal the workers to exit and join them.  Idempotent.  Submitting
     to a pool after [shutdown] raises [Invalid_argument]. *)
 
-val with_pool : ?domains:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?domains:int -> ?chaos:Guard.Chaos.t -> ?retries:int -> (t -> 'a) -> 'a
 (** [with_pool f]: [create], run [f], always [shutdown]. *)
 
-val parallel_init : ?chunk:int -> t -> int -> (int -> 'a) -> 'a array
+val parallel_init :
+  ?cancel:Guard.Cancel.t -> ?chunk:int -> t -> int -> (int -> 'a) -> 'a array
 (** [parallel_init pool n f] is [Array.init n f] with the calls to [f]
     distributed over the pool in contiguous chunks of [chunk] indices
     (default: [n] split about eight ways per domain, at least 1).
     Result slot [i] always holds [f i].  [n] must be [>= 0]; [chunk]
-    must be [>= 1]. *)
+    must be [>= 1].  If [cancel] fires mid-batch, unstarted chunks are
+    skipped and {!Guard.Cancel.Cancelled} is raised once the batch has
+    drained (the partial results are discarded with it). *)
 
-val parallel_map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+val parallel_map :
+  ?cancel:Guard.Cancel.t -> ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map pool f a] is [Array.map f a], distributed. *)
 
-val parallel_list_map : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+val parallel_list_map :
+  ?cancel:Guard.Cancel.t -> ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** [parallel_list_map pool f l] is [List.map f l], distributed. *)

@@ -1,0 +1,101 @@
+(* All state is atomic so one budget can be shared by every domain of a
+   pooled search: counters are fetch-and-add, the trip is a latch
+   (first writer wins), and the embedded cancellation token is how a
+   trip observed by one domain stops the others promptly. *)
+
+let c_trips = Obs.counter "guard.budget_trips"
+
+type trip = Deadline | Segments | Positions | Frontier | Cancelled
+
+let trip_to_string = function
+  | Deadline -> "deadline"
+  | Segments -> "segments"
+  | Positions -> "positions"
+  | Frontier -> "frontier"
+  | Cancelled -> "cancelled"
+
+let pp_trip ppf t = Format.pp_print_string ppf (trip_to_string t)
+
+exception Tripped of trip
+
+type t = {
+  deadline_ns : int;  (* absolute [Obs.now_ns] instant; [max_int] = none *)
+  max_segments : int;
+  max_positions : int;
+  max_frontier : int;
+  cancel : Cancel.t;
+  segments : int Atomic.t;
+  positions : int Atomic.t;
+  tripped : trip option Atomic.t;
+}
+
+let cap what = function
+  | None -> max_int
+  | Some n when n >= 1 -> n
+  | Some n ->
+      invalid_arg (Printf.sprintf "Guard.Budget.create: %s = %d < 1" what n)
+
+let create ?deadline_s ?max_segments ?max_positions ?max_frontier ?cancel () =
+  let deadline_ns =
+    match deadline_s with
+    | None -> max_int
+    | Some s when s > 0.0 -> Obs.now_ns () + int_of_float (s *. 1e9)
+    | Some s ->
+        invalid_arg (Printf.sprintf "Guard.Budget.create: deadline_s = %g <= 0" s)
+  in
+  {
+    deadline_ns;
+    max_segments = cap "max_segments" max_segments;
+    max_positions = cap "max_positions" max_positions;
+    max_frontier = cap "max_frontier" max_frontier;
+    cancel = (match cancel with Some c -> c | None -> Cancel.create ());
+    segments = Atomic.make 0;
+    positions = Atomic.make 0;
+    tripped = Atomic.make None;
+  }
+
+let unlimited () = create ()
+
+let is_limited t =
+  t.deadline_ns <> max_int || t.max_segments <> max_int
+  || t.max_positions <> max_int || t.max_frontier <> max_int
+
+let cancel_token t = t.cancel
+let tripped t = Atomic.get t.tripped
+let segments t = Atomic.get t.segments
+let positions t = Atomic.get t.positions
+
+let trip t reason =
+  if Atomic.compare_and_set t.tripped None (Some reason) then begin
+    Obs.incr c_trips;
+    Cancel.cancel t.cancel
+  end
+
+(* The deadline needs a clock read and the token a foreign-cache load,
+   so both are polled on a stride; the count caps are exact (the
+   fetch-and-add already yields the running total). *)
+let poll_mask = 63
+
+let charge_segments t n =
+  let total = Atomic.fetch_and_add t.segments n + n in
+  if total >= t.max_segments then trip t Segments
+  else if total land poll_mask < n then begin
+    if Cancel.is_set t.cancel then trip t Cancelled
+    else if Obs.now_ns () >= t.deadline_ns then trip t Deadline
+  end
+
+let note_positions t n =
+  let total = Atomic.fetch_and_add t.positions n + n in
+  if total >= t.max_positions then trip t Positions
+
+let note_frontier t depth = if depth > t.max_frontier then trip t Frontier
+
+let check_exn t =
+  if Atomic.get t.tripped = None && Cancel.is_set t.cancel then trip t Cancelled;
+  match Atomic.get t.tripped with
+  | Some reason -> raise (Tripped reason)
+  | None -> ()
+
+let charge_segment_exn t =
+  charge_segments t 1;
+  check_exn t

@@ -1,0 +1,95 @@
+(** Cooperative work budgets for the search hot paths.
+
+    A budget bounds how much work a search may do — wall-clock time, the
+    number of deterministic segments simulated, the number of distinct
+    positions/states stored, the size of a search frontier — and latches
+    a {!trip} the moment any bound is crossed.  Checking is cooperative:
+    the instrumented loops ({!Sched.Optimal.search},
+    {!Pta.Reachability.explore}, {!Sched.Ensemble.run}) charge the
+    budget as they work and unwind at their next check point, returning
+    a degraded-but-valid result instead of raising to the caller.
+
+    One budget may be shared by every domain of a pooled search: the
+    counters are atomic, the trip is a first-writer-wins latch, and
+    tripping sets the embedded {!Cancel.t} token, which the other
+    domains (and {!Exec.Pool}) observe at their next check — so one
+    domain crossing the deadline stops all of them promptly.
+
+    An {e unlimited} budget never trips, so a budgeted run with ample
+    bounds is bit-identical to an unbudgeted one (asserted over the
+    Table 5 loads in the test suite).  Count-based caps trip at
+    deterministic points; the deadline is wall-clock and therefore
+    machine-dependent by nature.
+
+    Observability: the first trip of each budget increments the
+    [guard.budget_trips] counter. *)
+
+type trip =
+  | Deadline  (** wall-clock deadline passed *)
+  | Segments  (** work-unit cap crossed (segments, states explored) *)
+  | Positions  (** stored-position/state cap crossed *)
+  | Frontier  (** frontier/queue size cap crossed *)
+  | Cancelled  (** the embedded {!Cancel.t} token was set externally *)
+
+val trip_to_string : trip -> string
+val pp_trip : Format.formatter -> trip -> unit
+
+exception Tripped of trip
+(** Raised by {!check_exn}; internal to the instrumented loops — the
+    public APIs convert it into an explicit status, never leak it. *)
+
+type t
+
+val create :
+  ?deadline_s:float ->
+  ?max_segments:int ->
+  ?max_positions:int ->
+  ?max_frontier:int ->
+  ?cancel:Cancel.t ->
+  unit ->
+  t
+(** All bounds optional; omitted bounds never trip.  [deadline_s] is
+    seconds from now (must be positive); the count caps must be [>= 1].
+    [cancel] shares an externally owned token — otherwise a private one
+    is created (reachable via {!cancel_token}). *)
+
+val unlimited : unit -> t
+(** A budget with no bounds.  Charging it is a few atomic adds; it
+    never trips unless its token is cancelled. *)
+
+val is_limited : t -> bool
+(** Does any bound (deadline or cap) exist?  [false] for {!unlimited}. *)
+
+val cancel_token : t -> Cancel.t
+(** The embedded token: set by the first trip, and an external way to
+    trip the budget ([Cancelled]) from another domain or a signal
+    handler. *)
+
+val tripped : t -> trip option
+(** The latched first trip, if any. *)
+
+val segments : t -> int
+(** Work units charged so far (all domains). *)
+
+val positions : t -> int
+
+val trip : t -> trip -> unit
+(** Force a trip.  First writer wins; idempotent afterwards. *)
+
+val charge_segments : t -> int -> unit
+(** Add [n] work units.  Latches a trip when a cap is crossed; polls
+    the deadline and the token on a stride (every ~64 units), so a
+    deadline trip lags by at most that many charges.  Never raises. *)
+
+val note_positions : t -> int -> unit
+(** Add [n] stored positions/states; exact cap check. *)
+
+val note_frontier : t -> int -> unit
+(** Report the current frontier size; trips when it exceeds the cap. *)
+
+val check_exn : t -> unit
+(** Raise {!Tripped} if the budget has tripped (or its token was set —
+    latched as [Cancelled] first). *)
+
+val charge_segment_exn : t -> unit
+(** [charge_segments t 1] then [check_exn t] — the hot-loop idiom. *)

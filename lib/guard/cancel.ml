@@ -1,0 +1,8 @@
+type t = bool Atomic.t
+
+exception Cancelled
+
+let create () = Atomic.make false
+let cancel t = Atomic.set t true
+let is_set t = Atomic.get t
+let check_exn t = if Atomic.get t then raise Cancelled

@@ -1,0 +1,29 @@
+(** Cancellation tokens.
+
+    A token is a latch shared between the domain that decides to stop
+    (a tripped {!Budget}, a signal handler, an interactive front end)
+    and the domains doing the work.  Cancellation is {e cooperative}:
+    setting the token never interrupts anything by itself — workers
+    observe it at their next check point ({!Budget.check_exn} folds the
+    token into every budget check, and {!Exec.Pool} consults it between
+    tasks), which is what makes a stop prompt {e and} safe: no state is
+    ever torn mid-update. *)
+
+type t
+(** A latch.  Safe to share across domains; setting and reading are
+    single atomic operations. *)
+
+exception Cancelled
+(** Raised by {!check_exn} (and by [Exec.Pool] batch combinators whose
+    [?cancel] token fired). *)
+
+val create : unit -> t
+(** A fresh, unset token. *)
+
+val cancel : t -> unit
+(** Latch the token.  Idempotent; never blocks. *)
+
+val is_set : t -> bool
+
+val check_exn : t -> unit
+(** Raise {!Cancelled} if the token is set. *)

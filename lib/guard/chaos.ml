@@ -1,0 +1,102 @@
+(* One mutex-guarded PRNG stream per hook: injection sites are cold
+   (task dispatch, test setup), so the lock costs nothing measurable,
+   and a single stream keeps the injected fault sequence a pure
+   function of the seed on any fixed domain count. *)
+
+let c_crashes = Obs.counter "guard.chaos_crashes"
+let c_delays = Obs.counter "guard.chaos_delays"
+
+exception Injected_crash of int
+
+type t = {
+  mutex : Mutex.t;
+  gen : Prng.Splitmix.t;
+  crash_prob : float;
+  delay_prob : float;
+  max_delay_us : int;
+  mutable crashes : int;
+  mutable delays : int;
+}
+
+let prob what p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Guard.Chaos.create: %s = %g not in [0, 1]" what p);
+  p
+
+let create ?(crash_prob = 0.0) ?(delay_prob = 0.0) ?(max_delay_us = 500) ~seed
+    () =
+  if max_delay_us < 0 then invalid_arg "Guard.Chaos.create: max_delay_us < 0";
+  {
+    mutex = Mutex.create ();
+    gen = Prng.Splitmix.create seed;
+    crash_prob = prob "crash_prob" crash_prob;
+    delay_prob = prob "delay_prob" delay_prob;
+    max_delay_us;
+    crashes = 0;
+    delays = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let crashes t = locked t (fun () -> t.crashes)
+let delays t = locked t (fun () -> t.delays)
+
+let maybe_crash t =
+  if t.crash_prob > 0.0 then begin
+    let fire =
+      locked t (fun () ->
+          if Prng.Splitmix.float t.gen 1.0 < t.crash_prob then begin
+            t.crashes <- t.crashes + 1;
+            Some t.crashes
+          end
+          else None)
+    in
+    match fire with
+    | Some n ->
+        Obs.incr c_crashes;
+        raise (Injected_crash n)
+    | None -> ()
+  end
+
+let maybe_delay t =
+  if t.delay_prob > 0.0 then begin
+    let sleep_us =
+      locked t (fun () ->
+          if Prng.Splitmix.float t.gen 1.0 < t.delay_prob then begin
+            t.delays <- t.delays + 1;
+            Some (Prng.Splitmix.int t.gen (t.max_delay_us + 1))
+          end
+          else None)
+    in
+    match sleep_us with
+    | Some us ->
+        Obs.incr c_delays;
+        if us > 0 then Unix.sleepf (float_of_int us *. 1e-6)
+    | None -> ()
+  end
+
+let perturb_float t ~rel x =
+  if rel < 0.0 then invalid_arg "Guard.Chaos.perturb_float: rel < 0";
+  let u = locked t (fun () -> Prng.Splitmix.float t.gen 1.0) in
+  x *. (1.0 +. (rel *. ((2.0 *. u) -. 1.0)))
+
+let perturb_int t ~rel ~min:lo x =
+  let x' = int_of_float (Float.round (perturb_float t ~rel (float_of_int x))) in
+  max lo x'
+
+(* The CI chaos job rotates the seed per run and logs it; tests read it
+   back so a failure seen in CI reproduces locally with
+   [CHAOS_SEED=... dune runtest]. *)
+let seed_from_env ?(var = "CHAOS_SEED") ~default () =
+  match Sys.getenv_opt var with
+  | None -> default
+  | Some s -> (
+      match Int64.of_string_opt s with
+      | Some seed -> seed
+      | None ->
+          Error.raise_exn
+            (Error.make ~subsystem:"guard.chaos" ~field:var ~value:s
+               ~accepted:"a decimal or 0x-prefixed 64-bit integer"
+               "malformed chaos seed in the environment"))

@@ -1,0 +1,65 @@
+(** Seeded fault injection for robustness tests.
+
+    A chaos hook is a {!Prng.Splitmix} stream plus injection
+    probabilities.  Code under test threads a hook through its hot
+    path ({!Exec.Pool} wraps every task dispatch with {!maybe_delay} /
+    {!maybe_crash}; tests perturb model parameters and loads with
+    {!perturb_float} / {!perturb_int}), then asserts its invariants
+    hold under the injected faults — the pool retries and leaks no
+    domains, the schedulers conserve charge, lifetimes stay within
+    analytic bounds.
+
+    With a fixed seed the injected fault {e sequence} is deterministic;
+    under multiple domains the {e interleaving} (which task sees which
+    fault) depends on scheduling, so tests assert invariants and
+    injection counts, not exact fault placement.  Production code paths
+    never construct a hook — injection exists only where a test (or the
+    CI chaos job) passes one in.
+
+    Observability: injections increment the [guard.chaos_crashes] /
+    [guard.chaos_delays] counters. *)
+
+type t
+
+exception Injected_crash of int
+(** Thrown by {!maybe_crash}; the payload is the injection's sequence
+    number.  {!Exec.Pool} treats it as retryable — unlike any real
+    exception, which still propagates. *)
+
+val create :
+  ?crash_prob:float ->
+  ?delay_prob:float ->
+  ?max_delay_us:int ->
+  seed:int64 ->
+  unit ->
+  t
+(** Probabilities default to 0 (that fault disabled) and must lie in
+    [\[0, 1\]]; [max_delay_us] (default 500) bounds an injected delay. *)
+
+val maybe_crash : t -> unit
+(** With probability [crash_prob]: raise {!Injected_crash}. *)
+
+val maybe_delay : t -> unit
+(** With probability [delay_prob]: sleep a uniform
+    [\[0, max_delay_us\]] microseconds. *)
+
+val crashes : t -> int
+(** Crashes injected so far. *)
+
+val delays : t -> int
+
+val perturb_float : t -> rel:float -> float -> float
+(** [perturb_float t ~rel x]: [x] scaled by a uniform factor in
+    [\[1 - rel, 1 + rel\]] — battery-parameter and load perturbation
+    for robustness sweeps ({e Recharging Probably Keeps Batteries
+    Alive}-style). *)
+
+val perturb_int : t -> rel:float -> min:int -> int -> int
+(** {!perturb_float} rounded to the nearest integer and clamped below
+    at [min]. *)
+
+val seed_from_env : ?var:string -> default:int64 -> unit -> int64
+(** The rotating-seed protocol of the CI chaos job: read [var]
+    (default [CHAOS_SEED]) from the environment, falling back to
+    [default].  A malformed value raises {!Error.Error} — a chaos run
+    with a silently wrong seed cannot be reproduced. *)

@@ -1,0 +1,98 @@
+(* Crash-safe snapshot files.  Writes go to a same-directory temp file
+   that is renamed over the target, so a reader (or a killed writer)
+   only ever sees either the previous complete snapshot or the new one
+   — never a torn write.  The framing (doc/ROBUSTNESS.md) is one header
+   line
+
+     <magic> v1 <fingerprint> <md5(payload)> <byte length>
+
+   followed by the raw payload, so [load] can reject a snapshot from a
+   different producer, from different inputs, or with a truncated or
+   bit-rotted payload, each with a distinct actionable error. *)
+
+let c_writes = Obs.counter "guard.checkpoint_writes"
+
+let version = 1
+
+type load_error = Missing | Bad of Error.t
+
+let write_atomic ~path contents =
+  let dir = Filename.dirname path in
+  let tmp, oc =
+    Filename.open_temp_file ~temp_dir:dir ~mode:[ Open_binary ]
+      (Filename.basename path ^ ".") ".tmp"
+  in
+  (try
+     output_string oc contents;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  Obs.incr c_writes
+
+let header ~magic ~fingerprint payload =
+  Printf.sprintf "%s v%d %s %s %d\n" magic version fingerprint
+    (Digest.to_hex (Digest.string payload))
+    (String.length payload)
+
+let save ~path ~magic ~fingerprint payload =
+  if String.contains magic ' ' || String.contains fingerprint ' ' then
+    invalid_arg "Guard.Checkpoint.save: magic/fingerprint must not contain spaces";
+  write_atomic ~path (header ~magic ~fingerprint payload ^ payload)
+
+let bad ~path what ?field ?value ?accepted () =
+  Bad
+    (Error.make ~subsystem:"guard.checkpoint" ~input:path ?field ?value
+       ?accepted what)
+
+let load ~path ~magic ~fingerprint =
+  match open_in_bin path with
+  | exception Sys_error _ -> Error Missing
+  | ic -> (
+      let finally () = close_in_noerr ic in
+      Fun.protect ~finally @@ fun () ->
+      match input_line ic with
+      | exception End_of_file -> Error (bad ~path "empty checkpoint file" ())
+      | line -> (
+          match String.split_on_char ' ' line with
+          | [ m; v; fp; digest; len ] -> (
+              if m <> magic then
+                Error
+                  (bad ~path "checkpoint written by a different producer"
+                     ~field:"magic" ~value:m ~accepted:magic ())
+              else if v <> Printf.sprintf "v%d" version then
+                Error
+                  (bad ~path "unsupported checkpoint version" ~field:"version"
+                     ~value:v
+                     ~accepted:(Printf.sprintf "v%d" version)
+                     ())
+              else if fp <> fingerprint then
+                Error
+                  (bad ~path
+                     "checkpoint was produced from different inputs \
+                      (load/battery/search parameters)"
+                     ~field:"fingerprint" ~value:fp ~accepted:fingerprint ())
+              else
+                match int_of_string_opt len with
+                | None ->
+                    Error
+                      (bad ~path "malformed checkpoint header" ~field:"length"
+                         ~value:len ())
+                | Some n -> (
+                    match really_input_string ic n with
+                    | exception End_of_file ->
+                        Error
+                          (bad ~path "truncated checkpoint payload"
+                             ~field:"length" ~value:len ())
+                    | payload ->
+                        if Digest.to_hex (Digest.string payload) <> digest then
+                          Error
+                            (bad ~path "checkpoint payload fails its checksum"
+                               ~field:"md5" ~value:digest ())
+                        else Ok payload))
+          | _ ->
+              Error
+                (bad ~path "malformed checkpoint header" ~field:"header"
+                   ~value:line ())))

@@ -1,0 +1,39 @@
+type t = {
+  subsystem : string;
+  what : string;
+  input : string option;
+  field : string option;
+  value : string option;
+  accepted : string option;
+}
+
+exception Error of t
+
+let make ~subsystem ?input ?field ?value ?accepted what =
+  { subsystem; what; input; field; value; accepted }
+
+let raise_exn e = raise (Error e)
+
+let to_string e =
+  let b = Buffer.create 80 in
+  Buffer.add_string b e.subsystem;
+  Buffer.add_string b ": ";
+  Buffer.add_string b e.what;
+  let detail label = function
+    | None -> ()
+    | Some v ->
+        Buffer.add_string b
+          (Printf.sprintf "\n  %-8s %s" (label ^ ":") v)
+  in
+  detail "input" e.input;
+  detail "field" e.field;
+  detail "got" e.value;
+  detail "accepted" e.accepted;
+  Buffer.contents b
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (to_string e)
+    | _ -> None)

@@ -1,0 +1,48 @@
+(** Structured, actionable validation errors.
+
+    The error taxonomy of this repository (doc/ROBUSTNESS.md):
+
+    - {b bad input} — a load spec, a battery description, a CLI flag, a
+      checkpoint file.  Validated at the boundary and reported as a
+      [('a, Error.t) result] carrying the input's name, the offending
+      field, the rejected value and the accepted range, so the message
+      tells the user what to fix;
+    - {b API misuse} — a negative count, mismatched array lengths.
+      Still [Invalid_argument]: the caller is a programmer, the fix is
+      a code change;
+    - {b internal invariants} — [assert], and only for conditions the
+      module itself guarantees.
+
+    Raising is reserved for the [_exn] compatibility wrappers; new code
+    should thread the [result]. *)
+
+type t = {
+  subsystem : string;  (** dotted component name, e.g. ["loads.spec"] *)
+  what : string;  (** one-line description of the failure *)
+  input : string option;  (** which input was being validated *)
+  field : string option;  (** the offending field or token *)
+  value : string option;  (** the rejected value, rendered *)
+  accepted : string option;  (** the accepted range or choices *)
+}
+
+exception Error of t
+(** For the [_exn] wrappers; registered with [Printexc] so an escaped
+    error still prints its full structure. *)
+
+val make :
+  subsystem:string ->
+  ?input:string ->
+  ?field:string ->
+  ?value:string ->
+  ?accepted:string ->
+  string ->
+  t
+(** [make ~subsystem what] with optional context fields. *)
+
+val raise_exn : t -> 'a
+
+val to_string : t -> string
+(** ["subsystem: what"] followed by one aligned line per present
+    context field. *)
+
+val pp : Format.formatter -> t -> unit

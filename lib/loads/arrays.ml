@@ -114,6 +114,31 @@ let make ~time_step ~charge_unit load =
   validate t;
   t
 
+let make_result ?input ~time_step ~charge_unit load =
+  if time_step <= 0.0 then
+    Error
+      (Guard.Error.make ~subsystem:"loads.arrays" ?input ~field:"time_step"
+         ~value:(string_of_float time_step)
+         ~accepted:"a positive number of minutes" "time_step out of range")
+  else if charge_unit <= 0.0 then
+    Error
+      (Guard.Error.make ~subsystem:"loads.arrays" ?input ~field:"charge_unit"
+         ~value:(string_of_float charge_unit)
+         ~accepted:"a positive charge quantum (A*min)"
+         "charge_unit out of range")
+  else
+    match make ~time_step ~charge_unit load with
+    | t -> Ok t
+    | exception Not_representable msg ->
+        Error
+          (Guard.Error.make ~subsystem:"loads.arrays" ?input ~field:"load"
+             ~value:msg
+             ~accepted:
+               "epoch durations on the time grid and currents with an exact \
+                cur/cur_times <= 10000 encoding — adjust the load, \
+                time_step or charge_unit"
+             "load is not representable at this discretization")
+
 let epoch_count t = Array.length t.load_time
 
 let current t y =

@@ -35,6 +35,18 @@ val make : time_step:float -> charge_unit:float -> Epoch.t -> t
     epoch length.  Raises {!Not_representable} when exactness is
     impossible. *)
 
+val make_result :
+  ?input:string ->
+  time_step:float ->
+  charge_unit:float ->
+  Epoch.t ->
+  (t, Guard.Error.t) result
+(** [make] with structured errors instead of exceptions: bad
+    discretization constants and non-representable loads come back as
+    a {!Guard.Error.t} naming the offending field and the accepted
+    range; [input] (e.g. the spec string or file name) is attached for
+    the message.  What the CLI uses. *)
+
 val epoch_count : t -> int
 
 val current : t -> int -> float

@@ -1,6 +1,15 @@
 exception Parse_error of string
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+(* All parse failures are structured (Guard.Error): they carry the
+   offending field/token and the accepted shape, and [parse_result]
+   attaches the full spec string as the input.  [fail] raises the
+   internal exception the two entry points below convert. *)
+let fail ?field ?value ?accepted fmt =
+  Printf.ksprintf
+    (fun what ->
+      Guard.Error.raise_exn
+        (Guard.Error.make ~subsystem:"loads.spec" ?field ?value ?accepted what))
+    fmt
 
 (* Tokenize: split on whitespace, but keep ';', '(' and ')' as their own
    tokens even when glued to neighbours. *)
@@ -29,20 +38,28 @@ let float_token what = function
   | Some tok -> (
       match float_of_string_opt tok with
       | Some f when f > 0.0 -> f
-      | Some f -> fail "%s must be positive, got %g" what f
-      | None -> fail "expected a number for %s, got %S" what tok)
-  | None -> fail "missing %s" what
+      | Some _ ->
+          fail ~field:what ~value:tok ~accepted:"a positive number"
+            "%s must be positive" what
+      | None ->
+          fail ~field:what ~value:tok ~accepted:"a positive number"
+            "expected a number for %s" what)
+  | None -> fail ~field:what ~accepted:"a positive number" "missing %s" what
 
 let int_token what = function
   | Some tok -> (
       match int_of_string_opt tok with
       | Some n when n > 0 -> n
-      | Some n -> fail "%s must be positive, got %d" what n
-      | None -> fail "expected an integer for %s, got %S" what tok)
-  | None -> fail "missing %s" what
+      | Some _ ->
+          fail ~field:what ~value:tok ~accepted:"a positive integer"
+            "%s must be positive" what
+      | None ->
+          fail ~field:what ~value:tok ~accepted:"a positive integer"
+            "expected an integer for %s" what)
+  | None -> fail ~field:what ~accepted:"a positive integer" "missing %s" what
 
 (* Recursive descent over the token list. *)
-let parse input =
+let parse_exn input =
   let tokens = ref (tokenize input) in
   let peek () = match !tokens with t :: _ -> Some t | [] -> None in
   let next () =
@@ -55,8 +72,12 @@ let parse input =
   let expect tok =
     match next () with
     | Some t when t = tok -> ()
-    | Some t -> fail "expected %S, got %S" tok t
-    | None -> fail "expected %S, got end of input" tok
+    | Some t ->
+        fail ~field:"token" ~value:t ~accepted:(Printf.sprintf "%S" tok)
+          "expected %S" tok
+    | None ->
+        fail ~field:"token" ~value:"end of input"
+          ~accepted:(Printf.sprintf "%S" tok) "expected %S" tok
   in
   let rec seq () =
     let first = item () in
@@ -81,14 +102,31 @@ let parse input =
     | Some name -> (
         match Testloads.of_string name with
         | Some load -> Testloads.load load
-        | None -> fail "unknown item %S (expected job/idle/repeat or a load name)" name)
-    | None -> fail "empty specification"
+        | None ->
+            fail ~field:"item" ~value:name
+              ~accepted:"job AMPS MINUTES | idle MINUTES | repeat N ( ... ) | \
+                         a test-load name (e.g. ils_alt)"
+              "unknown item")
+    | None -> fail ~field:"spec" ~accepted:"at least one item" "empty specification"
   in
   let result = seq () in
   (match peek () with
-  | Some t -> fail "trailing input starting at %S" t
+  | Some t ->
+      fail ~field:"token" ~value:t ~accepted:"end of input"
+        "trailing input after the specification"
   | None -> ());
   result
+
+let parse_result input =
+  match parse_exn input with
+  | v -> Ok v
+  | exception Guard.Error.Error e ->
+      Error { e with Guard.Error.input = Some input }
+
+let parse input =
+  match parse_result input with
+  | Ok v -> v
+  | Error e -> raise (Parse_error (Guard.Error.to_string e))
 
 let to_string load =
   Epoch.epochs load

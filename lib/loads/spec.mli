@@ -20,8 +20,14 @@
 exception Parse_error of string
 (** Carries a human-readable message with the offending token. *)
 
+val parse_result : string -> (Epoch.t, Guard.Error.t) result
+(** Parse with a structured error: the spec string as the input, the
+    offending field or token, its value, and the accepted shape — what
+    the CLI prints (doc/ROBUSTNESS.md's error taxonomy). *)
+
 val parse : string -> Epoch.t
-(** Raises {!Parse_error} on malformed input. *)
+(** [parse_result], raising {!Parse_error} with the rendered error on
+    malformed input (compatibility entry point). *)
 
 val to_string : Epoch.t -> string
 (** Render a load back into the language ([parse (to_string l)] equals

@@ -76,7 +76,12 @@ let rebuild node =
   in
   go [] node
 
-let search ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
+type outcome =
+  | Found of result
+  | Unreachable of stats
+  | Exhausted of { trip : Guard.Budget.trip; stats : stats }
+
+let explore ?budget ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
   Obs.time s_search @@ fun () ->
   let k_const = Compiled.max_clock_constant net in
   let n_clocks = Compiled.n_clocks net in
@@ -86,6 +91,29 @@ let search ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
     Obs.add c_explored !explored;
     Obs.add c_stored !stored;
     Obs.add c_dbm_ops !dbm_ops
+  in
+  (* Budget hooks: one work unit per expanded state, one position per
+     stored state, the frontier reported after each push.  The local
+     [max_states] cap reuses the [Positions] trip so the one handler
+     below turns every bound into an [Exhausted] outcome. *)
+  let charge () =
+    match budget with
+    | Some b -> Guard.Budget.charge_segment_exn b
+    | None -> ()
+  in
+  let note_stored () =
+    match budget with
+    | Some b ->
+        Guard.Budget.note_positions b 1;
+        Guard.Budget.check_exn b
+    | None -> ()
+  in
+  let note_frontier n =
+    match budget with
+    | Some b ->
+        Guard.Budget.note_frontier b n;
+        Guard.Budget.check_exn b
+    | None -> ()
   in
   let apply_atoms z atoms =
     dbm_ops := !dbm_ops + List.length atoms;
@@ -112,12 +140,12 @@ let search ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
     else begin
       cell := (node.state.zone, node) :: !cell;
       incr stored;
-      if !stored > max_states then begin
-        sync_obs ();
-        failwith "Pta.Reachability.search: state limit exceeded"
-      end;
+      if !stored > max_states then
+        raise (Guard.Budget.Tripped Guard.Budget.Positions);
+      note_stored ();
       Queue.push node queue;
       Obs.gauge_max g_queue_peak (Queue.length queue);
+      note_frontier (Queue.length queue);
       true
     end
   in
@@ -139,19 +167,20 @@ let search ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
   in
   if Dbm.is_empty initial_zone || not (data_invariants_hold net locs0 vars0) then begin
     sync_obs ();
-    None
+    Unreachable { explored = !explored; stored = !stored }
   end
   else begin
     let root =
       { state = { locs = locs0; vars = vars0; zone = initial_zone }; parent = None }
     in
-    ignore (add_state root);
     let result = ref None in
     (try
+       ignore (add_state root);
        while !result = None && not (Queue.is_empty queue) do
          let node = Queue.pop queue in
          let { locs; vars; zone } = node.state in
          incr explored;
+         charge ();
          if goal ~locs ~vars then
            result := Some { trace = rebuild node; stats = { explored = !explored; stored = !stored } }
          else begin
@@ -207,10 +236,20 @@ let search ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
                end)
              actions
          end
-       done
-     with Exit -> ());
-    sync_obs ();
-    !result
+       done;
+       sync_obs ();
+       match !result with
+       | Some r -> Found r
+       | None -> Unreachable { explored = !explored; stored = !stored }
+     with Guard.Budget.Tripped trip ->
+       sync_obs ();
+       Exhausted { trip; stats = { explored = !explored; stored = !stored } })
   end
+
+let search ?max_states ~goal net =
+  match explore ?max_states ~goal net with
+  | Found r -> Some r
+  | Unreachable _ -> None
+  | Exhausted _ -> failwith "Pta.Reachability.search: state limit exceeded"
 
 let reachable ?max_states ~goal net = Option.is_some (search ?max_states ~goal net)

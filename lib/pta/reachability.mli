@@ -35,16 +35,38 @@ and stats = { explored : int; stored : int }
 (** [explored]: symbolic states popped and expanded; [stored]: states
     kept in the passed list after inclusion checks. *)
 
+type outcome =
+  | Found of result  (** a witness trace to a goal state *)
+  | Unreachable of stats  (** the full state space was exhausted *)
+  | Exhausted of { trip : Guard.Budget.trip; stats : stats }
+      (** a budget bound (or [max_states]) tripped before the answer
+          was decided — neither reachability nor its negation is
+          established *)
+
+val explore :
+  ?budget:Guard.Budget.t ->
+  ?max_states:int ->
+  goal:(locs:int array -> vars:int array -> bool) ->
+  Compiled.t ->
+  outcome
+(** [explore ~goal net]: the budget-aware search.  [budget] is charged
+    one work unit per expanded state and one position per stored state,
+    and sees the waiting-queue length after every push, so deadline,
+    segment, position and frontier bounds all apply; a trip returns
+    [Exhausted] instead of raising.  [max_states] (default 1 million)
+    still bounds the passed list and reports as an [Exhausted] with a
+    [Positions] trip.  Goals are data-level (locations + variables) —
+    time-constrained goals can be encoded with an observer automaton,
+    which is also what Uppaal users do. *)
+
 val search :
   ?max_states:int ->
   goal:(locs:int array -> vars:int array -> bool) ->
   Compiled.t ->
   result option
 (** [search ~goal net] returns a witness trace to a goal state, or [None]
-    if none is reachable.  [max_states] (default 1 million) bounds the
-    passed list; exceeding it raises [Failure].  Goals are data-level
-    (locations + variables) — time-constrained goals can be encoded with
-    an observer automaton, which is also what Uppaal users do. *)
+    if none is reachable.  [explore] without a budget; exceeding
+    [max_states] raises [Failure] (compatibility behavior). *)
 
 val reachable :
   ?max_states:int ->

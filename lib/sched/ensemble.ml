@@ -49,6 +49,7 @@ type t = {
   top_gain_over_rr : stats;
   best_of_matches_top_fraction : float;
   gain_baseline : string;
+  budget_exhausted : int;
 }
 
 (* One load's worth of work — pure given the seed, which is what lets
@@ -59,9 +60,10 @@ type per_load = {
   pl_top : float;
   pl_rr : float;
   pl_best_of : float;
+  pl_exhausted : bool;  (* this load's optimal search was truncated *)
 }
 
-let run ?pool ?(seed = 42L) ?(n_loads = 50) ?(jobs_per_load = 60)
+let run ?pool ?budget ?(seed = 42L) ?(n_loads = 50) ?(jobs_per_load = 60)
     ?(n_batteries = 2) ?(include_optimal = true)
     (disc : Dkibam.Discretization.t) () =
   if n_loads < 1 then invalid_arg "Sched.Ensemble.run: need >= 1 load";
@@ -95,11 +97,28 @@ let run ?pool ?(seed = 42L) ?(n_loads = 50) ?(jobs_per_load = 60)
     in
     let rr = List.assoc "round robin" lifetimes in
     let best_of = List.assoc "best-of" lifetimes in
-    let top =
-      if include_optimal then Optimal.lifetime ~n_batteries disc arrays
-      else best_of
+    (* A shared budget degrades gracefully: once it trips, this load's
+       (and every later load's) optimal search returns its anytime
+       result and the ensemble still completes — the policy
+       simulations are unbudgeted, only the top schedule degrades,
+       and [budget_exhausted] reports how many loads were affected. *)
+    let top, exhausted =
+      if include_optimal then begin
+        let r = Optimal.search ?budget ~n_batteries disc arrays in
+        ( Dkibam.Discretization.minutes_of_steps disc r.Optimal.lifetime_steps,
+          match r.Optimal.status with
+          | Optimal.Optimal -> false
+          | Optimal.Budget_exhausted _ -> true )
+      end
+      else (best_of, false)
     in
-    { pl_lifetimes = lifetimes; pl_top = top; pl_rr = rr; pl_best_of = best_of }
+    {
+      pl_lifetimes = lifetimes;
+      pl_top = top;
+      pl_rr = rr;
+      pl_best_of = best_of;
+      pl_exhausted = exhausted;
+    }
   in
   let per_load =
     match pool with
@@ -115,11 +134,13 @@ let run ?pool ?(seed = 42L) ?(n_loads = 50) ?(jobs_per_load = 60)
   in
   let gains = ref [] in
   let best_hits = ref 0 in
+  let exhausted = ref 0 in
   Array.iter
     (fun pl ->
       List.iter (fun (name, lt) -> push name lt) pl.pl_lifetimes;
       if include_optimal then push "optimal" pl.pl_top;
       if Float.abs (pl.pl_top -. pl.pl_best_of) < 1e-9 then incr best_hits;
+      if pl.pl_exhausted then incr exhausted;
       gains := (100.0 *. (pl.pl_top -. pl.pl_rr) /. pl.pl_rr) :: !gains)
     per_load;
   let names =
@@ -134,4 +155,5 @@ let run ?pool ?(seed = 42L) ?(n_loads = 50) ?(jobs_per_load = 60)
     best_of_matches_top_fraction =
       float_of_int !best_hits /. float_of_int n_loads;
     gain_baseline = (if include_optimal then "optimal" else "best-of");
+    budget_exhausted = !exhausted;
   }

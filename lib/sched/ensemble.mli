@@ -57,10 +57,17 @@ type t = {
           ["best-of"] ([include_optimal:false]).  Reports must print
           this — a best-of baseline silently read as "optimal" badly
           understates the gain headroom. *)
+  budget_exhausted : int;
+      (** loads whose optimal search tripped the [?budget] and fell
+          back to its anytime result; 0 means every "optimal" figure
+          is exactly optimal.  Reports must print this when non-zero —
+          a truncated optimum silently read as optimal understates the
+          achievable gain. *)
 }
 
 val run :
   ?pool:Exec.Pool.t ->
+  ?budget:Guard.Budget.t ->
   ?seed:int64 ->
   ?n_loads:int ->
   ?jobs_per_load:int ->
@@ -79,4 +86,9 @@ val run :
 
     With [include_optimal:false] the expensive per-load optimal search
     is skipped and the optimal-dependent fields are computed against
-    best-of instead — [gain_baseline] records which one applied. *)
+    best-of instead — [gain_baseline] records which one applied.
+
+    [budget] is shared by every per-load optimal search (the policy
+    simulations are unbudgeted).  Once it trips, the remaining searches
+    return their anytime results immediately; the ensemble always
+    completes, and [budget_exhausted] counts the affected loads. *)

@@ -10,14 +10,29 @@ let c_segments = Obs.counter "optimal.segments"
 let c_memo_hits = Obs.counter "optimal.memo_hits"
 let c_memo_misses = Obs.counter "optimal.memo_misses"
 let c_searches = Obs.counter "optimal.searches"
+let c_exhausted = Obs.counter "optimal.budget_exhausted"
 let h_depth = Obs.histogram "optimal.depth"
 let s_search = Obs.span "optimal.search"
 let s_branch = Obs.span "optimal.branch"
+
+type fallback = Search_prefix | Policy_floor
+
+type exhaustion = { trip : Guard.Budget.trip; fallback : fallback }
+
+type status = Optimal | Budget_exhausted of exhaustion
+
+type checkpoint = { path : string; every_segments : int; resume : bool }
+
+let checkpoint ?(every_segments = 65_536) ?(resume = false) path =
+  if every_segments < 1 then
+    invalid_arg "Sched.Optimal.checkpoint: every_segments >= 1";
+  { path; every_segments; resume }
 
 type result = {
   lifetime_steps : int;
   stranded_units : int;
   schedule : int array;
+  status : status;
   stats : stats;
 }
 
@@ -113,9 +128,31 @@ end
 
 module Tbl = Hashtbl.Make (Key)
 
-let search ?pool ?(switch_delay = 1) ?(objective = Max_lifetime)
-    ?(allow_final_draw_skip = false) ?initial ~n_batteries
-    (disc : Dkibam.Discretization.t) (load : Loads.Arrays.t) =
+(* Checkpoint framing (Guard.Checkpoint does the atomic write and the
+   checksum; see doc/ROBUSTNESS.md).  The fingerprint digests every
+   input the memo values depend on, so a snapshot from a different
+   load, pack or objective is refused instead of silently poisoning a
+   resumed search — memo entries are exact subtree values, but only
+   for the inputs that produced them. *)
+let memo_magic = "sched.optimal.memo"
+
+let fingerprint ~switch_delay ~objective ~allow_final_draw_skip ~initial
+    ~n_batteries disc load =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( disc,
+            load,
+            n_batteries,
+            switch_delay,
+            objective,
+            allow_final_draw_skip,
+            initial )
+          []))
+
+let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
+    ?(objective = Max_lifetime) ?(allow_final_draw_skip = false) ?initial
+    ~n_batteries (disc : Dkibam.Discretization.t) (load : Loads.Arrays.t) =
   (match initial with
   | Some a when Array.length a <> n_batteries ->
       invalid_arg "Sched.Optimal.search: initial length mismatch"
@@ -134,6 +171,66 @@ let search ?pool ?(switch_delay = 1) ?(objective = Max_lifetime)
   in
   let memo : int Tbl.t = Tbl.create 4096 in
   let segments = ref 0 and pruned = ref 0 and misses = ref 0 in
+  (* Budget hooks.  [armed] is cleared once the search phase ends so the
+     replay below (all memo hits) and the floor fallback can never trip;
+     with no budget both hooks are no-ops and the search is bit-identical
+     to the unbudgeted one. *)
+  let armed = ref true in
+  let charge () =
+    match budget with
+    | Some b when !armed -> Guard.Budget.charge_segment_exn b
+    | _ -> ()
+  in
+  let note_position () =
+    match budget with
+    | Some b when !armed ->
+        Guard.Budget.note_positions b 1;
+        Guard.Budget.check_exn b
+    | _ -> ()
+  in
+  (* Checkpointing (serial search only — [?pool] is ignored when a
+     checkpoint is given).  Snapshots only ever contain fully-solved
+     positions: an entry reaches [memo] after its whole subtree has been
+     evaluated, so a snapshot taken mid-search — or left behind by a
+     killed process — preloads as a pure cache and the resumed search
+     returns the same lifetime, stranded charge and schedule as an
+     uninterrupted run. *)
+  let fp =
+    lazy
+      (fingerprint ~switch_delay ~objective ~allow_final_draw_skip ~initial
+         ~n_batteries disc load)
+  in
+  let ckpt_save () =
+    match checkpoint with
+    | None -> ()
+    | Some ck ->
+        let entries = Tbl.fold (fun k v acc -> (k, v) :: acc) memo [] in
+        let payload =
+          Marshal.to_string (Array.of_list entries : (Key.t * int) array) []
+        in
+        Guard.Checkpoint.save ~path:ck.path ~magic:memo_magic
+          ~fingerprint:(Lazy.force fp) payload
+  in
+  let last_ckpt = ref 0 in
+  let maybe_ckpt () =
+    match checkpoint with
+    | Some ck when !segments - !last_ckpt >= ck.every_segments ->
+        last_ckpt := !segments;
+        ckpt_save ()
+    | _ -> ()
+  in
+  (match checkpoint with
+  | Some ck when ck.resume -> (
+      match
+        Guard.Checkpoint.load ~path:ck.path ~magic:memo_magic
+          ~fingerprint:(Lazy.force fp)
+      with
+      | Ok payload ->
+          let entries : (Key.t * int) array = Marshal.from_string payload 0 in
+          Array.iter (fun (k, v) -> Tbl.replace memo k v) entries
+      | Error Guard.Checkpoint.Missing -> ()
+      | Error (Guard.Checkpoint.Bad e) -> Guard.Error.raise_exn e)
+  | _ -> ());
   let skip_options = if allow_final_draw_skip then [ false; true ] else [ false ] in
   let choices (p : pos) =
     List.concat_map
@@ -153,11 +250,14 @@ let search ?pool ?(switch_delay = 1) ?(objective = Max_lifetime)
         v
     | None ->
         incr misses;
+        note_position ();
         Obs.observe h_depth depth;
+        maybe_ckpt ();
         let best = ref min_int in
         List.iter
           (fun (b, skip_final) ->
             incr segments;
+            charge ();
             match run_segment cursor ~switch_delay ~skip_final p b with
             | Terminal t -> if score t > !best then best := score t
             | Next p' ->
@@ -177,43 +277,114 @@ let search ?pool ?(switch_delay = 1) ?(objective = Max_lifetime)
     | Exhausted -> raise Load_too_short
     | Terminal _ -> assert false
   in
+  (* Root evaluation.  Both paths go one first-decision branch at a
+     time, so that on budget exhaustion every branch completed so far
+     is a fully-memoized, exact subtree — the anytime result below
+     replays the best of them.  [completed] collects (choice, value) in
+     evaluation order; [trip_info] latches the first budget trip. *)
+  let root_choices = choices root in
+  let completed = ref [] in
+  let trip_info = ref None in
+  let eval_serial () =
+    match Tbl.find_opt memo (Key.of_pos root) with
+    | Some _ -> incr pruned
+    | None ->
+        incr misses;
+        Obs.observe h_depth 0;
+        (* the position note goes inside the try: a budget shared
+           across searches may already be tripped on entry, and that
+           must surface as an anytime status, not an exception *)
+        (try
+           note_position ();
+           List.iter
+             (fun ((b, skip_final) as c) ->
+               incr segments;
+               charge ();
+               let v =
+                 match run_segment cursor ~switch_delay ~skip_final root b with
+                 | Terminal t -> score t
+                 | Next p' -> value_in memo segments pruned misses ~depth:1 p'
+                 | Exhausted -> raise Load_too_short
+               in
+               completed := (c, v) :: !completed)
+             root_choices
+         with Guard.Budget.Tripped r -> trip_info := Some r);
+        if !trip_info = None then begin
+          let best =
+            List.fold_left (fun acc (_, v) -> max acc v) min_int !completed
+          in
+          (* a decision point always has at least one alive battery *)
+          assert (best > min_int);
+          Tbl.replace memo (Key.of_pos root) best
+        end
+  in
+  (* Root fan-out: each first decision is searched in its own domain
+     with a private memo table (values are exact, so any table agrees
+     with any other on shared keys), then the tables are merged into
+     [memo] and the root entry derived from the branch values.  The
+     replay below then runs against the merged table and reproduces the
+     serial schedule exactly — branch values are the same integers the
+     serial search computes.  A shared budget stops all branches: the
+     first trip latches the budget's cancel token, and every sibling
+     unwinds at its next charge; tripped branches return [None], and
+     their partial tables still merge — each entry is exact. *)
+  let eval_pooled pool =
+    let root_choices = Array.of_list root_choices in
+    let branch (b, skip_final) =
+      let memo = Tbl.create 4096 in
+      let segments = ref 0 and pruned = ref 0 and misses = ref 0 in
+      match
+        (incr segments;
+         charge ();
+         match run_segment cursor ~switch_delay ~skip_final root b with
+         | Terminal t -> score t
+         | Next p' -> value_in memo segments pruned misses ~depth:1 p'
+         | Exhausted -> raise Load_too_short)
+      with
+      | v -> (Some v, memo, !segments, !pruned, !misses)
+      | exception Guard.Budget.Tripped _ ->
+          (None, memo, !segments, !pruned, !misses)
+    in
+    let branches =
+      Exec.Pool.parallel_init ~chunk:1 pool (Array.length root_choices)
+        (fun i -> Obs.time ~index:i s_branch (fun () -> branch root_choices.(i)))
+    in
+    Array.iteri
+      (fun i (v, m, s, pr, mi) ->
+        segments := !segments + s;
+        pruned := !pruned + pr;
+        misses := !misses + mi;
+        Tbl.iter (fun k v -> Tbl.replace memo k v) m;
+        match v with
+        | Some v -> completed := (root_choices.(i), v) :: !completed
+        | None -> ())
+      branches;
+    if List.length !completed = Array.length root_choices then begin
+      let best =
+        List.fold_left (fun acc (_, v) -> max acc v) min_int !completed
+      in
+      Tbl.replace memo (Key.of_pos root) best
+    end
+    else
+      trip_info :=
+        Some
+          (match budget with
+          | Some b -> (
+              match Guard.Budget.tripped b with
+              | Some r -> r
+              | None -> Guard.Budget.Cancelled)
+          | None -> Guard.Budget.Cancelled)
+  in
+  (* A checkpointed search runs serially: the snapshot cadence is tied
+     to the one shared memo table. *)
   (match pool with
-  | Some pool when List.length (choices root) > 1 ->
-      (* Root fan-out: each first decision is searched in its own
-         domain with a private memo table (values are exact, so any
-         table agrees with any other on shared keys), then the tables
-         are merged into [memo] and the root entry derived from the
-         branch values.  The replay below then runs against the merged
-         table and reproduces the serial schedule exactly — branch
-         values are the same integers the serial search computes. *)
-      let branch (b, skip_final) =
-        let memo = Tbl.create 4096 in
-        let segments = ref 0 and pruned = ref 0 and misses = ref 0 in
-        let v =
-          incr segments;
-          match run_segment cursor ~switch_delay ~skip_final root b with
-          | Terminal t -> score t
-          | Next p' -> value_in memo segments pruned misses ~depth:1 p'
-          | Exhausted -> raise Load_too_short
-        in
-        (v, memo, !segments, !pruned, !misses)
-      in
-      let root_choices = Array.of_list (choices root) in
-      let branches =
-        Exec.Pool.parallel_init ~chunk:1 pool (Array.length root_choices)
-          (fun i -> Obs.time ~index:i s_branch (fun () -> branch root_choices.(i)))
-      in
-      let best = ref min_int in
-      Array.iter
-        (fun (v, m, s, pr, mi) ->
-          if v > !best then best := v;
-          segments := !segments + s;
-          pruned := !pruned + pr;
-          misses := !misses + mi;
-          Tbl.iter (fun k v -> Tbl.replace memo k v) m)
-        branches;
-      Tbl.replace memo (Key.of_pos root) !best
-  | _ -> ignore (value root));
+  | Some pool when checkpoint = None && List.length root_choices > 1 ->
+      eval_pooled pool
+  | _ -> eval_serial ());
+  armed := false;
+  (* Final snapshot: a completed run leaves a full-resume cache; a
+     tripped run leaves every subtree it solved. *)
+  ckpt_save ();
   (* Search-phase statistics, snapshotted before the replay below adds
      its own (all-hit) memo lookups.  The Obs counters are synced from
      the very same values, so [--stats] reports exactly [result.stats]
@@ -254,20 +425,73 @@ let search ?pool ?(switch_delay = 1) ?(objective = Max_lifetime)
     | Some p' -> replay p'
     | None -> ( match terminal with Some t -> final := t | None -> assert false)
   in
-  replay root;
-  let lifetime_steps, stranded_units = !final in
-  {
-    lifetime_steps;
-    stranded_units;
-    schedule = Array.of_list (List.rev !schedule);
-    stats;
-  }
+  match !trip_info with
+  | None ->
+      replay root;
+      let lifetime_steps, stranded_units = !final in
+      {
+        lifetime_steps;
+        stranded_units;
+        schedule = Array.of_list (List.rev !schedule);
+        status = Optimal;
+        stats;
+      }
+  | Some trip -> (
+      Obs.incr c_exhausted;
+      (* Anytime degradation: the best fully-evaluated first-decision
+         branch — an exact value, replayable to a feasible schedule
+         from the memo — floored by one best-of-two policy simulation.
+         Whichever scores better is returned; the budget never turns
+         into an exception here. *)
+      let floor_score, fl_steps, fl_stranded, fl_schedule =
+        let o =
+          Simulator.simulate ?initial ~switch_delay ~n_batteries
+            ~policy:Policy.Best_of disc load
+        in
+        match o.Simulator.lifetime_steps with
+        | None -> raise Load_too_short
+        | Some steps ->
+            let stranded = Bank.stranded_units o.Simulator.final in
+            let schedule = Array.of_list (List.map snd o.Simulator.decisions) in
+            (score (steps, stranded), steps, stranded, schedule)
+      in
+      let best_branch =
+        List.fold_left
+          (fun acc (c, v) ->
+            match acc with
+            | Some (_, bv) when bv >= v -> acc
+            | _ -> Some (c, v))
+          None (List.rev !completed)
+      in
+      match best_branch with
+      | Some ((b0, sk0), v) when v >= floor_score ->
+          schedule := [ b0 ];
+          (match run_segment cursor ~switch_delay ~skip_final:sk0 root b0 with
+          | Terminal t -> final := t
+          | Next p1 -> replay p1
+          | Exhausted -> raise Load_too_short);
+          let lifetime_steps, stranded_units = !final in
+          {
+            lifetime_steps;
+            stranded_units;
+            schedule = Array.of_list (List.rev !schedule);
+            status = Budget_exhausted { trip; fallback = Search_prefix };
+            stats;
+          }
+      | _ ->
+          {
+            lifetime_steps = fl_steps;
+            stranded_units = fl_stranded;
+            schedule = fl_schedule;
+            status = Budget_exhausted { trip; fallback = Policy_floor };
+            stats;
+          })
 
-let lifetime ?pool ?switch_delay ?objective ?allow_final_draw_skip ?initial
-    ~n_batteries disc load =
+let lifetime ?pool ?budget ?switch_delay ?objective ?allow_final_draw_skip
+    ?initial ~n_batteries disc load =
   Dkibam.Discretization.minutes_of_steps disc
-    (search ?pool ?switch_delay ?objective ?allow_final_draw_skip ?initial
-       ~n_batteries disc load)
+    (search ?pool ?budget ?switch_delay ?objective ?allow_final_draw_skip
+       ?initial ~n_batteries disc load)
       .lifetime_steps
 
 let lookahead_policy ?(switch_delay = 1) ?(allow_final_draw_skip = false)

@@ -39,12 +39,54 @@ type objective =
           that sequential scheduling "is actually the worst possible way
           to schedule the batteries" *)
 
+(** {2 Budgets, anytime results and checkpoints}
+
+    A search given a {!Guard.Budget.t} checks it cooperatively — one
+    charge per simulated segment, one note per stored position — and on
+    exhaustion returns the best {e feasible} schedule it can prove
+    instead of raising: the best fully-evaluated first-decision branch
+    (an exact subtree value, replayed from the memo), floored by one
+    best-of-two policy simulation.  The result's {!status} says which.
+    A budget with ample bounds never trips and the result is
+    bit-identical to an unbudgeted search (asserted over the Table 5
+    loads in the test suite).  See doc/ROBUSTNESS.md. *)
+
+type fallback =
+  | Search_prefix
+      (** the schedule comes from the best completed first-decision
+          branch of the truncated search — it scored at least as well
+          as the policy floor *)
+  | Policy_floor
+      (** no completed branch beat (or existed to beat) the best-of-two
+          simulation; its schedule is returned *)
+
+type exhaustion = { trip : Guard.Budget.trip; fallback : fallback }
+
+type status =
+  | Optimal  (** the search completed; the schedule is exactly optimal *)
+  | Budget_exhausted of exhaustion
+      (** the budget tripped; the schedule is feasible and scores at
+          least as well as the best-of-two policy, but optimality is
+          not proven *)
+
+type checkpoint = {
+  path : string;  (** snapshot file, written atomically *)
+  every_segments : int;  (** snapshot cadence, in simulated segments *)
+  resume : bool;  (** preload [path] before searching, if it exists *)
+}
+
+val checkpoint : ?every_segments:int -> ?resume:bool -> string -> checkpoint
+(** [checkpoint path] with a default cadence of 65536 segments and
+    [resume = false].  [every_segments] must be [>= 1]. *)
+
 type result = {
   lifetime_steps : int;  (** step of the last battery's fatal draw *)
   stranded_units : int;  (** charge units left when the last battery died *)
   schedule : int array;
       (** battery chosen at each scheduling point, in order — replayable
           with [Policy.Fixed] *)
+  status : status;
+      (** [Optimal] unless a budget tripped — see {!status} *)
   stats : stats;
 }
 
@@ -86,6 +128,8 @@ exception Load_too_short
 
 val search :
   ?pool:Exec.Pool.t ->
+  ?budget:Guard.Budget.t ->
+  ?checkpoint:checkpoint ->
   ?switch_delay:int ->
   ?objective:objective ->
   ?allow_final_draw_skip:bool ->
@@ -107,10 +151,28 @@ val search :
     order-independent and the returned lifetime, stranded charge and
     schedule are identical to the serial search — asserted over all ten
     Table 5 loads in the test suite.  Only [stats.segments_run] and
-    [stats.pruned] differ (see {!stats}). *)
+    [stats.pruned] differ (see {!stats}).
+
+    [budget] bounds the work; on exhaustion the result carries
+    [Budget_exhausted] and an anytime schedule (see the section above).
+    A budget may be shared with other searches and with the pool — its
+    first trip cancels them all promptly.  [Load_too_short] is still
+    raised if even the fallback policy outlives the load.
+
+    [checkpoint] snapshots the memo table to [checkpoint.path] every
+    [every_segments] simulated segments and once more when the search
+    phase ends, each time atomically; with [resume = true] a snapshot
+    whose fingerprint matches these search inputs is preloaded, and the
+    resumed search returns the same lifetime, stranded charge and
+    schedule as an uninterrupted run (memo entries are exact, so a
+    preload only converts misses into hits — [stats] reflect the work
+    of this process only).  A snapshot from different inputs raises
+    {!Guard.Error.Error} rather than resuming from garbage.  A
+    checkpointed search ignores [pool] and runs serially. *)
 
 val lifetime :
   ?pool:Exec.Pool.t ->
+  ?budget:Guard.Budget.t ->
   ?switch_delay:int ->
   ?objective:objective ->
   ?allow_final_draw_skip:bool ->
@@ -120,7 +182,8 @@ val lifetime :
   Loads.Arrays.t ->
   float
 (** Optimal system lifetime in minutes ([search] composed with
-    {!Dkibam.Discretization.minutes_of_steps}; [pool] as in [search]). *)
+    {!Dkibam.Discretization.minutes_of_steps}; [pool] and [budget] as in
+    [search] — under a tripped budget this is the anytime lifetime). *)
 
 (** {2 Bounded lookahead}
 

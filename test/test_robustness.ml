@@ -1,0 +1,267 @@
+(* Property tests over randomized loads: the discharge kernel's
+   conservation laws (drawn charge, no negative wells), death
+   monotonicity in the load, and chaos-perturbed loads staying inside
+   their analytic dominance bounds.
+
+   Seeding follows the CI chaos protocol: the seed comes from
+   CHAOS_SEED when set (so a CI failure reproduces locally with
+   [CHAOS_SEED=... dune runtest]) and every failure message logs it. *)
+
+let disc = Dkibam.Discretization.paper_b1
+let seed = Guard.Chaos.seed_from_env ~default:20260806L ()
+
+(* each test derives its own stream so tests stay independent of
+   execution order *)
+let gen salt = Prng.Splitmix.create (Int64.add seed salt)
+
+let failf fmt = Printf.ksprintf (fun m -> Alcotest.failf "[seed %Ld] %s" seed m) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Random loads                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* general random load: currents on the 0.01 A grid (arbitrary draw
+   cadences), durations and idles on the 0.1 min grid *)
+let random_load g ~jobs =
+  Loads.Epoch.concat
+    (List.concat
+       (List.init jobs (fun _ ->
+            let current = 0.01 *. float_of_int (1 + Prng.Splitmix.int g 60) in
+            let duration = 0.1 *. float_of_int (1 + Prng.Splitmix.int g 20) in
+            let idle = 0.1 *. float_of_int (Prng.Splitmix.int g 6) in
+            Loads.Epoch.job ~current ~duration
+            :: (if idle > 0.0 then [ Loads.Epoch.idle idle ] else []))))
+
+let arrays load = Loads.Arrays.make ~time_step:0.01 ~charge_unit:0.01 load
+
+(* integer-amp job parameters: whole amps draw whole charge units every
+   step, so two loads built from the same parameters with pointwise
+   ordered amps share their draw instants exactly — the clean setting
+   for dominance claims *)
+let random_amp_params g ~jobs =
+  List.init jobs (fun _ ->
+      let amps = 1 + Prng.Splitmix.int g 3 in
+      let duration = 0.2 *. float_of_int (1 + Prng.Splitmix.int g 5) in
+      let idle = 0.1 *. float_of_int (Prng.Splitmix.int g 4) in
+      (amps, duration, idle))
+
+let load_of_amp_params ~amp_of params =
+  Loads.Epoch.concat
+    (List.concat_map
+       (fun (amps, duration, idle) ->
+         Loads.Epoch.job ~current:(float_of_int (amp_of amps)) ~duration
+         :: (if idle > 0.0 then [ Loads.Epoch.idle idle ] else []))
+       params)
+
+let lifetime_steps what a =
+  let o =
+    Sched.Simulator.simulate ~n_batteries:2 ~policy:Sched.Policy.Best_of disc a
+  in
+  match o.Sched.Simulator.lifetime_steps with
+  | Some s -> s
+  | None -> failf "%s: batteries survived the load (extend the horizon)" what
+
+(* ------------------------------------------------------------------ *)
+(* Cursor: cadence arithmetic conserves the encoded demand             *)
+(* ------------------------------------------------------------------ *)
+
+let test_cursor_conservation () =
+  let g = gen 1L in
+  for round = 1 to 25 do
+    let a = arrays (random_load g ~jobs:(3 + Prng.Splitmix.int g 15)) in
+    let c = Loads.Cursor.make a in
+    let n = Loads.Cursor.epoch_count c in
+    let total_steps = ref 0 in
+    for y = 0 to n - 1 do
+      let len = Loads.Cursor.epoch_len c y in
+      total_steps := !total_steps + len;
+      if Loads.Cursor.epoch_end c y <> !total_steps then
+        failf "round %d epoch %d: epoch_end disagrees with summed lengths" round y;
+      let sch = Loads.Cursor.schedule c y in
+      if Loads.Cursor.is_idle c y then begin
+        if sch.Loads.Cursor.draws <> 0 || sch.rest <> len then
+          failf "round %d epoch %d: idle epoch has a draw schedule" round y
+      end
+      else begin
+        (* the cadence identity: draws * ct + rest = len, rest < ct *)
+        if sch.draws <> len / sch.ct || sch.rest <> len mod sch.ct then
+          failf "round %d epoch %d: schedule %d draws/ct %d/rest %d vs len %d"
+            round y sch.draws sch.ct sch.rest len;
+        if Loads.Cursor.draw_units c y <> sch.draws * sch.cur then
+          failf "round %d epoch %d: draw_units breaks conservation" round y;
+        (* restarting the cadence clock at offset 0 changes nothing *)
+        if Loads.Cursor.schedule_from c y ~local:0 <> sch then
+          failf "round %d epoch %d: schedule_from 0 <> schedule" round y;
+        let local = Prng.Splitmix.int g len in
+        let s2 = Loads.Cursor.schedule_from c y ~local in
+        if s2.ct <> sch.ct || s2.cur <> sch.cur
+           || s2.draws <> (len - local) / sch.ct
+        then failf "round %d epoch %d: schedule_from %d inconsistent" round y local
+      end
+    done;
+    if Loads.Cursor.total_steps c <> !total_steps then
+      failf "round %d: total_steps disagrees" round;
+    (* the suffix dot-product agrees with direct summation *)
+    for y = 0 to n - 1 do
+      let direct = ref 0 in
+      for z = y + 1 to n - 1 do
+        direct := !direct + Loads.Cursor.draw_units c z
+      done;
+      if Loads.Cursor.draw_units_after c y <> !direct then
+        failf "round %d epoch %d: draw_units_after breaks conservation" round y
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Bank: drawn charge is conserved, wells never go negative            *)
+(* ------------------------------------------------------------------ *)
+
+let check_wells what bank =
+  for i = 0 to Sched.Bank.size bank - 1 do
+    let b = Sched.Bank.battery bank i in
+    if b.Dkibam.Battery.n_gamma < 0 || b.Dkibam.Battery.m_delta < 0 then
+      failf "%s: battery %d has a negative well (n=%d m=%d)" what i
+        b.Dkibam.Battery.n_gamma b.Dkibam.Battery.m_delta
+  done
+
+let test_bank_draw_conservation () =
+  let g = gen 2L in
+  for round = 1 to 50 do
+    let bank = Sched.Bank.create ~n_batteries:2 disc in
+    let steps = ref 0 in
+    while Sched.Bank.any_alive bank && !steps < 2000 do
+      incr steps;
+      Sched.Bank.tick_all bank (Prng.Splitmix.int g 20);
+      match Sched.Bank.alive bank with
+      | [] -> ()
+      | alive ->
+          let b = List.nth alive (Prng.Splitmix.int g (List.length alive)) in
+          let cur = 1 + Prng.Splitmix.int g 5 in
+          let held = (Sched.Bank.battery bank b).Dkibam.Battery.n_gamma in
+          let before = Sched.Bank.stranded bank in
+          let fatal = Sched.Bank.draw_from bank b ~cur in
+          let after = Sched.Bank.stranded bank in
+          let label = Printf.sprintf "round %d step %d" round !steps in
+          check_wells label bank;
+          if held < cur then begin
+            (* under-charged: the draw is fatal and nothing moves *)
+            if not fatal then failf "%s: under-charged draw not fatal" label;
+            if after <> before then failf "%s: under-charged draw moved charge" label
+          end
+          else if before - after <> cur then
+            failf "%s: drew %d units but stranded moved %d" label cur (before - after);
+          if fatal && not (Sched.Bank.is_dead bank b) then
+            failf "%s: fatal draw left the battery alive" label
+    done
+  done
+
+let test_bank_serve_conservation () =
+  let g = gen 3L in
+  for round = 1 to 25 do
+    let a = arrays (random_load g ~jobs:(5 + Prng.Splitmix.int g 10)) in
+    let c = Loads.Cursor.make a in
+    let bank = Sched.Bank.create ~n_batteries:2 disc in
+    (try
+       for y = 0 to Loads.Cursor.epoch_count c - 1 do
+         let sch = Loads.Cursor.schedule c y in
+         match Sched.Bank.alive bank with
+         | [] -> raise Exit
+         | alive ->
+             let b = List.nth alive (Prng.Splitmix.int g (List.length alive)) in
+             let before = Sched.Bank.stranded bank in
+             let outcome = Sched.Bank.serve bank ~b sch in
+             let drained = before - Sched.Bank.stranded bank in
+             let label = Printf.sprintf "round %d epoch %d" round y in
+             check_wells label bank;
+             (match outcome with
+             | Sched.Bank.Completed ->
+                 (* a completed span serves its whole demand, exactly *)
+                 if drained <> sch.Loads.Cursor.draws * sch.cur then
+                   failf "%s: completed span drained %d of %d units" label drained
+                     (sch.draws * sch.cur)
+             | Sched.Bank.Died _ ->
+                 if not (Sched.Bank.is_dead bank b) then
+                   failf "%s: Died but battery alive" label;
+                 if drained < 0 || drained > sch.draws * sch.cur then
+                   failf "%s: died span drained %d outside [0, %d]" label drained
+                     (sch.draws * sch.cur))
+       done
+     with Exit -> ())
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Simulator: death is monotone in the load                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_death_monotone_in_load () =
+  let g = gen 4L in
+  for round = 1 to 12 do
+    let params = random_amp_params g ~jobs:40 in
+    let base = arrays (load_of_amp_params ~amp_of:Fun.id params) in
+    let heavy = arrays (load_of_amp_params ~amp_of:(fun k -> k + 1) params) in
+    let lt_base = lifetime_steps (Printf.sprintf "round %d base" round) base in
+    let lt_heavy = lifetime_steps (Printf.sprintf "round %d heavy" round) heavy in
+    if lt_heavy > lt_base then
+      failf "round %d: heavier load lives longer (%d > %d steps)" round lt_heavy
+        lt_base
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Chaos-perturbed loads stay inside their dominance bounds            *)
+(* ------------------------------------------------------------------ *)
+
+let test_perturbed_load_within_bounds () =
+  let g = gen 5L in
+  let chaos = Guard.Chaos.create ~seed:(Int64.add seed 1000L) () in
+  for round = 1 to 8 do
+    let params = random_amp_params g ~jobs:40 in
+    (* one perturbed amp per job, fixed for all three loads of the round *)
+    let perturbed =
+      List.map
+        (fun (amps, _, _) -> Guard.Chaos.perturb_int chaos ~rel:0.4 ~min:1 amps)
+        params
+    in
+    let zipped = List.combine params perturbed in
+    let build pick =
+      arrays
+        (Loads.Epoch.concat
+           (List.concat_map
+              (fun (((amps, duration, idle) : int * float * float), p) ->
+                Loads.Epoch.job ~current:(float_of_int (pick amps p)) ~duration
+                :: (if idle > 0.0 then [ Loads.Epoch.idle idle ] else []))
+              zipped))
+    in
+    let pert = build (fun _ p -> p) in
+    let lo = build min in
+    let hi = build max in
+    (* lo <= pert <= hi pointwise, with identical draw instants, so the
+       lifetimes must order the other way round *)
+    let lt what a = lifetime_steps (Printf.sprintf "round %d %s" round what) a in
+    let lt_pert = lt "perturbed" pert in
+    let lt_lo = lt "lower bound" lo in
+    let lt_hi = lt "upper bound" hi in
+    if not (lt_hi <= lt_pert && lt_pert <= lt_lo) then
+      failf "round %d: perturbed lifetime %d outside [%d, %d]" round lt_pert lt_hi
+        lt_lo
+  done
+
+let () =
+  Printf.printf "test_robustness: CHAOS_SEED=%Ld\n%!" seed;
+  Alcotest.run "robustness"
+    [
+      ( "cursor",
+        [ Alcotest.test_case "cadence conserves demand" `Quick test_cursor_conservation ] );
+      ( "bank",
+        [
+          Alcotest.test_case "draw conservation + wells" `Quick
+            test_bank_draw_conservation;
+          Alcotest.test_case "serve conservation" `Quick test_bank_serve_conservation;
+        ] );
+      ( "monotonicity",
+        [
+          Alcotest.test_case "death monotone in load" `Quick
+            test_death_monotone_in_load;
+          Alcotest.test_case "perturbed load within bounds" `Quick
+            test_perturbed_load_within_bounds;
+        ] );
+    ]
