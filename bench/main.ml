@@ -151,6 +151,77 @@ let json_escape s =
        (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
+(* Generated long loads for the branch-and-bound A/B measurement —
+   [Loads.Random_load] intermitted loads scaled past the Table 5 sizes
+   (40-60 jobs vs the paper's ~20), one entry per pruning regime from
+   doc/PERFORMANCE.md.  Fixed seeds: the suite is a regression artifact,
+   not a fuzzer. *)
+let bound_suite_entries =
+  [
+    (* label, battery, batteries, jobs, seed, currents, idle min *)
+    ("marginal 0.25/0.5 B1 x3", "B1", 3, 40, 2L, [| 0.25; 0.5 |], 1.0);
+    ("overdrive 0.5 B2 x2", "B2", 2, 60, 1L, [| 0.5 |], 0.5);
+    ("mixed 0.25-1.0 B2 x2", "B2", 2, 40, 1L, [| 0.25; 0.5; 1.0 |], 1.0);
+    ("overload 2.0 bursts B1 x3", "B1", 3, 40, 1L, [| 0.5; 2.0 |], 1.0);
+  ]
+
+let bound_suite ppf =
+  section ppf
+    "Branch-and-bound on generated long loads (bounds on vs off, identical \
+     results asserted)";
+  Format.fprintf ppf "  %-26s %9s %9s %7s %8s %7s %9s %9s@." "load" "segs on"
+    "segs off" "ratio" "cuts" "saved" "on ms" "off ms";
+  let total_cuts = ref 0 in
+  let rows =
+    List.map
+      (fun (label, battery, n_batteries, jobs, seed, currents, idle_duration) ->
+        let disc =
+          match battery with
+          | "B2" -> Dkibam.Discretization.paper_b2
+          | _ -> Dkibam.Discretization.paper_b1
+        in
+        let a =
+          Loads.Arrays.make ~time_step:disc.Dkibam.Discretization.time_step
+            ~charge_unit:disc.Dkibam.Discretization.charge_unit
+            (Loads.Random_load.intermitted ~seed ~jobs ~currents ~idle_duration
+               ())
+        in
+        let on, on_ms =
+          time_ms (fun () ->
+              Sched.Optimal.search ~bounds:true ~n_batteries disc a)
+        in
+        let off, off_ms =
+          time_ms (fun () ->
+              Sched.Optimal.search ~bounds:false ~n_batteries disc a)
+        in
+        if
+          on.Sched.Optimal.lifetime_steps <> off.Sched.Optimal.lifetime_steps
+          || on.Sched.Optimal.stranded_units <> off.Sched.Optimal.stranded_units
+          || on.Sched.Optimal.schedule <> off.Sched.Optimal.schedule
+        then
+          failwith
+            (Printf.sprintf "bound suite %S: bounds changed the result" label);
+        let son = on.Sched.Optimal.stats.segments_run
+        and soff = off.Sched.Optimal.stats.segments_run in
+        let cuts = on.Sched.Optimal.stats.bound_cuts in
+        total_cuts := !total_cuts + cuts;
+        Format.fprintf ppf "  %-26s %9d %9d %6.2fx %8d %6.1f%% %9.1f %9.1f@."
+          label son soff
+          (float_of_int soff /. float_of_int son)
+          cuts
+          (100.0 *. float_of_int (soff - son) /. float_of_int (max 1 soff))
+          on_ms off_ms;
+        (label, n_batteries, jobs, seed, son, soff, cuts, on_ms, off_ms))
+      bound_suite_entries
+  in
+  if !total_cuts = 0 then
+    failwith "bound suite: no bound cuts fired anywhere — pruning is inert";
+  Format.fprintf ppf
+    "  (results bit-identical in every row; %d bound cuts over the suite — \
+     see doc/PERFORMANCE.md for the regime map)@."
+    !total_cuts;
+  rows
+
 let optimal_bench ~jobs ppf =
   section ppf "Optimal search on the Table 5 loads (cursor + bank kernel)";
   let disc = Dkibam.Discretization.paper_b1 in
@@ -179,6 +250,7 @@ let optimal_bench ~jobs ppf =
     "  total %43.2f ms; %d precomputed draw schedules reused across every \
      explored position@."
     !total !total_sched;
+  let bound_rows = bound_suite ppf in
   (* --- serial vs parallel ------------------------------------------ *)
   let domains =
     if jobs > 1 then jobs else max 2 (Domain.recommended_domain_count ())
@@ -291,6 +363,21 @@ let optimal_bench ~jobs ppf =
                (json_escape name) s p (s /. p)
                (if i = List.length load_rows - 1 then "" else ",")))
         load_rows;
+      Buffer.add_string buf "  ],\n";
+      Buffer.add_string buf "  \"bound_suite\": [\n";
+      List.iteri
+        (fun i (label, n_batteries, n_jobs, seed, son, soff, cuts, on_ms, off_ms) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "    {\"load\": \"%s\", \"n_batteries\": %d, \"jobs\": %d, \
+                \"seed\": %Ld, \"segments_on\": %d, \"segments_off\": %d, \
+                \"segment_ratio\": %.3f, \"bound_cuts\": %d, \"on_ms\": %.3f, \
+                \"off_ms\": %.3f}%s\n"
+               (json_escape label) n_batteries n_jobs seed son soff
+               (float_of_int soff /. float_of_int son)
+               cuts on_ms off_ms
+               (if i = List.length bound_rows - 1 then "" else ",")))
+        bound_rows;
       Buffer.add_string buf "  ],\n";
       Buffer.add_string buf
         (Printf.sprintf

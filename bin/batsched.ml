@@ -117,6 +117,20 @@ let jobs_arg =
           "Run the optimal search / ensemble over $(docv) domains \
            (default 1 = serial; results are identical either way).")
 
+let no_bounds_arg =
+  Arg.(
+    value & flag
+    & info [ "no-bounds" ]
+        ~doc:
+          "Disable the branch-and-bound pruning of the optimal search \
+           (equivalent to BATSCHED_NO_BOUNDS=1).  Results are bit-identical \
+           either way; only the work differs — the A/B switch for \
+           doc/PERFORMANCE.md measurements.")
+
+(* The flag only ever forces bounds *off*: when absent we pass [None]
+   so the library default (which honours BATSCHED_NO_BOUNDS) applies. *)
+let bounds_of_flag no_bounds = if no_bounds then Some false else None
+
 (* Run [f] with a shared pool when more than one domain was asked for;
    --jobs 1 stays on the serial code path, no domains spawned. *)
 let with_jobs jobs f =
@@ -303,7 +317,7 @@ let lifetime_cmd =
   Cmd.v (Cmd.info "lifetime" ~doc:"Battery lifetime for one test load.") term
 
 let compare_cmd =
-  let run obs battery n jobs budget spec named pos_load =
+  let run obs battery n jobs budget no_bounds spec named pos_load =
     with_obs obs @@ fun () ->
     with_params battery (fun params ->
         let name = match named with Some _ -> named | None -> pos_load in
@@ -337,7 +351,8 @@ let compare_cmd =
                     Printf.printf "  best-of    : %8.3f min\n"
                       (lt Sched.Policy.Best_of);
                     let r =
-                      Sched.Optimal.search ?pool ?budget ~n_batteries:n disc
+                      Sched.Optimal.search ?pool ?budget
+                        ?bounds:(bounds_of_flag no_bounds) ~n_batteries:n disc
                         arrays
                     in
                     Printf.printf "  optimal    : %8.3f min\n"
@@ -349,14 +364,14 @@ let compare_cmd =
   let term =
     Term.(
       const run $ obs_term $ battery_arg $ n_batteries_arg $ jobs_arg
-      $ budget_term $ spec_arg $ named_load_arg $ opt_load_arg)
+      $ budget_term $ no_bounds_arg $ spec_arg $ named_load_arg $ opt_load_arg)
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"All scheduling policies side by side on one load.")
     term
 
 let schedule_cmd =
-  let run obs battery n jobs budget ckpt_file ckpt_every resume load =
+  let run obs battery n jobs budget no_bounds ckpt_file ckpt_every resume load =
     with_obs obs @@ fun () ->
     with_params battery (fun params ->
         let disc =
@@ -382,8 +397,8 @@ let schedule_cmd =
           in
           with_jobs jobs (fun pool ->
               match
-                Sched.Optimal.search ?pool ?budget ?checkpoint ~n_batteries:n
-                  disc arrays
+                Sched.Optimal.search ?pool ?budget ?checkpoint
+                  ?bounds:(bounds_of_flag no_bounds) ~n_batteries:n disc arrays
               with
               | exception Guard.Error.Error e ->
                   (* e.g. a checkpoint from different inputs on --resume *)
@@ -437,12 +452,14 @@ let schedule_cmd =
   let term =
     Term.(
       const run $ obs_term $ battery_arg $ n_batteries_arg $ jobs_arg
-      $ budget_term $ ckpt_file_arg $ ckpt_every_arg $ resume_arg $ load_arg)
+      $ budget_term $ no_bounds_arg $ ckpt_file_arg $ ckpt_every_arg
+      $ resume_arg $ load_arg)
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Compute and print the optimal schedule.") term
 
 let ensemble_cmd =
-  let run obs battery n jobs budget seed n_loads jobs_per_load no_optimal =
+  let run obs battery n jobs budget no_bounds seed n_loads jobs_per_load
+      no_optimal =
     with_obs obs @@ fun () ->
     with_params battery (fun params ->
         let disc =
@@ -454,7 +471,8 @@ let ensemble_cmd =
             let e =
               Sched.Ensemble.run ?pool ?budget ~seed:(Int64.of_int seed)
                 ~n_loads ~jobs_per_load ~n_batteries:n
-                ~include_optimal:(not no_optimal) disc ()
+                ~include_optimal:(not no_optimal)
+                ?bounds:(bounds_of_flag no_bounds) disc ()
             in
             Batsched.Report.ensemble Format.std_formatter e;
             Format.pp_print_flush Format.std_formatter ();
@@ -487,7 +505,7 @@ let ensemble_cmd =
   let term =
     Term.(
       const run $ obs_term $ battery_arg $ n_batteries_arg $ jobs_arg
-      $ budget_term $ seed_arg $ loads_arg $ jobs_per_load_arg
+      $ budget_term $ no_bounds_arg $ seed_arg $ loads_arg $ jobs_per_load_arg
       $ no_optimal_arg)
   in
   Cmd.v

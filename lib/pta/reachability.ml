@@ -7,6 +7,7 @@ type symbolic_state = { locs : int array; vars : int array; zone : Dbm.t }
 let c_explored = Obs.counter "pta.reach.explored"
 let c_stored = Obs.counter "pta.reach.stored"
 let c_dbm_ops = Obs.counter "pta.reach.dbm_ops"
+let c_bound_cuts = Obs.counter "pta.reach.bound_cuts"
 let g_queue_peak = Obs.gauge "pta.reach.queue_peak"
 let s_search = Obs.span "pta.reach.search"
 
@@ -15,7 +16,7 @@ type result = {
   stats : stats;
 }
 
-and stats = { explored : int; stored : int }
+and stats = { explored : int; stored : int; bound_cuts : int }
 
 (* Discrete part of a symbolic state, the passed-list key. *)
 module Key = struct
@@ -81,17 +82,20 @@ type outcome =
   | Unreachable of stats
   | Exhausted of { trip : Guard.Budget.trip; stats : stats }
 
-let explore ?budget ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
+let explore ?budget ?(max_states = 1_000_000) ?prune ~goal (net : Compiled.t) =
   Obs.time s_search @@ fun () ->
   let k_const = Compiled.max_clock_constant net in
   let n_clocks = Compiled.n_clocks net in
   let passed : (Dbm.t * node) list ref Tbl.t = Tbl.create 1024 in
   let stored = ref 0 and explored = ref 0 and dbm_ops = ref 0 in
+  let cuts = ref 0 in
   let sync_obs () =
     Obs.add c_explored !explored;
     Obs.add c_stored !stored;
-    Obs.add c_dbm_ops !dbm_ops
+    Obs.add c_dbm_ops !dbm_ops;
+    Obs.add c_bound_cuts !cuts
   in
+  let stats () = { explored = !explored; stored = !stored; bound_cuts = !cuts } in
   (* Budget hooks: one work unit per expanded state, one position per
      stored state, the frontier reported after each push.  The local
      [max_states] cap reuses the [Positions] trip so the one handler
@@ -121,6 +125,11 @@ let explore ?budget ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
   in
   let queue = Queue.create () in
   let add_state node =
+    match prune with
+    | Some p when p ~locs:node.state.locs ~vars:node.state.vars ->
+        incr cuts;
+        false
+    | _ ->
     let key = (node.state.locs, node.state.vars) in
     let cell =
       match Tbl.find_opt passed key with
@@ -167,7 +176,7 @@ let explore ?budget ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
   in
   if Dbm.is_empty initial_zone || not (data_invariants_hold net locs0 vars0) then begin
     sync_obs ();
-    Unreachable { explored = !explored; stored = !stored }
+    Unreachable (stats ())
   end
   else begin
     let root =
@@ -182,7 +191,7 @@ let explore ?budget ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
          incr explored;
          charge ();
          if goal ~locs ~vars then
-           result := Some { trace = rebuild node; stats = { explored = !explored; stored = !stored } }
+           result := Some { trace = rebuild node; stats = stats () }
          else begin
            let edge_ok (e : Compiled.cedge) =
              not (Dbm.is_empty (apply_atoms zone e.e_guard.cg_atoms))
@@ -240,10 +249,10 @@ let explore ?budget ?(max_states = 1_000_000) ~goal (net : Compiled.t) =
        sync_obs ();
        match !result with
        | Some r -> Found r
-       | None -> Unreachable { explored = !explored; stored = !stored }
+       | None -> Unreachable (stats ())
      with Guard.Budget.Tripped trip ->
        sync_obs ();
-       Exhausted { trip; stats = { explored = !explored; stored = !stored } })
+       Exhausted { trip; stats = stats () })
   end
 
 let search ?max_states ~goal net =

@@ -14,10 +14,10 @@
     PTA substrate's correctness with property-based tests.
 
     Observability: when [Obs] is enabled, a search records the
-    [pta.reach.explored] / [pta.reach.stored] / [pta.reach.dbm_ops]
-    counters, the [pta.reach.queue_peak] gauge and the
-    [pta.reach.search] span (see doc/OBSERVABILITY.md); the returned
-    {!stats} are computed independently and are unaffected. *)
+    [pta.reach.explored] / [pta.reach.stored] / [pta.reach.dbm_ops] /
+    [pta.reach.bound_cuts] counters, the [pta.reach.queue_peak] gauge
+    and the [pta.reach.search] span (see doc/OBSERVABILITY.md); the
+    returned {!stats} are computed independently and are unaffected. *)
 
 type symbolic_state = {
   locs : int array;
@@ -31,9 +31,11 @@ type result = {
   stats : stats;
 }
 
-and stats = { explored : int; stored : int }
+and stats = { explored : int; stored : int; bound_cuts : int }
 (** [explored]: symbolic states popped and expanded; [stored]: states
-    kept in the passed list after inclusion checks. *)
+    kept in the passed list after inclusion checks; [bound_cuts]:
+    successor states dropped by the caller's [prune] bound before any
+    inclusion check (always [0] without [?prune]). *)
 
 type outcome =
   | Found of result  (** a witness trace to a goal state *)
@@ -46,6 +48,7 @@ type outcome =
 val explore :
   ?budget:Guard.Budget.t ->
   ?max_states:int ->
+  ?prune:(locs:int array -> vars:int array -> bool) ->
   goal:(locs:int array -> vars:int array -> bool) ->
   Compiled.t ->
   outcome
@@ -57,7 +60,17 @@ val explore :
     still bounds the passed list and reports as an [Exhausted] with a
     [Positions] trip.  Goals are data-level (locations + variables) —
     time-constrained goals can be encoded with an observer automaton,
-    which is also what Uppaal users do. *)
+    which is also what Uppaal users do.
+
+    [prune] is a branch-and-bound hook, mirroring {!Sched.Bound} on the
+    scheduling side: a discrete state for which it returns [true] is
+    dropped before storage or expansion and counted in
+    [stats.bound_cuts].  For [Found] / [Unreachable] answers to remain
+    exact, the predicate must be {e admissible} — [prune ~locs ~vars]
+    may hold only when no goal state is reachable from {e any} state
+    with that discrete part (in particular the state itself must not
+    satisfy [goal]).  An inadmissible predicate turns the search into a
+    sound-for-[Found]-only heuristic. *)
 
 val search :
   ?max_states:int ->

@@ -1,0 +1,238 @@
+(* Admissible bounds from the KiBaM physics — see the .mli for the
+   derivations.  Everything load-shaped is precomputed here as suffix
+   arrays so a per-position query costs O(batteries + log epochs). *)
+
+type t = {
+  disc : Dkibam.Discretization.t;
+  cursor : Loads.Cursor.t;
+  switch_delay : int;
+  skip01 : int;  (* 1 when the final-draw skip is a legal choice *)
+  min_units_after : int array;
+      (* [e] -> fewest units epochs [e..] can be made to demand *)
+  draws_after : int array;  (* [e] -> canonical draw count of epochs [e..] *)
+  max_cur_after : int array;  (* [e] -> largest per-draw current in [e..] *)
+}
+
+let infinite = max_int / 4
+
+let create ?(switch_delay = 1) ?(allow_final_draw_skip = false) disc cursor =
+  let e_count = Loads.Cursor.epoch_count cursor in
+  let skip01 = if allow_final_draw_skip then 1 else 0 in
+  let min_units_after = Array.make (e_count + 1) 0 in
+  let draws_after = Array.make (e_count + 1) 0 in
+  let max_cur_after = Array.make (e_count + 1) 0 in
+  for e = e_count - 1 downto 0 do
+    let sch = Loads.Cursor.schedule cursor e in
+    let min_draws = if sch.cur = 0 then 0 else max 0 (sch.draws - skip01) in
+    min_units_after.(e) <- min_units_after.(e + 1) + (min_draws * sch.cur);
+    draws_after.(e) <- draws_after.(e + 1) + sch.draws;
+    max_cur_after.(e) <- max max_cur_after.(e + 1) sch.cur
+  done;
+  { disc; cursor; switch_delay; skip01; min_units_after; draws_after;
+    max_cur_after }
+
+(* Least [e] in [lo, hi] with [above e] (monotone: false then true);
+   callers guarantee [above hi]. *)
+let rec bisect above lo hi =
+  if lo >= hi then hi
+  else
+    let mid = (lo + hi) / 2 in
+    if above mid then bisect above lo mid else bisect above (mid + 1) hi
+
+let alive_units bank =
+  List.fold_left
+    (fun acc i -> acc + (Bank.battery bank i).Dkibam.Battery.n_gamma)
+    0 (Bank.alive bank)
+
+(* Step of the draw that takes epoch [e]'s minimum cumulative demand
+   past [over] units, restarting the cadence at [local]; the caller
+   guarantees the epoch's own minimum demand does exceed [over]. *)
+let crossing_step t e ~local ~over =
+  let sch = Loads.Cursor.schedule_from t.cursor e ~local in
+  let k = (over / sch.cur) + 1 + t.skip01 in
+  Loads.Cursor.epoch_start t.cursor e + local + (k * sch.ct)
+
+(* Constraint 1: total charge.  Earliest step whose minimum cumulative
+   demand exceeds the alive batteries' total charge plus the per-death
+   draw-loss slack, minus one; [infinite] when the whole remaining
+   demand fits. *)
+let charge_ub t ~y ~local bank alive cmax =
+  (* supply + the draws the demand envelope can lose: each of the
+     at most [A] remaining deaths costs one fatal draw plus at most
+     [switch_delay] cadence-restart draws (one extra for margin) *)
+  let slack = List.length alive * (t.switch_delay + 2) * cmax in
+  let u = alive_units bank + slack in
+  let sch_y = Loads.Cursor.schedule_from t.cursor y ~local in
+  let min_draws_y =
+    if sch_y.cur = 0 then 0 else max 0 (sch_y.draws - t.skip01)
+  in
+  let units_y = min_draws_y * sch_y.cur in
+  if units_y + t.min_units_after.(y + 1) <= u then infinite
+  else if units_y > u then (crossing_step t y ~local ~over:u) - 1
+  else begin
+    let u = u - units_y in
+    let base = t.min_units_after.(y + 1) in
+    let e =
+      bisect
+        (fun e -> base - t.min_units_after.(e + 1) > u)
+        (y + 1)
+        (Loads.Cursor.epoch_count t.cursor - 1)
+    in
+    crossing_step t e ~local:0 ~over:(u - (base - t.min_units_after.(e))) - 1
+  end
+
+(* Constraint 2: available charge against the recovery-rate ceiling.
+   Serving [D] units costs exactly [1000*D] milli-units of available
+   charge; recovery refunds [1000 - c] per event, and an alive battery
+   holding [n] total units can never be higher than
+   [m_cap = (c*n - 1) / (1000 - c)] (any higher is empty), so its event
+   cadence is at least [recov_time (m_cap + cmax)] steps — a per-step
+   gain ceiling that only tightens as the battery drains.  The first
+   step where the minimum cumulative demand outruns available charge
+   plus maximal recovery gain (plus the per-death slacks) is therefore
+   unreachable alive.  All arithmetic is in micro-units (milli * 1000)
+   so the per-step gain ceiling can be rounded up, not down. *)
+let avail_ub t ~y ~local bank alive cmax =
+  let disc = t.disc in
+  let c = disc.Dkibam.Discretization.c_milli in
+  let n_units = disc.Dkibam.Discretization.n_units in
+  let a = List.length alive in
+  (* gain ceiling: [gnum] micro-units per step (rounded up) plus one
+     whole event per battery of constant margin *)
+  let gnum, gcon =
+    List.fold_left
+      (fun (gnum, gcon) i ->
+        let b = Bank.battery bank i in
+        let m_cap = ((c * b.Dkibam.Battery.n_gamma) - 1) / (1000 - c) in
+        (* weird hand-built initial states can sit above the alive
+           ceiling until their first draw; never below the actual m *)
+        let m_ceil =
+          min n_units (max m_cap b.Dkibam.Battery.m_delta + cmax)
+        in
+        if m_ceil < 2 then (gnum, gcon)
+        else
+          let rt = Dkibam.Discretization.recov_time disc m_ceil in
+          (gnum + (((1000 - c) * 1000) + rt - 1) / rt, gcon + (1000 - c)))
+      (0, 0) alive
+  in
+  (* supply in micro-units: available now, the per-death fatal-draw
+     overdraw, the per-death cadence-restart losses, and the constant
+     rounding margin of the gain ceiling *)
+  let supply =
+    List.fold_left
+      (fun acc i ->
+        acc + (1000 * Dkibam.Battery.available_milli_units disc (Bank.battery bank i)))
+      0 alive
+    + (1000 * a * (t.switch_delay + 3) * cmax * 1000)
+    + (1000 * gcon)
+  in
+  let now = Loads.Cursor.epoch_start t.cursor y + local in
+  let e_count = Loads.Cursor.epoch_count t.cursor in
+  (* Scan epochs from [y]: [served] accumulates the minimum demand (in
+     units) up to the start of the epoch under scan; within a serving
+     epoch demand rises linearly per draw while the gain ceiling rises
+     linearly per step, so the first violated epoch pins the crossing
+     draw by a division. *)
+  let exception Cross of int in
+  let check_epoch e ~local ~served =
+    let sch = Loads.Cursor.schedule_from t.cursor e ~local in
+    let es = Loads.Cursor.epoch_start t.cursor e in
+    if sch.cur > 0 then begin
+      let min_draws = max 0 (sch.draws - t.skip01) in
+      let t_end = es + local + (sch.draws * sch.ct) in
+      let demand_end = 1_000_000 * (served + (min_draws * sch.cur)) in
+      if demand_end > supply + (gnum * (t_end - now)) then begin
+        (* crossing inside this epoch: least k >= 1 with
+           10^6*(served + (k - skip01)*cur) > supply + gnum*(es+local+k*ct - now) *)
+        let coeff = (1_000_000 * sch.cur) - (gnum * sch.ct) in
+        (* demand_end > RHS(t_end) and no crossing at entry force a
+           positive within-epoch slope *)
+        if coeff > 0 then begin
+          let rhs =
+            supply
+            + (gnum * (es + local - now))
+            - (1_000_000 * (served - (t.skip01 * sch.cur)))
+          in
+          let k = max 1 ((rhs / coeff) + 1) in
+          if k <= sch.draws then raise (Cross (es + local + (k * sch.ct) - 1))
+        end
+      end
+    end;
+    served + if sch.cur = 0 then 0 else max 0 (sch.draws - t.skip01) * sch.cur
+  in
+  match
+    let served = ref (check_epoch y ~local ~served:0) in
+    for e = y + 1 to e_count - 1 do
+      served := check_epoch e ~local:0 ~served:!served
+    done
+  with
+  | () -> infinite
+  | exception Cross s -> s
+
+let lifetime_ub t ~y ~local bank =
+  let alive = Bank.alive bank in
+  if alive = [] then 0
+  else
+    let cmax = t.max_cur_after.(y) in
+    if cmax = 0 then infinite
+    else
+      min
+        (charge_ub t ~y ~local bank alive cmax)
+        (avail_ub t ~y ~local bank alive cmax)
+
+let lifetime_lb t ~y ~local bank =
+  let cmax = t.max_cur_after.(y) in
+  if cmax = 0 then infinite
+  else begin
+    (* fewest draw events that can kill the whole bank: per battery,
+       the available charge drops by at most 1000*cmax milli-units per
+       draw (eq. (8) route) and the total charge by at most cmax units
+       (insufficient-charge route) *)
+    let d_min =
+      List.fold_left
+        (fun acc i ->
+          let b = Bank.battery bank i in
+          let avail = Dkibam.Battery.available_milli_units t.disc b in
+          let d_empty =
+            if avail <= 0 then 1
+            else (avail + (1000 * cmax) - 1) / (1000 * cmax)
+          in
+          let d_lack = (b.Dkibam.Battery.n_gamma / cmax) + 1 in
+          acc + max 1 (min d_empty d_lack))
+        0 (Bank.alive bank)
+    in
+    if d_min = 0 then 0
+    else begin
+      let sch_y = Loads.Cursor.schedule_from t.cursor y ~local in
+      if d_min > sch_y.draws + t.draws_after.(y + 1) then infinite
+      else if d_min <= sch_y.draws then
+        Loads.Cursor.epoch_start t.cursor y + local + (d_min * sch_y.ct)
+      else begin
+        let rem = d_min - sch_y.draws in
+        let base = t.draws_after.(y + 1) in
+        let e =
+          bisect
+            (fun e -> base - t.draws_after.(e + 1) >= rem)
+            (y + 1)
+            (Loads.Cursor.epoch_count t.cursor - 1)
+        in
+        let k = rem - (base - t.draws_after.(e)) in
+        Loads.Cursor.epoch_start t.cursor e
+        + (k * (Loads.Cursor.schedule t.cursor e).ct)
+      end
+    end
+  end
+
+let stranded_lb t ~y ~local bank =
+  let n = Bank.size bank in
+  let s_dead = ref 0 and s_alive = ref 0 in
+  for i = 0 to n - 1 do
+    let units = (Bank.battery bank i).Dkibam.Battery.n_gamma in
+    if Bank.is_dead bank i then s_dead := !s_dead + units
+    else s_alive := !s_alive + units
+  done;
+  let sch_y = Loads.Cursor.schedule_from t.cursor y ~local in
+  let r_max =
+    (sch_y.draws * sch_y.cur) + Loads.Cursor.draw_units_after t.cursor y
+  in
+  !s_dead + max 0 (!s_alive - r_max)

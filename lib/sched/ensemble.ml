@@ -64,7 +64,7 @@ type per_load = {
 }
 
 let run ?pool ?budget ?(seed = 42L) ?(n_loads = 50) ?(jobs_per_load = 60)
-    ?(n_batteries = 2) ?(include_optimal = true)
+    ?(n_batteries = 2) ?(include_optimal = true) ?bounds
     (disc : Dkibam.Discretization.t) () =
   if n_loads < 1 then invalid_arg "Sched.Ensemble.run: need >= 1 load";
   Obs.time s_run @@ fun () ->
@@ -104,7 +104,7 @@ let run ?pool ?budget ?(seed = 42L) ?(n_loads = 50) ?(jobs_per_load = 60)
        and [budget_exhausted] reports how many loads were affected. *)
     let top, exhausted =
       if include_optimal then begin
-        let r = Optimal.search ?budget ~n_batteries disc arrays in
+        let r = Optimal.search ?budget ?bounds ~n_batteries disc arrays in
         ( Dkibam.Discretization.minutes_of_steps disc r.Optimal.lifetime_steps,
           match r.Optimal.status with
           | Optimal.Optimal -> false

@@ -73,6 +73,7 @@ val run :
   ?jobs_per_load:int ->
   ?n_batteries:int ->
   ?include_optimal:bool ->
+  ?bounds:bool ->
   Dkibam.Discretization.t ->
   unit ->
   t
@@ -91,4 +92,8 @@ val run :
     [budget] is shared by every per-load optimal search (the policy
     simulations are unbudgeted).  Once it trips, the remaining searches
     return their anytime results immediately; the ensemble always
-    completes, and [budget_exhausted] counts the affected loads. *)
+    completes, and [budget_exhausted] counts the affected loads.
+
+    [bounds] is forwarded to every {!Optimal.search} (branch-and-bound
+    pruning, on by default); per-load results are bit-identical either
+    way, so the ensemble distributions are too. *)

@@ -9,6 +9,7 @@ let c_positions = Obs.counter "optimal.positions"
 let c_segments = Obs.counter "optimal.segments"
 let c_memo_hits = Obs.counter "optimal.memo_hits"
 let c_memo_misses = Obs.counter "optimal.memo_misses"
+let c_bound_cuts = Obs.counter "optimal.bound_cuts"
 let c_searches = Obs.counter "optimal.searches"
 let c_exhausted = Obs.counter "optimal.budget_exhausted"
 let h_depth = Obs.histogram "optimal.depth"
@@ -36,7 +37,12 @@ type result = {
   stats : stats;
 }
 
-and stats = { positions_explored : int; segments_run : int; pruned : int }
+and stats = {
+  positions_explored : int;
+  segments_run : int;
+  pruned : int;
+  bound_cuts : int;
+}
 
 exception Load_too_short
 
@@ -134,7 +140,15 @@ module Tbl = Hashtbl.Make (Key)
    load, pack or objective is refused instead of silently poisoning a
    resumed search — memo entries are exact subtree values, but only
    for the inputs that produced them. *)
-let memo_magic = "sched.optimal.memo"
+let memo_magic = "sched.optimal.memo.v2"
+
+(* Bounds default to on; the environment switch lets `dune runtest` and
+   A/B comparisons exercise the unpruned search without touching every
+   call site (the CLI's --no-bounds passes [~bounds:false] explicitly). *)
+let bounds_default () =
+  match Sys.getenv_opt "BATSCHED_NO_BOUNDS" with
+  | None | Some "" -> true
+  | Some _ -> false
 
 let fingerprint ~switch_delay ~objective ~allow_final_draw_skip ~initial
     ~n_batteries disc load =
@@ -151,8 +165,9 @@ let fingerprint ~switch_delay ~objective ~allow_final_draw_skip ~initial
           []))
 
 let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
-    ?(objective = Max_lifetime) ?(allow_final_draw_skip = false) ?initial
-    ~n_batteries (disc : Dkibam.Discretization.t) (load : Loads.Arrays.t) =
+    ?(objective = Max_lifetime) ?bounds ?(allow_final_draw_skip = false)
+    ?initial ~n_batteries (disc : Dkibam.Discretization.t)
+    (load : Loads.Arrays.t) =
   (match initial with
   | Some a when Array.length a <> n_batteries ->
       invalid_arg "Sched.Optimal.search: initial length mismatch"
@@ -169,8 +184,50 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
     | Min_stranded -> -stranded_units
     | Min_lifetime -> -step
   in
+  let bounds_on = match bounds with Some b -> b | None -> bounds_default () in
+  let bound =
+    if bounds_on then
+      Some (Bound.create ~switch_delay ~allow_final_draw_skip disc cursor)
+    else None
+  in
+  (* Objective-specific admissible upper bound on [score] at a position;
+     [None] when the bound cannot cut — in particular whenever some
+     continuation might outlive the load, because a pruned subtree must
+     be provably free of [Load_too_short]. *)
+  let score_ub bd (p : pos) =
+    let ub = Bound.lifetime_ub bd ~y:p.y ~local:p.local p.bank in
+    if ub >= Bound.infinite then None
+    else
+      match objective with
+      | Max_lifetime -> Some ub
+      | Min_stranded ->
+          Some (-Bound.stranded_lb bd ~y:p.y ~local:p.local p.bank)
+      | Min_lifetime ->
+          let lb = Bound.lifetime_lb bd ~y:p.y ~local:p.local p.bank in
+          if lb >= Bound.infinite then None else Some (-lb)
+  in
+  (* Achievable floor on a node's value: every continuation that dies
+     scores at least this much, so seeding [best] with it keeps the
+     stored maximum exact while letting dominated children be cut before
+     any of them is explored. *)
+  let seed_score (p : pos) =
+    match bound with
+    | None -> min_int
+    | Some bd -> (
+        match objective with
+        | Max_lifetime ->
+            let lb = Bound.lifetime_lb bd ~y:p.y ~local:p.local p.bank in
+            if lb >= Bound.infinite then min_int else lb
+        | Min_lifetime ->
+            let ub = Bound.lifetime_ub bd ~y:p.y ~local:p.local p.bank in
+            if ub >= Bound.infinite then min_int else -ub
+        | Min_stranded -> min_int)
+  in
   let memo : int Tbl.t = Tbl.create 4096 in
-  let segments = ref 0 and pruned = ref 0 and misses = ref 0 in
+  let segments = ref 0
+  and pruned = ref 0
+  and misses = ref 0
+  and cuts = ref 0 in
   (* Budget hooks.  [armed] is cleared once the search phase ends so the
      replay below (all memo hits) and the floor fallback can never trip;
      with no budget both hooks are no-ops and the search is bit-identical
@@ -205,8 +262,13 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
     | None -> ()
     | Some ck ->
         let entries = Tbl.fold (fun k v acc -> (k, v) :: acc) memo [] in
+        (* the flag is informational: entries are exact subtree values in
+           both modes, so a snapshot resumes soundly across modes and the
+           fingerprint deliberately excludes it *)
         let payload =
-          Marshal.to_string (Array.of_list entries : (Key.t * int) array) []
+          Marshal.to_string
+            ((bounds_on, Array.of_list entries) : bool * (Key.t * int) array)
+            []
         in
         Guard.Checkpoint.save ~path:ck.path ~magic:memo_magic
           ~fingerprint:(Lazy.force fp) payload
@@ -226,7 +288,9 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
           ~fingerprint:(Lazy.force fp)
       with
       | Ok payload ->
-          let entries : (Key.t * int) array = Marshal.from_string payload 0 in
+          let (_saved_with_bounds : bool), (entries : (Key.t * int) array) =
+            Marshal.from_string payload 0
+          in
           Array.iter (fun (k, v) -> Tbl.replace memo k v) entries
       | Error Guard.Checkpoint.Missing -> ()
       | Error (Guard.Checkpoint.Bad e) -> Guard.Error.raise_exn e)
@@ -242,7 +306,7 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
      Parameterized over the table so that parallel root branches can
      each own one.  [depth] counts decisions from the root and only
      feeds the observability histogram. *)
-  let rec value_in memo segments pruned misses ~depth (p : pos) =
+  let rec value_in memo segments pruned misses cuts ~depth (p : pos) =
     let key = Key.of_pos p in
     match Tbl.find_opt memo key with
     | Some v ->
@@ -253,16 +317,36 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
         note_position ();
         Obs.observe h_depth depth;
         maybe_ckpt ();
-        let best = ref min_int in
+        let best = ref (seed_score p) in
         List.iter
           (fun (b, skip_final) ->
             incr segments;
             charge ();
             match run_segment cursor ~switch_delay ~skip_final p b with
             | Terminal t -> if score t > !best then best := score t
-            | Next p' ->
-                let v = value_in memo segments pruned misses ~depth:(depth + 1) p' in
-                if v > !best then best := v
+            | Next p' -> (
+                (* memoized children are looked up before the bound check
+                   so hit/miss counts match the unpruned search exactly *)
+                match Tbl.find_opt memo (Key.of_pos p') with
+                | Some v ->
+                    incr pruned;
+                    if v > !best then best := v
+                | None ->
+                    let cut =
+                      match bound with
+                      | Some bd -> (
+                          match score_ub bd p' with
+                          | Some ub -> ub <= !best
+                          | None -> false)
+                      | None -> false
+                    in
+                    if cut then incr cuts
+                    else
+                      let v =
+                        value_in memo segments pruned misses cuts
+                          ~depth:(depth + 1) p'
+                      in
+                      if v > !best then best := v)
             | Exhausted -> raise Load_too_short)
           (choices p);
         (* a decision point always has at least one alive battery *)
@@ -270,7 +354,7 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
         Tbl.replace memo key !best;
         !best
   in
-  let value p = value_in memo segments pruned misses ~depth:0 p in
+  let value p = value_in memo segments pruned misses cuts ~depth:0 p in
   let root =
     match advance_to_job cursor 0 (Bank.create ?initial ~n_batteries disc) with
     | Next p -> p
@@ -285,6 +369,24 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
   let root_choices = choices root in
   let completed = ref [] in
   let trip_info = ref None in
+  (* Incumbent: one best-of-two policy run — the same floor the anytime
+     fallback uses — scores a schedule that is a path of this very tree,
+     so its score never exceeds the true optimum and seeding the root
+     [best] with it is exact.  Only computed with bounds on: with bounds
+     off nothing could consume it and the search must reproduce the
+     historical unpruned behaviour segment for segment. *)
+  let incumbent_floor =
+    match bound with
+    | None -> min_int
+    | Some _ -> (
+        let o =
+          Simulator.simulate ?initial ~switch_delay ~n_batteries
+            ~policy:Policy.Best_of disc load
+        in
+        match o.Simulator.lifetime_steps with
+        | None -> min_int
+        | Some steps -> score (steps, Bank.stranded_units o.Simulator.final))
+  in
   let eval_serial () =
     match Tbl.find_opt memo (Key.of_pos root) with
     | Some _ -> incr pruned
@@ -296,22 +398,46 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
            must surface as an anytime status, not an exception *)
         (try
            note_position ();
+           let best = ref incumbent_floor in
            List.iter
              (fun ((b, skip_final) as c) ->
                incr segments;
                charge ();
-               let v =
-                 match run_segment cursor ~switch_delay ~skip_final root b with
-                 | Terminal t -> score t
-                 | Next p' -> value_in memo segments pruned misses ~depth:1 p'
-                 | Exhausted -> raise Load_too_short
-               in
-               completed := (c, v) :: !completed)
+               match run_segment cursor ~switch_delay ~skip_final root b with
+               | Terminal t ->
+                   completed := (c, score t) :: !completed;
+                   if score t > !best then best := score t
+               | Next p' -> (
+                   match Tbl.find_opt memo (Key.of_pos p') with
+                   | Some v ->
+                       incr pruned;
+                       completed := (c, v) :: !completed;
+                       if v > !best then best := v
+                   | None ->
+                       let cut =
+                         match bound with
+                         | Some bd -> (
+                             match score_ub bd p' with
+                             | Some ub -> ub <= !best
+                             | None -> false)
+                         | None -> false
+                       in
+                       if cut then incr cuts
+                       else begin
+                         let v =
+                           value_in memo segments pruned misses cuts ~depth:1
+                             p'
+                         in
+                         completed := (c, v) :: !completed;
+                         if v > !best then best := v
+                       end)
+               | Exhausted -> raise Load_too_short)
              root_choices
          with Guard.Budget.Tripped r -> trip_info := Some r);
         if !trip_info = None then begin
           let best =
-            List.fold_left (fun acc (_, v) -> max acc v) min_int !completed
+            List.fold_left (fun acc (_, v) -> max acc v) incumbent_floor
+              !completed
           in
           (* a decision point always has at least one alive battery *)
           assert (best > min_int);
@@ -330,38 +456,64 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
      their partial tables still merge — each entry is exact. *)
   let eval_pooled pool =
     let root_choices = Array.of_list root_choices in
+    (* Branches prune against the up-front incumbent only — a fixed
+       threshold every domain sees identically, so which branches are
+       cut never depends on completion order.  A cut branch is settled
+       (its value is provably <= the incumbent, which the root max
+       already includes), so cuts count towards completion. *)
     let branch (b, skip_final) =
       let memo = Tbl.create 4096 in
-      let segments = ref 0 and pruned = ref 0 and misses = ref 0 in
+      let segments = ref 0
+      and pruned = ref 0
+      and misses = ref 0
+      and cuts = ref 0 in
       match
         (incr segments;
          charge ();
          match run_segment cursor ~switch_delay ~skip_final root b with
-         | Terminal t -> score t
-         | Next p' -> value_in memo segments pruned misses ~depth:1 p'
+         | Terminal t -> `Value (score t)
+         | Next p' ->
+             let cut =
+               match bound with
+               | Some bd -> (
+                   match score_ub bd p' with
+                   | Some ub -> ub <= incumbent_floor
+                   | None -> false)
+               | None -> false
+             in
+             if cut then begin
+               incr cuts;
+               `Cut
+             end
+             else `Value (value_in memo segments pruned misses cuts ~depth:1 p')
          | Exhausted -> raise Load_too_short)
       with
-      | v -> (Some v, memo, !segments, !pruned, !misses)
+      | outcome -> (outcome, memo, !segments, !pruned, !misses, !cuts)
       | exception Guard.Budget.Tripped _ ->
-          (None, memo, !segments, !pruned, !misses)
+          (`Tripped, memo, !segments, !pruned, !misses, !cuts)
     in
     let branches =
       Exec.Pool.parallel_init ~chunk:1 pool (Array.length root_choices)
         (fun i -> Obs.time ~index:i s_branch (fun () -> branch root_choices.(i)))
     in
+    let settled = ref 0 in
     Array.iteri
-      (fun i (v, m, s, pr, mi) ->
+      (fun i (o, m, s, pr, mi, cu) ->
         segments := !segments + s;
         pruned := !pruned + pr;
         misses := !misses + mi;
+        cuts := !cuts + cu;
         Tbl.iter (fun k v -> Tbl.replace memo k v) m;
-        match v with
-        | Some v -> completed := (root_choices.(i), v) :: !completed
-        | None -> ())
+        match o with
+        | `Value v ->
+            incr settled;
+            completed := (root_choices.(i), v) :: !completed
+        | `Cut -> incr settled
+        | `Tripped -> ())
       branches;
-    if List.length !completed = Array.length root_choices then begin
+    if !settled = Array.length root_choices then begin
       let best =
-        List.fold_left (fun acc (_, v) -> max acc v) min_int !completed
+        List.fold_left (fun acc (_, v) -> max acc v) incumbent_floor !completed
       in
       Tbl.replace memo (Key.of_pos root) best
     end
@@ -394,32 +546,46 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
       positions_explored = Tbl.length memo;
       segments_run = !segments;
       pruned = !pruned;
+      bound_cuts = !cuts;
     }
   in
   Obs.add c_positions stats.positions_explored;
   Obs.add c_segments stats.segments_run;
   Obs.add c_memo_hits stats.pruned;
   Obs.add c_memo_misses !misses;
-  (* Reconstruct one optimal schedule by replaying argmax choices. *)
+  Obs.add c_bound_cuts stats.bound_cuts;
+  (* Reconstruct one optimal schedule by replaying, at each position,
+     the first choice whose exact value matches the position's own — the
+     same selection the strict-argmax fold made before bounds existed.
+     With bounds on, a child whose score upper bound falls strictly
+     below the target cannot be that first match and is skipped without
+     being evaluated; a child the search itself cut may have to be
+     evaluated here (it memoizes as it goes, after the stats snapshot
+     above and with the budget disarmed). *)
   let schedule = ref [] in
   let final = ref (0, 0) in
   let rec replay (p : pos) =
-    let scored =
-      List.map
-        (fun (b, skip_final) ->
+    let v_star = value p in
+    let rec pick = function
+      | [] -> assert false
+      | (b, skip_final) :: rest -> (
           match run_segment cursor ~switch_delay ~skip_final p b with
-          | Terminal t -> (b, score t, None, Some t)
-          | Next p' -> (b, value p', Some p', None)
+          | Terminal t ->
+              if score t = v_star then (b, None, Some t) else pick rest
+          | Next p' ->
+              let skip =
+                match bound with
+                | Some bd when not (Tbl.mem memo (Key.of_pos p')) -> (
+                    match score_ub bd p' with
+                    | Some ub -> ub < v_star
+                    | None -> false)
+                | _ -> false
+              in
+              if (not skip) && value p' = v_star then (b, Some p', None)
+              else pick rest
           | Exhausted -> raise Load_too_short)
-        (choices p)
     in
-    let b, _, next, terminal =
-      List.fold_left
-        (fun (bb, bv, bn, bt) (b, v, n, t) ->
-          if v > bv then (b, v, n, t) else (bb, bv, bn, bt))
-        (-1, min_int, None, None)
-        scored
-    in
+    let b, next, terminal = pick (choices p) in
     schedule := b :: !schedule;
     match next with
     | Some p' -> replay p'
@@ -487,11 +653,11 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
             stats;
           })
 
-let lifetime ?pool ?budget ?switch_delay ?objective ?allow_final_draw_skip
-    ?initial ~n_batteries disc load =
+let lifetime ?pool ?budget ?switch_delay ?objective ?bounds
+    ?allow_final_draw_skip ?initial ~n_batteries disc load =
   Dkibam.Discretization.minutes_of_steps disc
-    (search ?pool ?budget ?switch_delay ?objective ?allow_final_draw_skip
-       ?initial ~n_batteries disc load)
+    (search ?pool ?budget ?switch_delay ?objective ?bounds
+       ?allow_final_draw_skip ?initial ~n_batteries disc load)
       .lifetime_steps
 
 let lookahead_policy ?(switch_delay = 1) ?(allow_final_draw_skip = false)

@@ -7,13 +7,23 @@
     (job start, or mid-job hand-over after a battery death) and battery
     choice, the system evolves deterministically to the next decision
     point, so the search tree branches only over the
-    [B^(number of decisions)] battery choices.  All pruning comes from
-    memoization over (position, canonical battery multiset): identical
-    batteries make many choice orders confluent, so whole subtrees
-    collapse onto already-solved positions ([stats.pruned] counts those
-    hits).  No admissible-bound pruning is applied — the memoized tree
-    is already small on the paper's instances, and exact values keep the
-    parallel root fan-out trivially correct.
+    [B^(number of decisions)] battery choices.  Pruning comes from two
+    sources.  Memoization over (position, canonical battery multiset):
+    identical batteries make many choice orders confluent, so whole
+    subtrees collapse onto already-solved positions ([stats.pruned]
+    counts those hits).  And branch-and-bound cuts from the admissible
+    KiBaM charge bounds of {!Bound}: a child whose score upper bound
+    cannot beat the best sibling value found so far — seeded per node by
+    an achievable floor, and at the root by one best-of-two policy run
+    (the incumbent) — is dropped unexplored ([stats.bound_cuts] counts
+    those).  Bounds only ever cut subtrees they prove dominated, so the
+    returned lifetime, stranded charge and schedule are bit-identical
+    with bounds on or off (asserted in the differential test suite);
+    memo entries stay exact subtree values in both modes, which keeps
+    the parallel root fan-out and checkpoint resume trivially correct.
+    Bounds are on by default; pass [~bounds:false] (or export
+    [BATSCHED_NO_BOUNDS=1]) for the unpruned A/B reference —
+    see doc/PERFORMANCE.md.
 
     The hand-over semantics (including the one-step switch delay) are
     exactly those of {!Simulator}, so an optimal schedule replayed through
@@ -22,8 +32,9 @@
 
     Observability: with [Obs] enabled a search records the
     [optimal.searches] / [optimal.positions] / [optimal.segments] /
-    [optimal.memo_hits] / [optimal.memo_misses] counters (the first
-    four mirror {!stats} exactly — asserted in the test suite), the
+    [optimal.memo_hits] / [optimal.memo_misses] /
+    [optimal.bound_cuts] counters (all but the miss count mirror
+    {!stats} exactly — asserted in the test suite), the
     [optimal.depth] histogram and the [optimal.search] /
     [optimal.branch] spans; see doc/OBSERVABILITY.md.  Results are
     bit-identical with observability on or off. *)
@@ -93,8 +104,14 @@ type result = {
 and stats = {
   positions_explored : int;
       (** memo table size — distinct (decision point, battery multiset)
-          positions solved.  Identical between the serial and pooled
-          searches: the pooled per-branch tables union to the same set. *)
+          positions solved.  With bounds off, identical between the
+          serial and pooled searches: the per-branch tables union to
+          the same set.  With bounds on the pooled search may solve
+          more positions: its branches cut only against the fixed
+          incumbent (never against values arriving from concurrent
+          siblings, to keep cut decisions deterministic), so it prunes
+          less than the serial loop — the results are still
+          bit-identical, only the work differs. *)
   segments_run : int;
       (** deterministic segment simulations during the search (the
           replay's lookups are excluded).  Under [?pool] this exceeds
@@ -106,6 +123,12 @@ and stats = {
           confluence at work.  Counted per table, so the pooled search
           reports the sum over its private branch tables, not the
           serial figure. *)
+  bound_cuts : int;
+      (** subtrees dropped unexplored because their {!Bound} score upper
+          bound could not beat an already-known sibling value (or, at
+          the root, the best-of-two incumbent).  Distinct from [pruned]:
+          a cut subtree was never simulated at all.  Always [0] with
+          bounds off. *)
 }
 
 (** [initial] admits heterogeneous packs — e.g. a main cell plus a
@@ -132,6 +155,7 @@ val search :
   ?checkpoint:checkpoint ->
   ?switch_delay:int ->
   ?objective:objective ->
+  ?bounds:bool ->
   ?allow_final_draw_skip:bool ->
   ?initial:Dkibam.Battery.t array ->
   n_batteries:int ->
@@ -144,14 +168,20 @@ val search :
     choice orders confluent; the paper's ten two-battery test loads each
     complete in well under a second.
 
+    [bounds] arms the branch-and-bound layer (see the module comment);
+    defaults to [true] unless the [BATSCHED_NO_BOUNDS] environment
+    variable is set non-empty.  Results are bit-identical either way;
+    only the work statistics ([segments_run], [positions_explored],
+    [bound_cuts]) and the wall time change.
+
     [pool] explores the first-decision branches in parallel, one domain
     pool task per branch, each with a private memo table; the tables are
     merged before the schedule is reconstructed.  Because every memo
     entry is an {e exact} subtree value (never a bound), the merge is
     order-independent and the returned lifetime, stranded charge and
     schedule are identical to the serial search — asserted over all ten
-    Table 5 loads in the test suite.  Only [stats.segments_run] and
-    [stats.pruned] differ (see {!stats}).
+    Table 5 loads in the test suite.  Only the work statistics differ
+    (see {!stats}).
 
     [budget] bounds the work; on exhaustion the result carries
     [Budget_exhausted] and an anytime schedule (see the section above).
@@ -166,8 +196,11 @@ val search :
     resumed search returns the same lifetime, stranded charge and
     schedule as an uninterrupted run (memo entries are exact, so a
     preload only converts misses into hits — [stats] reflect the work
-    of this process only).  A snapshot from different inputs raises
-    {!Guard.Error.Error} rather than resuming from garbage.  A
+    of this process only).  Entries are exact in both bound modes, so a
+    snapshot written with bounds on resumes soundly with bounds off and
+    vice versa; the snapshot magic is [sched.optimal.memo.v2], and a
+    pre-bounds [v1] snapshot (or any other magic/fingerprint mismatch)
+    raises {!Guard.Error.Error} rather than resuming from garbage.  A
     checkpointed search ignores [pool] and runs serially. *)
 
 val lifetime :
@@ -175,6 +208,7 @@ val lifetime :
   ?budget:Guard.Budget.t ->
   ?switch_delay:int ->
   ?objective:objective ->
+  ?bounds:bool ->
   ?allow_final_draw_skip:bool ->
   ?initial:Dkibam.Battery.t array ->
   n_batteries:int ->

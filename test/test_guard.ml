@@ -455,6 +455,55 @@ let test_optimal_resume_fingerprint_mismatch () =
       with Guard.Error.Error e ->
         Alcotest.(check string) "subsystem" "guard.checkpoint" e.Guard.Error.subsystem)
 
+let test_optimal_checkpoint_cross_bounds_resume () =
+  (* memo entries are exact subtree values in both bound modes, so a
+     snapshot written with bounds on resumes soundly with bounds off
+     and vice versa — and a budget-tripped bounded search resumes to
+     the bit-identical optimum *)
+  with_temp (fun path ->
+      let a = arrays Loads.Testloads.ILs_r1 in
+      let plain = Sched.Optimal.search ~n_batteries:2 disc a in
+      List.iter
+        (fun (write_bounds, resume_bounds) ->
+          if Sys.file_exists path then Sys.remove path;
+          let budget = Guard.Budget.create ~max_segments:60 () in
+          let ck = Sched.Optimal.checkpoint ~every_segments:1 path in
+          let partial =
+            Sched.Optimal.search ~budget ~checkpoint:ck ~bounds:write_bounds
+              ~n_batteries:2 disc a
+          in
+          check_status "interrupted" `Exhausted partial;
+          check_bool "snapshot written" true (Sys.file_exists path);
+          let resume =
+            Sched.Optimal.checkpoint ~every_segments:1 ~resume:true path
+          in
+          let resumed =
+            Sched.Optimal.search ~checkpoint:resume ~bounds:resume_bounds
+              ~n_batteries:2 disc a
+          in
+          check_status "resumed" `Optimal resumed;
+          check_int "lifetime" plain.lifetime_steps resumed.lifetime_steps;
+          check_int "stranded" plain.stranded_units resumed.stranded_units;
+          Alcotest.(check (array int)) "schedule" plain.schedule resumed.schedule)
+        [ (true, true); (true, false); (false, true) ])
+
+let test_optimal_resume_v1_magic_refused () =
+  (* a pre-bounds (v1) snapshot has a different payload shape; it must
+     be refused by magic, not misread *)
+  with_temp (fun path ->
+      Sys.remove path;
+      let a = arrays Loads.Testloads.ILs_alt in
+      Guard.Checkpoint.save ~path ~magic:"sched.optimal.memo"
+        ~fingerprint:"whatever"
+        (Marshal.to_string [| (0, 0) |] []);
+      let resume = Sched.Optimal.checkpoint ~resume:true path in
+      try
+        ignore (Sched.Optimal.search ~checkpoint:resume ~n_batteries:2 disc a);
+        Alcotest.fail "v1 snapshot accepted"
+      with Guard.Error.Error e ->
+        Alcotest.(check string) "subsystem" "guard.checkpoint"
+          e.Guard.Error.subsystem)
+
 (* ------------------------------------------------------------------ *)
 (* Reachability under budgets                                          *)
 (* ------------------------------------------------------------------ *)
@@ -518,6 +567,53 @@ let test_search_compat_failure () =
     ignore (Pta.Reachability.search ~max_states:1 ~goal net);
     Alcotest.fail "state cap did not raise"
   with Failure _ -> ()
+
+let test_reachability_prune () =
+  let net = lamp_net () in
+  let lamp = Pta.Compiled.auto_index net "lamp" in
+  let bright = Pta.Compiled.location_index net ~auto:"lamp" ~loc:"bright" in
+  let low = Pta.Compiled.location_index net ~auto:"lamp" ~loc:"low" in
+  let goal = lamp_goal net in
+  let nowhere ~locs:_ ~vars:_ = false in
+  (* no prune, and a prune that never fires: identical Found answers,
+     zero cuts *)
+  (match Pta.Reachability.explore ~goal net with
+  | Pta.Reachability.Found r ->
+      check_int "no cuts without prune" 0 r.stats.bound_cuts
+  | _ -> Alcotest.fail "bright should be reachable");
+  (match Pta.Reachability.explore ~prune:nowhere ~goal net with
+  | Pta.Reachability.Found r ->
+      check_int "no cuts from a cold prune" 0 r.stats.bound_cuts
+  | _ -> Alcotest.fail "cold prune changed the answer");
+  (* against a goal that holds nowhere, every predicate is admissible:
+     cutting the whole bright region must preserve the exact
+     Unreachable answer, count its cuts, and shrink the passed list *)
+  let full =
+    match Pta.Reachability.explore ~goal:nowhere net with
+    | Pta.Reachability.Unreachable s -> s
+    | _ -> Alcotest.fail "false goal reached"
+  in
+  check_int "baseline cuts" 0 full.bound_cuts;
+  (match
+     Pta.Reachability.explore
+       ~prune:(fun ~locs ~vars:_ -> locs.(lamp) = bright)
+       ~goal:nowhere net
+   with
+  | Pta.Reachability.Unreachable s ->
+      check_bool "cuts counted" true (s.bound_cuts > 0);
+      check_bool "cut states not stored" true (s.stored < full.stored)
+  | _ -> Alcotest.fail "admissible prune changed the answer");
+  (* the documented caveat: an inadmissible predicate — cutting [low],
+     which every path to [bright] crosses — degrades the search to
+     sound-for-Found-only and reports Unreachable *)
+  match
+    Pta.Reachability.explore
+      ~prune:(fun ~locs ~vars:_ -> locs.(lamp) = low)
+      ~goal net
+  with
+  | Pta.Reachability.Unreachable s ->
+      check_bool "inadmissible cuts counted" true (s.bound_cuts > 0)
+  | _ -> Alcotest.fail "expected the pruned search to miss the goal"
 
 (* ------------------------------------------------------------------ *)
 (* Ensemble under budgets                                              *)
@@ -589,11 +685,16 @@ let () =
             test_optimal_checkpoint_trip_then_resume;
           Alcotest.test_case "resume fingerprint mismatch" `Quick
             test_optimal_resume_fingerprint_mismatch;
+          Alcotest.test_case "cross-bound-mode resume" `Quick
+            test_optimal_checkpoint_cross_bounds_resume;
+          Alcotest.test_case "v1 snapshot refused" `Quick
+            test_optimal_resume_v1_magic_refused;
         ] );
       ( "reachability",
         [
           Alcotest.test_case "explore outcomes" `Quick test_explore_found_and_exhausted;
           Alcotest.test_case "search compat" `Quick test_search_compat_failure;
+          Alcotest.test_case "prune hook" `Quick test_reachability_prune;
         ] );
       ( "ensemble",
         [

@@ -275,6 +275,10 @@ let test_optimal_stats_match () =
         stats.Sched.Optimal.pruned
         (Obs.counter_value snap "optimal.memo_hits");
       Alcotest.(check int)
+        (label ^ ": optimal.bound_cuts = stats.bound_cuts")
+        stats.Sched.Optimal.bound_cuts
+        (Obs.counter_value snap "optimal.bound_cuts");
+      Alcotest.(check int)
         (label ^ ": one search recorded")
         1
         (Obs.counter_value snap "optimal.searches"))
