@@ -11,7 +11,7 @@
    tables12, table3, table4, table5, figure1, figure5, figure6,
    ablation-capacity, ablation-complexity, ablation-models,
    ablation-lookahead, ablation-granularity, multi-battery,
-   random-ensemble, cross-validation, optimal-bench, micro.
+   random-ensemble, cross-validation, optimal-bench, batch-bench, micro.
 
    `-j N` (or `--jobs N`) renders independent table/figure artifacts
    concurrently on an Exec.Pool of N domains — each artifact formats
@@ -20,7 +20,10 @@
    timing-sensitive artifacts (optimal-bench, micro) always run
    serially, after the others; optimal-bench additionally measures the
    serial-vs-parallel speedup of the optimal search and of a 50-load
-   ensemble, and writes the measurements to BENCH_parallel.json. *)
+   ensemble, and writes the measurements to BENCH_parallel.json;
+   batch-bench measures the struct-of-arrays batch engine against the
+   scalar simulator (results asserted bit-identical) and merges its
+   battery-steps/sec record into the same file's "batch" block. *)
 
 let section ppf title = Format.fprintf ppf "@.=== %s ===@.@." title
 
@@ -150,6 +153,47 @@ let json_escape s =
     (List.map
        (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
+
+let num_of_json = function
+  | Obs.Json.Float f -> Some f
+  | Obs.Json.Int n -> Some (float_of_int n)
+  | _ -> None
+
+(* Minimal pretty-printer over [Obs.Json.t]: lets [batch-bench] merge
+   its block into BENCH_parallel.json (and [optimal-bench] preserve a
+   previous batch block) without flattening the record onto one line. *)
+let rec pretty_json ?(indent = 0) (j : Obs.Json.t) =
+  let pad n = String.make (2 * n) ' ' in
+  match j with
+  | Obs.Json.Null -> "null"
+  | Obs.Json.Bool b -> string_of_bool b
+  | Obs.Json.Int n -> string_of_int n
+  | Obs.Json.Float f -> Printf.sprintf "%.3f" f
+  | Obs.Json.String s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Obs.Json.List [] -> "[]"
+  | Obs.Json.List items ->
+      Printf.sprintf "[\n%s\n%s]"
+        (String.concat ",\n"
+           (List.map
+              (fun x -> pad (indent + 1) ^ pretty_json ~indent:(indent + 1) x)
+              items))
+        (pad indent)
+  | Obs.Json.Obj [] -> "{}"
+  | Obs.Json.Obj fields ->
+      Printf.sprintf "{\n%s\n%s}"
+        (String.concat ",\n"
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "%s\"%s\": %s" (pad (indent + 1)) (json_escape k)
+                  (pretty_json ~indent:(indent + 1) v))
+              fields))
+        (pad indent)
+
+let read_bench_json () =
+  match In_channel.with_open_bin "BENCH_parallel.json" In_channel.input_all with
+  | exception Sys_error _ -> None
+  | contents -> (
+      match Obs.Json.of_string contents with Ok j -> Some j | Error _ -> None)
 
 (* Generated long loads for the branch-and-bound A/B measurement —
    [Loads.Random_load] intermitted loads scaled past the Table 5 sizes
@@ -313,8 +357,10 @@ let optimal_bench ~jobs ppf =
            only)@.";
       (* previous run's record, if one is on disk: writes are atomic
          (below), so a torn file can only be a stale or hand-edited
-         artifact — either way a note, never a failure *)
-      let previous_speedup =
+         artifact — either way a note, never a failure.  The comparison
+         reports the wall-times themselves, not just the speedup ratio:
+         a slower machine can keep the ratio while both columns drift. *)
+      let previous_ensemble =
         match
           In_channel.with_open_bin "BENCH_parallel.json" In_channel.input_all
         with
@@ -323,27 +369,30 @@ let optimal_bench ~jobs ppf =
             match Obs.Json.of_string contents with
             | Error _ -> Some (Error "unreadable")
             | Ok j -> (
-                match
-                  Option.bind
-                    (Obs.Json.member "ensemble" j)
-                    (Obs.Json.member "speedup")
-                with
-                | Some (Obs.Json.Float f) -> Some (Ok f)
-                | Some (Obs.Json.Int n) -> Some (Ok (float_of_int n))
-                | _ -> Some (Error "missing its ensemble speedup")))
+                match Obs.Json.member "ensemble" j with
+                | None -> Some (Error "missing its ensemble block")
+                | Some e -> (
+                    let num name =
+                      Option.bind (Obs.Json.member name e) num_of_json
+                    in
+                    match (num "serial_ms", num "parallel_ms", num "speedup") with
+                    | Some s, Some p, Some sp -> Some (Ok (s, p, sp))
+                    | _ -> Some (Error "missing its ensemble wall-times"))))
       in
-      (match previous_speedup with
+      (match previous_ensemble with
       | None -> ()
       | Some (Error what) ->
           Format.fprintf ppf
             "  (previous BENCH_parallel.json is %s; skipping the \
              run-over-run comparison)@."
             what
-      | Some (Ok prev) ->
+      | Some (Ok (prev_serial, prev_par, prev_speedup)) ->
           let now = ens_serial_ms /. ens_par_ms in
           Format.fprintf ppf
-            "  ensemble speedup vs previous run: %.2fx -> %.2fx (%+.2f)@."
-            prev now (now -. prev));
+            "  ensemble vs previous run: serial %.0f -> %.0f ms, parallel \
+             %.0f -> %.0f ms, speedup %.2fx -> %.2fx (%+.2f)@."
+            prev_serial ens_serial_ms prev_par ens_par_ms prev_speedup now
+            (now -. prev_speedup));
       (* machine-readable record of the same numbers *)
       let buf = Buffer.create 1024 in
       Buffer.add_string buf "{\n";
@@ -385,6 +434,13 @@ let optimal_bench ~jobs ppf =
             \"n_batteries\": 2, \"include_optimal\": true, \"serial_ms\": \
             %.3f, \"parallel_ms\": %.3f, \"speedup\": %.3f},\n"
            ens_serial_ms ens_par_ms (ens_serial_ms /. ens_par_ms));
+      (* a batch block from a previous batch-bench run survives an
+         optimal-bench-only regeneration *)
+      (match Option.bind (read_bench_json ()) (Obs.Json.member "batch") with
+      | None -> ()
+      | Some b ->
+          Buffer.add_string buf
+            (Printf.sprintf "  \"batch\": %s,\n" (pretty_json ~indent:1 b)));
       Buffer.add_string buf "  \"obs\": ";
       Buffer.add_string buf obs_json;
       Buffer.add_string buf "\n}\n";
@@ -393,6 +449,129 @@ let optimal_bench ~jobs ppf =
       Guard.Checkpoint.write_atomic ~path:"BENCH_parallel.json"
         (Buffer.contents buf);
       Format.fprintf ppf "  measurements written to BENCH_parallel.json@.")
+
+(* ------------------------------------------------------------------ *)
+(* Batch engine throughput: struct-of-arrays lanes vs the scalar       *)
+(* simulator (the "batch" block of BENCH_parallel.json)                *)
+(* ------------------------------------------------------------------ *)
+
+let batch_bench ppf =
+  section ppf
+    "Batch engine: struct-of-arrays lanes vs the scalar simulator (identical \
+     results asserted, single core)";
+  let disc = Dkibam.Discretization.paper_b1 in
+  let n_batteries = 2 in
+  let policies =
+    [
+      (Sched.Policy.Sequential, Batch.Engine.Sequential);
+      (Sched.Policy.Round_robin, Batch.Engine.Round_robin);
+      (Sched.Policy.Best_of, Batch.Engine.Best_of);
+    ]
+  in
+  (* fixed-seed generated loads scaled past the Table 5 sizes (40 jobs
+     each): a regression artifact, not a fuzzer *)
+  let n_loads = 32 in
+  let loads =
+    Array.init n_loads (fun i ->
+        Loads.Arrays.make ~time_step:disc.Dkibam.Discretization.time_step
+          ~charge_unit:disc.Dkibam.Discretization.charge_unit
+          (Loads.Random_load.intermitted
+             ~seed:(Int64.of_int (7000 + i))
+             ~jobs:40 ()))
+  in
+  let compiled =
+    Array.map (fun a -> Loads.Cursor.compile_exn (Loads.Cursor.make a)) loads
+  in
+  let per_load f =
+    Array.concat
+      (List.map
+         (fun i -> Array.of_list (List.map (f i) policies))
+         (List.init n_loads Fun.id))
+  in
+  let lanes =
+    per_load (fun i (_, bp) -> { Batch.Engine.load = i; policy = bp })
+  in
+  let requests =
+    per_load (fun i (sp, _) ->
+        { Sched.Simulator.req_load = loads.(i); req_policy = sp })
+  in
+  (* warm both paths up, then time each once *)
+  ignore (Batch.Engine.run ~n_batteries disc ~loads:compiled ~lanes);
+  ignore (Sched.Simulator.run_batch ~batch:false ~n_batteries disc requests);
+  let st, batch_ms =
+    time_ms (fun () -> Batch.Engine.run ~n_batteries disc ~loads:compiled ~lanes)
+  in
+  let scalar, scalar_ms =
+    time_ms (fun () ->
+        Sched.Simulator.run_batch ~batch:false ~n_batteries disc requests)
+  in
+  (* the bit-identity contract, asserted lane by lane — a throughput
+     number for a diverging engine would be worthless *)
+  Array.iteri
+    (fun k (s : Sched.Simulator.batch_result) ->
+      if
+        Batch.State.lifetime_steps st k <> s.Sched.Simulator.res_lifetime_steps
+        || Batch.State.stranded st k <> s.Sched.Simulator.res_stranded
+      then
+        failwith
+          (Printf.sprintf "batch bench: lane %d differs from the scalar run" k))
+    scalar;
+  let steps = Batch.State.steps st in
+  let steps_per_sec = float_of_int steps /. (batch_ms /. 1000.0) in
+  Format.fprintf ppf "  lanes              %17d  (%d loads x %d policies, %dxB1)@."
+    (Array.length lanes) n_loads (List.length policies) n_batteries;
+  Format.fprintf ppf "  battery-steps      %17d@." steps;
+  Format.fprintf ppf "  batch engine       %14.2f ms  (%.1f M battery-steps/s)@."
+    batch_ms (steps_per_sec /. 1e6);
+  Format.fprintf ppf "  scalar simulator   %14.2f ms  (batch speedup %.2fx)@."
+    scalar_ms (scalar_ms /. batch_ms);
+  Format.fprintf ppf
+    "  (batched lifetimes and stranded charge bit-identical to the scalar \
+     simulator on every lane)@.";
+  if steps_per_sec < 1e6 then
+    failwith
+      (Printf.sprintf
+         "batch bench: %.0f battery-steps/s is below the 1M/s floor"
+         steps_per_sec);
+  let previous_doc = read_bench_json () in
+  (match
+     Option.bind previous_doc (fun j ->
+         Option.bind (Obs.Json.member "batch" j) (fun b ->
+             Option.bind (Obs.Json.member "steps_per_sec" b) num_of_json))
+   with
+  | None -> ()
+  | Some prev ->
+      Format.fprintf ppf
+        "  throughput vs previous run: %.1fM -> %.1fM battery-steps/s@."
+        (prev /. 1e6) (steps_per_sec /. 1e6));
+  let batch_obj =
+    Obs.Json.Obj
+      [
+        ("lanes", Obs.Json.Int (Array.length lanes));
+        ("loads", Obs.Json.Int n_loads);
+        ("n_batteries", Obs.Json.Int n_batteries);
+        ("battery_steps", Obs.Json.Int steps);
+        ("batch_ms", Obs.Json.Float batch_ms);
+        ("scalar_ms", Obs.Json.Float scalar_ms);
+        ("speedup", Obs.Json.Float (scalar_ms /. batch_ms));
+        ("steps_per_sec", Obs.Json.Float steps_per_sec);
+        ( "single_core",
+          Obs.Json.Bool (Domain.recommended_domain_count () = 1) );
+      ]
+  in
+  (* merge, never clobber: the rest of BENCH_parallel.json belongs to
+     optimal-bench *)
+  let merged =
+    match previous_doc with
+    | Some (Obs.Json.Obj fields) ->
+        Obs.Json.Obj
+          (List.filter (fun (k, _) -> k <> "batch") fields
+          @ [ ("batch", batch_obj) ])
+    | _ -> Obs.Json.Obj [ ("batch", batch_obj) ]
+  in
+  Guard.Checkpoint.write_atomic ~path:"BENCH_parallel.json"
+    (pretty_json merged ^ "\n");
+  Format.fprintf ppf "  batch block written to BENCH_parallel.json@."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -536,7 +715,11 @@ let render_artifacts =
   ]
 
 let timing_artifacts ~jobs =
-  [ ("optimal-bench", optimal_bench ~jobs); ("micro", micro) ]
+  [
+    ("optimal-bench", optimal_bench ~jobs);
+    ("batch-bench", batch_bench);
+    ("micro", micro);
+  ]
 
 let () =
   let rec parse jobs names = function

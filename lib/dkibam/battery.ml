@@ -33,45 +33,30 @@ let make_result ?input (d : Discretization.t) ~n_gamma ~m_delta ~recov_clock =
       "recovery clock out of range"
   else Ok { n_gamma; m_delta; recov_clock }
 
-(* Re-establish the height automaton's invariant c_recov <= recov_time[m]
-   at the current instant: fire any recovery that is already due.  A single
-   firing resets the clock to 0 < recov_time[m'], so one pass suffices. *)
-let settle d b =
-  if b.m_delta >= 2 && b.recov_clock >= Discretization.recov_time d b.m_delta
-  then { b with m_delta = b.m_delta - 1; recov_clock = 0 }
-  else b
+(* The transition arithmetic lives in [Kernel], shared with the
+   struct-of-arrays batch engine; this module only boxes it. *)
 
 let tick d b =
-  if b.m_delta >= 2 then begin
-    let clock = b.recov_clock + 1 in
-    if clock >= Discretization.recov_time d b.m_delta then
-      { b with m_delta = b.m_delta - 1; recov_clock = 0 }
-    else { b with recov_clock = clock }
-  end
-  else { b with recov_clock = b.recov_clock + 1 }
+  let m_delta, recov_clock =
+    Kernel.tick d ~m:b.m_delta ~clock:b.recov_clock ~steps:1
+  in
+  { b with m_delta; recov_clock }
 
 let tick_many d k b =
   if k < 0 then invalid_arg "Dkibam.Battery.tick_many: negative step count";
-  (* Jump from recovery event to recovery event instead of stepping. *)
-  let rec go k b =
-    if k = 0 then b
-    else if b.m_delta < 2 then { b with recov_clock = b.recov_clock + k }
-    else begin
-      (* an already-overdue recovery (possible for hand-built states)
-         fires on the next step, like [tick] *)
-      let due = max 1 (Discretization.recov_time d b.m_delta - b.recov_clock) in
-      if due > k then { b with recov_clock = b.recov_clock + k }
-      else go (k - due) { b with m_delta = b.m_delta - 1; recov_clock = 0 }
-    end
+  let m_delta, recov_clock =
+    Kernel.tick d ~m:b.m_delta ~clock:b.recov_clock ~steps:k
   in
-  go k b
+  { b with m_delta; recov_clock }
 
 let draw d ~cur b =
   if cur < 1 then invalid_arg "Dkibam.Battery.draw: cur must be >= 1";
   if b.n_gamma < cur then
     invalid_arg "Dkibam.Battery.draw: not enough charge units left";
-  let recov_clock = if b.m_delta <= 1 then 0 else b.recov_clock in
-  settle d { n_gamma = b.n_gamma - cur; m_delta = b.m_delta + cur; recov_clock }
+  let n_gamma, m_delta, recov_clock =
+    Kernel.draw d ~n:b.n_gamma ~m:b.m_delta ~clock:b.recov_clock ~cur
+  in
+  { n_gamma; m_delta; recov_clock }
 
 let is_empty d b = Discretization.is_empty d ~n:b.n_gamma ~m:b.m_delta
 

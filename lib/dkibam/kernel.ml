@@ -1,0 +1,37 @@
+(* The all-integer dKiBaM transition arithmetic, shared verbatim by the
+   boxed scalar path (Battery) and the struct-of-arrays batch engine
+   (Batch.Engine).  Keeping the recurrences here — and only here — is
+   what lets the batch engine promise bit-identical results: both paths
+   call the same code, so they cannot drift. *)
+
+let tick (d : Discretization.t) ~m ~clock ~steps =
+  if steps < 0 then invalid_arg "Dkibam.Kernel.tick: negative step count";
+  (* Jump from recovery event to recovery event instead of stepping. *)
+  let recov = d.recov_time in
+  let rec go k m clock =
+    if k = 0 then (m, clock)
+    else if m < 2 then (m, clock + k)
+    else begin
+      (* an already-overdue recovery (possible for hand-built states)
+         fires on the next step, like a single tick *)
+      let due = max 1 (recov.(m) - clock) in
+      if due > k then (m, clock + k) else go (k - due) (m - 1) 0
+    end
+  in
+  go steps m clock
+
+let draw (d : Discretization.t) ~n ~m ~clock ~cur =
+  (* The use_charge edge: the recovery clock resets exactly when
+     recovery was not already running (m <= 1 before the draw), and an
+     already-due recovery fires immediately afterwards — the recov_time
+     table shrinks as m grows, so the invariant c_recov <= recov_time[m]
+     can be violated by the jump and must be re-established at the same
+     instant.  A single firing resets the clock to 0 < recov_time[m'],
+     so one pass suffices. *)
+  let clock = if m <= 1 then 0 else clock in
+  let n = n - cur and m = m + cur in
+  if m >= 2 && clock >= d.recov_time.(m) then (n, m - 1, 0)
+  else (n, m, clock)
+
+let is_empty = Discretization.is_empty
+let available_milli = Discretization.available_milli_units

@@ -1,0 +1,39 @@
+(** The all-integer dKiBaM transition arithmetic — the numeric core
+    shared by the boxed scalar path ({!Battery}) and the
+    struct-of-arrays batch engine ([Batch.Engine]).
+
+    A battery's dynamic state is three integers: [n] remaining charge
+    units, [m] height-difference units, [clock] steps since the last
+    recovery event (the TA clock [c_recov]).  {!Battery} wraps them in
+    an immutable record; the batch engine keeps them in flat per-lane
+    arrays.  Both express every transition through this module, so the
+    two paths execute {e the same} recurrences and cannot drift — the
+    bit-identity contract of the batch engine rests on it. *)
+
+val tick : Discretization.t -> m:int -> clock:int -> steps:int -> int * int
+(** [tick d ~m ~clock ~steps] advances one battery [steps] time steps of
+    pure recovery and returns its new [(m, clock)].  Runs in O(number of
+    recovery events), jumping from event to event: while [m >= 2] each
+    recovery is due [max 1 (recov_time m - clock)] steps ahead (an
+    already-overdue recovery — possible for hand-built states — fires on
+    the next step) and resets the clock; below [m = 2] the remaining
+    steps only age the clock.  Raises [Invalid_argument] when [steps] is
+    negative. *)
+
+val draw : Discretization.t -> n:int -> m:int -> clock:int -> cur:int ->
+  int * int * int
+(** [draw d ~n ~m ~clock ~cur] applies one [use_charge] event of [cur]
+    units and returns the new [(n, m, clock)]: the recovery clock resets
+    exactly when recovery was not already running ([m <= 1] before the
+    draw), then [n -= cur], [m += cur], and an already-due recovery
+    fires immediately at the same instant (the settle rule).  Unchecked:
+    callers validate [cur >= 1] and [n >= cur] first — {!Battery.draw}
+    raises, [Sched.Bank.draw_from] and the batch engine treat the
+    shortfall as the fatal-draw observation. *)
+
+val is_empty : Discretization.t -> n:int -> m:int -> bool
+(** Paper eq. (8) on raw state — alias of {!Discretization.is_empty}. *)
+
+val available_milli : Discretization.t -> n:int -> m:int -> int
+(** Available charge in milli-units — alias of
+    {!Discretization.available_milli_units}. *)

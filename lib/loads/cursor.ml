@@ -77,6 +77,67 @@ let draw_units t y =
 
 let draw_units_after t y = t.units_after.(y)
 
+type compiled = {
+  c_starts : int array;
+  c_lens : int array;
+  c_ct : int array;
+  c_cur : int array;
+  c_draws : int array;
+  c_rest : int array;
+  c_total : int;
+}
+
+(* Headroom for every step counter a consumer can derive from a compiled
+   schedule: absolute steps (<= c_total), per-epoch draw offsets
+   (i * ct <= len) and per-epoch drawn units (draws * cur).  max_int / 4
+   matches Dkibam.Discretization.infinite_time, so compiled step
+   arithmetic can never cross it. *)
+let max_compiled_steps = max_int / 4
+
+let compile t =
+  let n = epoch_count t in
+  let err field value what =
+    Error
+      (Guard.Error.make ~subsystem:"loads.cursor" ~field
+         ~value:(string_of_int value)
+         ~accepted:
+           (Printf.sprintf "compiled step counters <= %d (max_int / 4)"
+              max_compiled_steps)
+         what)
+  in
+  if total_steps t > max_compiled_steps then
+    err "load_time" (total_steps t)
+      "load too long: the flat schedule would overflow the int step counters"
+  else begin
+    let overflowing = ref None in
+    for y = 0 to n - 1 do
+      let s = t.scheds.(y) in
+      if
+        !overflowing = None && s.cur > 0
+        && s.draws > max_compiled_steps / s.cur
+      then overflowing := Some y
+    done;
+    match !overflowing with
+    | Some y ->
+        err "cur" t.scheds.(y).cur
+          (Printf.sprintf
+             "epoch %d: draws * cur would overflow the int unit counters" y)
+    | None ->
+        Ok
+          {
+            c_starts = Array.copy t.starts;
+            c_lens = Array.copy t.lens;
+            c_ct = Array.map (fun s -> s.ct) t.scheds;
+            c_cur = Array.map (fun s -> s.cur) t.scheds;
+            c_draws = Array.map (fun s -> s.draws) t.scheds;
+            c_rest = Array.map (fun s -> s.rest) t.scheds;
+            c_total = total_steps t;
+          }
+  end
+
+let compile_exn t =
+  match compile t with Ok c -> c | Error e -> Guard.Error.raise_exn e
+
 type event = Idle of int | Draw of int | Epoch_end
 
 (* [i] indexes sub-events within epoch [y]: positions [0, 2*draws) pair up

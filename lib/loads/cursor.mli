@@ -91,6 +91,42 @@ val draw_units_after : t -> int -> int
 (** Charge units drawn by epochs [y+1 .. end] — the suffix dot-product
     of the encoding, precomputed at construction. *)
 
+(** {2 Compiled flat schedules}
+
+    The cursor's precomputed per-epoch draw schedules, exported as bare
+    parallel [int array]s — the read-only load layout the
+    struct-of-arrays batch engine ([Batch.Engine]) iterates with unsafe
+    accesses.  The cursor itself stays the scalar path's iterator; a
+    compiled view adds nothing to the semantics, it only flattens what
+    {!schedule} already computed. *)
+
+type compiled = private {
+  c_starts : int array;  (** absolute step of each epoch's first step *)
+  c_lens : int array;  (** epoch lengths in steps *)
+  c_ct : int array;  (** steps between consecutive draws *)
+  c_cur : int array;  (** charge units per draw; 0 for idle epochs *)
+  c_draws : int array;  (** full draws in the whole epoch *)
+  c_rest : int array;  (** trailing steps after the last full draw *)
+  c_total : int;  (** absolute step at which the load ends *)
+}
+
+val max_compiled_steps : int
+(** Ceiling on every step counter derivable from a compiled schedule
+    ([max_int / 4]): absolute steps, per-epoch draw offsets and
+    per-epoch drawn units all stay below it, so consumers can add and
+    multiply them without a silent wrap. *)
+
+val compile : t -> (compiled, Guard.Error.t) result
+(** [compile t] flattens the precomputed schedules.  Loads whose total
+    step count exceeds {!max_compiled_steps}, or whose per-epoch
+    [draws * cur] product would overflow it, are rejected with a
+    structured error instead of wrapping — batch consumers either get
+    arrays they can trust or a {!Guard.Error.t} naming the offending
+    field. *)
+
+val compile_exn : t -> compiled
+(** [compile] or raise {!Guard.Error.Error}. *)
+
 (** {2 Event iteration}
 
     A pure pull-iterator over the load's event structure.  The event

@@ -79,20 +79,41 @@ let run ?pool ?budget ?(seed = 42L) ?(n_loads = 50) ?(jobs_per_load = 60)
   (* Per-load PRNG streams are seed-split up front, so the per-load work
      below depends only on its own seed — embarrassingly parallel. *)
   let seeds = Array.init n_loads (fun _ -> Prng.Splitmix.next_int64 g) in
-  let one i load_seed =
+  (* The policy simulations are packed into one batched pass: one lane
+     per (load, policy), chunked over the pool by Simulator.run_batch —
+     the struct-of-arrays engine replaces n_loads * |policies| boxed
+     scalar runs with a handful of flat batches, bit-identically.  Only
+     the optimal searches (not batchable: each is its own tree search)
+     remain per-load tasks below. *)
+  let all_arrays =
+    Array.init n_loads (fun i ->
+        Loads.Arrays.make ~time_step:disc.time_step
+          ~charge_unit:disc.charge_unit
+          (Loads.Random_load.intermitted ~seed:seeds.(i) ~jobs:jobs_per_load ()))
+  in
+  let n_policies = List.length policies in
+  let policy_arr = Array.of_list policies in
+  let sim_requests =
+    Array.init (n_loads * n_policies) (fun k ->
+        {
+          Simulator.req_load = all_arrays.(k / n_policies);
+          req_policy = snd policy_arr.(k mod n_policies);
+        })
+  in
+  let sims = Simulator.run_batch ?pool ~n_batteries disc sim_requests in
+  let one i =
+    let arrays = all_arrays.(i) in
     Obs.incr c_loads;
     Obs.time ~index:i s_load @@ fun () ->
-    let load =
-      Loads.Random_load.intermitted ~seed:load_seed ~jobs:jobs_per_load ()
-    in
-    let arrays =
-      Loads.Arrays.make ~time_step:disc.time_step ~charge_unit:disc.charge_unit
-        load
-    in
     let lifetimes =
-      List.map
-        (fun (name, policy) ->
-          (name, Simulator.lifetime_exn ~n_batteries ~policy disc arrays))
+      List.mapi
+        (fun p (name, _) ->
+          match sims.((i * n_policies) + p).Simulator.res_lifetime_steps with
+          | Some s -> (name, Dkibam.Discretization.minutes_of_steps disc s)
+          | None ->
+              failwith
+                "Sched.Ensemble.run: batteries outlived the load; extend the \
+                 horizon")
         policies
     in
     let rr = List.assoc "round robin" lifetimes in
@@ -122,9 +143,8 @@ let run ?pool ?budget ?(seed = 42L) ?(n_loads = 50) ?(jobs_per_load = 60)
   in
   let per_load =
     match pool with
-    | Some p ->
-        Exec.Pool.parallel_init ~chunk:1 p n_loads (fun i -> one i seeds.(i))
-    | None -> Array.mapi one seeds
+    | Some p -> Exec.Pool.parallel_init ~chunk:1 p n_loads one
+    | None -> Array.init n_loads one
   in
   (* Serial, order-preserving fold over the per-load results. *)
   let results = Hashtbl.create 8 in

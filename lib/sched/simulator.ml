@@ -129,6 +129,129 @@ let simulate ?initial ?trace_every ?(switch_delay = 1) ~n_batteries ~policy
     samples = List.rev !samples;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Batched execution: many (load, policy) runs per call                *)
+(* ------------------------------------------------------------------ *)
+
+type batch_request = { req_load : Loads.Arrays.t; req_policy : Policy.t }
+type batch_result = { res_lifetime_steps : int option; res_stranded : int }
+
+(* The batch path defaults to on; the environment switch forces every
+   lane down the scalar fallback so `dune runtest` and A/B comparisons
+   can exercise it without touching call sites (mirrors
+   BATSCHED_NO_BOUNDS for the branch-and-bound cuts). *)
+let batch_default () =
+  match Sys.getenv_opt "BATSCHED_NO_BATCH" with
+  | None | Some "" -> true
+  | Some _ -> false
+
+let batch_policy_of = function
+  | Policy.Sequential -> Some Batch.Engine.Sequential
+  | Policy.Round_robin -> Some Batch.Engine.Round_robin
+  | Policy.Best_of -> Some Batch.Engine.Best_of
+  | Policy.Fixed sched -> Some (Batch.Engine.Fixed sched)
+  | Policy.Custom _ -> None
+
+let scalar_one ?switch_delay ~n_batteries disc r =
+  let o =
+    simulate ?switch_delay ~n_batteries ~policy:r.req_policy disc r.req_load
+  in
+  {
+    res_lifetime_steps = o.lifetime_steps;
+    res_stranded = Bank.stranded_units o.final;
+  }
+
+let run_batch ?pool ?switch_delay ?(chunk = 4096) ?batch ~n_batteries disc
+    requests =
+  if chunk < 1 then invalid_arg "Sched.Simulator.run_batch: chunk must be >= 1";
+  let n = Array.length requests in
+  let use_batch = match batch with Some b -> b | None -> batch_default () in
+  (* Compile each distinct load once (lanes typically share loads: the
+     ensemble packs one lane per policy per load).  A load whose
+     compiled schedule is refused — the step-counter overflow guard —
+     silently keeps its lanes on the scalar path, which handles long
+     loads with the same int arithmetic the cursor iterator uses. *)
+  let compiled_loads = ref [] and n_compiled = ref 0 in
+  let slot_of load =
+    let rec find = function
+      | [] ->
+          let slot =
+            match Loads.Cursor.compile (Loads.Cursor.make load) with
+            | Ok c ->
+                let s = !n_compiled in
+                incr n_compiled;
+                Some (s, c)
+            | Error _ -> None
+          in
+          compiled_loads := (load, slot) :: !compiled_loads;
+          Option.map fst slot
+      | (l, slot) :: rest ->
+          if l == load then Option.map fst slot else find rest
+    in
+    find !compiled_loads
+  in
+  let lane_of i =
+    if not use_batch then None
+    else
+      match batch_policy_of requests.(i).req_policy with
+      | None -> None
+      | Some policy -> (
+          match slot_of requests.(i).req_load with
+          | None -> None
+          | Some load -> Some { Batch.Engine.load; policy })
+  in
+  let lanes = Array.init n lane_of in
+  let loads = Array.make (max 1 !n_compiled) None in
+  List.iter
+    (fun (_, slot) ->
+      match slot with Some (s, c) -> loads.(s) <- Some c | None -> ())
+    !compiled_loads;
+  let loads = Array.map Option.get (Array.sub loads 0 !n_compiled) in
+  let batch_idx =
+    Array.of_list
+      (List.filter (fun i -> lanes.(i) <> None) (List.init n Fun.id))
+  in
+  let scalar_idx = List.filter (fun i -> lanes.(i) = None) (List.init n Fun.id) in
+  (* Work items: the batched lanes chopped into [chunk]-lane batches
+     (each its own State.t, so batches fan out across the pool without
+     sharing mutable state), plus one item per scalar-fallback lane. *)
+  let n_batch = Array.length batch_idx in
+  let batch_chunks =
+    List.init
+      ((n_batch + chunk - 1) / chunk)
+      (fun c -> Array.sub batch_idx (c * chunk) (min chunk (n_batch - (c * chunk))))
+  in
+  let run_chunk idxs =
+    let chunk_lanes = Array.map (fun i -> Option.get lanes.(i)) idxs in
+    let st =
+      Batch.Engine.run ?switch_delay ~n_batteries disc ~loads ~lanes:chunk_lanes
+    in
+    Array.mapi
+      (fun k i ->
+        ( i,
+          {
+            res_lifetime_steps = Batch.State.lifetime_steps st k;
+            res_stranded = Batch.State.stranded st k;
+          } ))
+      idxs
+  in
+  let work =
+    List.map (fun idxs () -> run_chunk idxs) batch_chunks
+    @ List.map
+        (fun i () -> [| (i, scalar_one ?switch_delay ~n_batteries disc requests.(i)) |])
+        scalar_idx
+  in
+  let outs =
+    match pool with
+    | Some p -> Exec.Pool.parallel_list_map ~chunk:1 p (fun f -> f ()) work
+    | None -> List.map (fun f -> f ()) work
+  in
+  let results =
+    Array.make n { res_lifetime_steps = None; res_stranded = 0 }
+  in
+  List.iter (Array.iter (fun (i, r) -> results.(i) <- r)) outs;
+  results
+
 let lifetime ?switch_delay ~n_batteries ~policy disc load =
   match (simulate ?switch_delay ~n_batteries ~policy disc load).lifetime_steps with
   | Some s -> Some (Dkibam.Discretization.minutes_of_steps disc s)

@@ -52,6 +52,46 @@ val simulate :
     to [n_batteries] full batteries; its length must equal
     [n_batteries]. *)
 
+(** {2 Batched execution}
+
+    Many (load, policy) runs per call, executed on the struct-of-arrays
+    batch engine ([Batch.Engine]) when possible and on {!simulate}
+    otherwise — results are bit-identical either way, the choice only
+    moves wall-clock time.  A request falls back to the scalar path
+    when its policy is [Custom] (an arbitrary closure cannot run on the
+    flat planes), when its load's compiled schedule is refused by the
+    [Loads.Cursor.compile] overflow guard, or when [BATSCHED_NO_BATCH]
+    is set in the environment (the CI fallback pass). *)
+
+type batch_request = { req_load : Loads.Arrays.t; req_policy : Policy.t }
+
+type batch_result = {
+  res_lifetime_steps : int option;
+      (** as [outcome.lifetime_steps]: [Some s] — the last battery
+          died at step [s]; [None] — the load ended first *)
+  res_stranded : int;
+      (** charge units left across the bank at the end of the run
+          ({!Bank.stranded_units} of the final state) *)
+}
+
+val run_batch :
+  ?pool:Exec.Pool.t ->
+  ?switch_delay:int ->
+  ?chunk:int ->
+  ?batch:bool ->
+  n_batteries:int ->
+  Dkibam.Discretization.t ->
+  batch_request array ->
+  batch_result array
+(** [run_batch ~n_batteries disc requests]: result slot [i] always
+    holds request [i]'s outcome, whatever path or domain ran it.  Each
+    distinct load (by physical equality) is compiled once and shared
+    read-only across lanes.  Batched lanes are chopped into
+    [chunk]-lane batches (default 4096, must be [>= 1]) and — with
+    [pool] — fanned out across the domains together with the scalar
+    fallback lanes; submit from the pool-owning domain only.  [batch]
+    overrides the environment default (see above) for A/B harnesses. *)
+
 val lifetime :
   ?switch_delay:int ->
   n_batteries:int ->

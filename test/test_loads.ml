@@ -311,6 +311,44 @@ let test_cursor_walk_matches_arrays () =
       check_int "full duration walked" (Loads.Cursor.total_steps c) !last_step)
     Loads.Testloads.all_names
 
+(* [Cursor.compile] accepts step counters exactly up to
+   [max_compiled_steps] and rejects one past it with a structured
+   error, both for the total-steps guard and for the per-epoch
+   draws * cur product. *)
+let test_cursor_compile_overflow_boundary () =
+  let limit = Loads.Cursor.max_compiled_steps in
+  let idle_of_len len =
+    Loads.Arrays.of_arrays ~time_step:0.01 ~charge_unit:0.01
+      ~load_time:[| len |] ~cur_times:[| 1 |] ~cur:[| 0 |]
+  in
+  let job ~len ~cur =
+    Loads.Arrays.of_arrays ~time_step:0.01 ~charge_unit:0.01
+      ~load_time:[| len |] ~cur_times:[| 1 |] ~cur:[| cur |]
+  in
+  let compile a = Loads.Cursor.compile (Loads.Cursor.make a) in
+  (* exactly at the limit: accepted, and the totals survive intact *)
+  (match compile (idle_of_len limit) with
+  | Ok c -> check_int "boundary total" limit c.Loads.Cursor.c_total
+  | Error e -> Alcotest.failf "boundary rejected: %s" (Guard.Error.to_string e));
+  (* one past it: a structured loads.cursor error naming the field *)
+  (match compile (idle_of_len (limit + 1)) with
+  | Ok _ -> Alcotest.fail "limit + 1 accepted"
+  | Error e ->
+      Alcotest.(check string) "subsystem" "loads.cursor" e.Guard.Error.subsystem;
+      Alcotest.(check (option string))
+        "field" (Some "load_time") e.Guard.Error.field);
+  (* draws * cur at the unit-counter limit: accepted with cur = 1 ... *)
+  (match compile (job ~len:limit ~cur:1) with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "unit boundary rejected: %s" (Guard.Error.to_string e));
+  (* ... but the same length overflows the product once cur > 1 *)
+  match compile (job ~len:limit ~cur:5) with
+  | Ok _ -> Alcotest.fail "overflowing draws * cur accepted"
+  | Error e ->
+      Alcotest.(check string) "subsystem" "loads.cursor" e.Guard.Error.subsystem;
+      Alcotest.(check (option string)) "field" (Some "cur") e.Guard.Error.field
+
 (* ------------------------------------------------------------------ *)
 (* Test loads                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -466,6 +504,8 @@ let () =
             test_cursor_geometry_and_suffix;
           Alcotest.test_case "event walk matches arrays" `Quick
             test_cursor_walk_matches_arrays;
+          Alcotest.test_case "compile overflow boundary" `Quick
+            test_cursor_compile_overflow_boundary;
         ] );
       ( "spec language",
         [
