@@ -11,7 +11,8 @@
    tables12, table3, table4, table5, figure1, figure5, figure6,
    ablation-capacity, ablation-complexity, ablation-models,
    ablation-lookahead, ablation-granularity, multi-battery,
-   random-ensemble, cross-validation, optimal-bench, batch-bench, micro.
+   random-ensemble, cross-validation, optimal-bench, batch-bench,
+   montecarlo-bench, micro.
 
    `-j N` (or `--jobs N`) renders independent table/figure artifacts
    concurrently on an Exec.Pool of N domains — each artifact formats
@@ -434,13 +435,16 @@ let optimal_bench ~jobs ppf =
             \"n_batteries\": 2, \"include_optimal\": true, \"serial_ms\": \
             %.3f, \"parallel_ms\": %.3f, \"speedup\": %.3f},\n"
            ens_serial_ms ens_par_ms (ens_serial_ms /. ens_par_ms));
-      (* a batch block from a previous batch-bench run survives an
+      (* blocks owned by the other timing artifacts survive an
          optimal-bench-only regeneration *)
-      (match Option.bind (read_bench_json ()) (Obs.Json.member "batch") with
-      | None -> ()
-      | Some b ->
-          Buffer.add_string buf
-            (Printf.sprintf "  \"batch\": %s,\n" (pretty_json ~indent:1 b)));
+      List.iter
+        (fun key ->
+          match Option.bind (read_bench_json ()) (Obs.Json.member key) with
+          | None -> ()
+          | Some b ->
+              Buffer.add_string buf
+                (Printf.sprintf "  \"%s\": %s,\n" key (pretty_json ~indent:1 b)))
+        [ "batch"; "montecarlo" ];
       Buffer.add_string buf "  \"obs\": ";
       Buffer.add_string buf obs_json;
       Buffer.add_string buf "\n}\n";
@@ -572,6 +576,84 @@ let batch_bench ppf =
   Guard.Checkpoint.write_atomic ~path:"BENCH_parallel.json"
     (pretty_json merged ^ "\n");
   Format.fprintf ppf "  batch block written to BENCH_parallel.json@."
+
+(* ------------------------------------------------------------------ *)
+(* Monte Carlo fleet throughput: sampled stochastic traces through the *)
+(* batch kernel (the "montecarlo" block of BENCH_parallel.json)        *)
+(* ------------------------------------------------------------------ *)
+
+let montecarlo_bench ppf =
+  section ppf
+    "Monte Carlo fleet: stochastic traces through the batch kernel (fixed \
+     seed, determinism asserted, single core)";
+  let disc = Dkibam.Discretization.paper_b1 in
+  let samples = 10_000 in
+  let slots = 40 in
+  let seed = 7L in
+  let model = Sched.Montecarlo.Onoff (Stoch.Onoff.make ~slots ()) in
+  let run () = Sched.Montecarlo.run ~seed ~samples model disc in
+  ignore (run ());
+  let m, wall_ms = time_ms run in
+  (* the reproducibility contract, re-asserted where the throughput is
+     recorded: a second identical run must reproduce every estimate *)
+  if run () <> m then
+    failwith "montecarlo bench: a re-run with the same seed diverged";
+  let n_policies = List.length m.Sched.Montecarlo.mc_policies in
+  let traces = samples * n_policies in
+  let traces_per_sec = float_of_int traces /. (wall_ms /. 1000.0) in
+  Format.fprintf ppf "  samples            %17d  (onoff model, %d slots, seed %Ld)@."
+    samples slots seed;
+  Format.fprintf ppf "  traces             %17d  (x%d policies)@." traces
+    n_policies;
+  Format.fprintf ppf "  wall               %14.2f ms  (%.0f traces/s, \
+                      generation + simulation + reduction)@."
+    wall_ms traces_per_sec;
+  Format.fprintf ppf
+    "  (re-run with the same seed asserted bit-identical)@.";
+  if traces_per_sec < 100.0 then
+    failwith
+      (Printf.sprintf "montecarlo bench: %.0f traces/s is below the 100/s floor"
+         traces_per_sec);
+  let previous_doc = read_bench_json () in
+  (match
+     Option.bind previous_doc (fun j ->
+         Option.bind (Obs.Json.member "montecarlo" j) (fun b ->
+             Option.bind (Obs.Json.member "traces_per_sec" b) num_of_json))
+   with
+  | None -> ()
+  | Some prev ->
+      Format.fprintf ppf
+        "  throughput vs previous run: %.0f -> %.0f traces/s@." prev
+        traces_per_sec);
+  let mc_obj =
+    Obs.Json.Obj
+      [
+        ("model", Obs.Json.String "onoff");
+        ("seed", Obs.Json.Int (Int64.to_int seed));
+        ("slots", Obs.Json.Int slots);
+        ("samples", Obs.Json.Int samples);
+        ("policies", Obs.Json.Int n_policies);
+        ("traces", Obs.Json.Int traces);
+        ("n_batteries", Obs.Json.Int m.Sched.Montecarlo.mc_n_batteries);
+        ("wall_ms", Obs.Json.Float wall_ms);
+        ("traces_per_sec", Obs.Json.Float traces_per_sec);
+        ( "single_core",
+          Obs.Json.Bool (Domain.recommended_domain_count () = 1) );
+      ]
+  in
+  (* merge, never clobber: the rest of BENCH_parallel.json belongs to
+     the other timing artifacts *)
+  let merged =
+    match previous_doc with
+    | Some (Obs.Json.Obj fields) ->
+        Obs.Json.Obj
+          (List.filter (fun (k, _) -> k <> "montecarlo") fields
+          @ [ ("montecarlo", mc_obj) ])
+    | _ -> Obs.Json.Obj [ ("montecarlo", mc_obj) ]
+  in
+  Guard.Checkpoint.write_atomic ~path:"BENCH_parallel.json"
+    (pretty_json merged ^ "\n");
+  Format.fprintf ppf "  montecarlo block written to BENCH_parallel.json@."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -718,6 +800,7 @@ let timing_artifacts ~jobs =
   [
     ("optimal-bench", optimal_bench ~jobs);
     ("batch-bench", batch_bench);
+    ("montecarlo-bench", montecarlo_bench);
     ("micro", micro);
   ]
 

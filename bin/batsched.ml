@@ -6,15 +6,17 @@
      compare   — all policies side by side on one load
      schedule  — compute and print the optimal schedule
      ensemble  — lifetime distributions over an ensemble of random loads
+     montecarlo — fleet-scale lifetime distributions over sampled
+                 stochastic device traces (batch kernel)
      tables    — reproduce the paper's Tables 3, 4 and 5
      figure6   — emit the Figure 6 data series
      trace     — charge series of a simulated run under a policy
      dot       — dump the TA-KiBaM network as Graphviz
      uppaal    — export the TA-KiBaM as an Uppaal/Cora XML model
 
-   The search-heavy subcommands (compare, schedule, ensemble) take
-   --jobs N to fan the work out over N domains via Exec.Pool; results
-   are identical to --jobs 1, only faster.
+   The search-heavy subcommands (compare, schedule, ensemble,
+   montecarlo) take --jobs N to fan the work out over N domains via
+   Exec.Pool; results are identical to --jobs 1, only faster.
 
    Every subcommand honours --stats (print the lib/obs counters after
    the output) and --trace FILE (record a Chrome trace_event JSON);
@@ -515,6 +517,174 @@ let ensemble_cmd =
           paper's section 7 outlook), optionally across --jobs domains.")
     term
 
+let montecarlo_cmd =
+  let run obs battery n jobs budget model_name seed samples deadline_min p_on
+      p_off currents levels dwell slot slots block =
+    with_obs obs @@ fun () ->
+    with_params battery (fun params ->
+        let disc =
+          Dkibam.Discretization.make ~time_step:Batsched.Experiments.time_step
+            ~charge_unit:Batsched.Experiments.charge_unit params
+        in
+        (* Model construction: Stoch validation errors are structured
+           (Guard.Error) and name the offending flag's field. *)
+        let model =
+          match String.lowercase_ascii model_name with
+          | "onoff" -> (
+              try
+                Ok
+                  (Sched.Montecarlo.Onoff
+                     (Stoch.Onoff.make ~p_on ~p_off
+                        ~currents:(Array.of_list currents) ~slot ~slots ()))
+              with Guard.Error.Error e -> Error e)
+          | "env" -> (
+              try
+                Ok
+                  (Sched.Montecarlo.Env
+                     (Stoch.Env.make ~levels:(Array.of_list levels)
+                        ~mean_dwell:dwell ~slot ~slots ()))
+              with Guard.Error.Error e -> Error e)
+          | s ->
+              Error
+                (Guard.Error.make ~subsystem:"batsched" ~field:"--model"
+                   ~value:s ~accepted:"onoff | env" "unknown stochastic model")
+        in
+        match model with
+        | Error e ->
+            prerr_endline (Guard.Error.to_string e);
+            1
+        | Ok model ->
+            if samples < 1 then begin
+              prerr_endline
+                (Guard.Error.to_string
+                   (Guard.Error.make ~subsystem:"batsched" ~field:"--samples"
+                      ~value:(string_of_int samples)
+                      ~accepted:"an integer >= 1" "bad sample count"));
+              1
+            end
+            else
+              with_budget budget @@ fun budget ->
+              with_jobs jobs (fun pool ->
+                  match
+                    Sched.Montecarlo.run ?pool ?budget ?block
+                      ?deadline_min ~seed:(Int64.of_int seed) ~samples
+                      ~n_batteries:n model disc
+                  with
+                  | exception Loads.Arrays.Not_representable msg ->
+                      prerr_endline
+                        (Guard.Error.to_string
+                           (Guard.Error.make ~subsystem:"batsched"
+                              ~field:"model parameters" ~value:msg
+                              ~accepted:
+                                "slot durations and currents on the \
+                                 discretization grid"
+                              "sampled load is not representable"));
+                      1
+                  | m ->
+                      Batsched.Report.montecarlo Format.std_formatter m;
+                      Format.pp_print_flush Format.std_formatter ();
+                      0))
+  in
+  let model_arg =
+    Arg.(
+      value & opt string "onoff"
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Stochastic load model: $(b,onoff) (Markov-modulated on/off \
+             jobs) or $(b,env) (random-environment drain).  See \
+             doc/STOCHASTICS.md.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Root seed; per-device seeds are split from it, so equal seeds \
+             and sample counts reproduce the distributions bit-for-bit \
+             regardless of --jobs.")
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 50_000
+      & info [ "samples" ] ~docv:"N" ~doc:"Device traces to sample.")
+  in
+  let deadline_min_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-min" ] ~docv:"MINUTES"
+          ~doc:
+            "Also estimate P(system death strictly before $(docv)) per \
+             policy.  (Mission deadline in simulated minutes — distinct \
+             from --deadline, the wall-clock budget in seconds.)")
+  in
+  let p_on_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "p-on" ] ~docv:"P" ~doc:"onoff: P(off -> on) per slot.")
+  in
+  let p_off_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "p-off" ] ~docv:"P" ~doc:"onoff: P(on -> off) per slot.")
+  in
+  let currents_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.25; 0.5 ]
+      & info [ "currents" ] ~docv:"AMPS"
+          ~doc:"onoff: comma-separated burst currents, drawn per burst.")
+  in
+  let levels_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.0; 0.25; 0.5 ]
+      & info [ "levels" ] ~docv:"AMPS"
+          ~doc:"env: comma-separated distinct drain levels (0 = idle).")
+  in
+  let dwell_arg =
+    Arg.(
+      value & opt float 4.0
+      & info [ "dwell" ] ~docv:"SLOTS" ~doc:"env: mean sojourn length in slots.")
+  in
+  let slot_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "slot" ] ~docv:"MINUTES" ~doc:"Slot duration for both models.")
+  in
+  let slots_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "slots" ] ~docv:"K"
+          ~doc:
+            "Horizon in slots.  Traces whose batteries survive the horizon \
+             are right-censored; size it so deaths dominate.")
+  in
+  let block_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "block" ] ~docv:"N"
+          ~doc:
+            "Samples generated and batched per pass (default 2048); a \
+             memory/wall-clock knob that never changes the results.")
+  in
+  let term =
+    Term.(
+      const run $ obs_term $ battery_arg $ n_batteries_arg $ jobs_arg
+      $ budget_term $ model_arg $ seed_arg $ samples_arg $ deadline_min_arg
+      $ p_on_arg $ p_off_arg $ currents_arg $ levels_arg $ dwell_arg
+      $ slot_arg $ slots_arg $ block_arg)
+  in
+  Cmd.v
+    (Cmd.info "montecarlo"
+       ~doc:
+         "Monte Carlo fleet estimation: policy lifetime distributions \
+          (percentiles, death probabilities, pairwise dominance with \
+          confidence intervals) over sampled stochastic device traces, on \
+          the batch kernel.")
+    term
+
 let tables_cmd =
   let run obs () =
     with_obs obs @@ fun () ->
@@ -655,6 +825,7 @@ let () =
             compare_cmd;
             schedule_cmd;
             ensemble_cmd;
+            montecarlo_cmd;
             tables_cmd;
             figure6_cmd;
             trace_cmd;

@@ -19,6 +19,8 @@
     [batch.steps] (battery-steps simulated).  [State.steps] carries the
     same number unconditionally for throughput measurements. *)
 
+(** The batchable policies (the engine-level mirror of the scalar
+    simulator's policy type, minus [Custom] closures). *)
 type policy =
   | Sequential  (** lowest-numbered alive battery *)
   | Round_robin  (** cyclic cursor, dead batteries skipped *)
@@ -28,6 +30,7 @@ type policy =
           names an alive battery, best-of otherwise *)
 
 type lane = { load : int  (** index into [loads] *); policy : policy }
+(** One simulation request: which compiled load, under which policy. *)
 
 val run :
   ?switch_delay:int ->

@@ -15,6 +15,7 @@
     [lane * n_batteries + battery]; per-lane planes by lane. *)
 
 type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** A flat native-int plane — one slice of the backing buffer. *)
 
 type t = {
   disc : Dkibam.Discretization.t;
@@ -45,8 +46,13 @@ val create : lanes:int -> n_batteries:int -> Dkibam.Discretization.t -> t
 (** {2 Read-out} *)
 
 val lanes : t -> int
+(** Number of lanes in the batch. *)
+
 val n_batteries : t -> int
+(** Batteries per lane. *)
+
 val disc : t -> Dkibam.Discretization.t
+(** The discretization every lane runs under. *)
 
 val steps : t -> int
 (** Battery-steps simulated over the whole batch so far: every span of
@@ -54,6 +60,7 @@ val steps : t -> int
     throughput numerator of [bench]'s batch block. *)
 
 val finished : t -> int -> bool
+(** Has the lane's run ended (all batteries dead, or load exhausted)? *)
 
 val lifetime_steps : t -> int -> int option
 (** [Some s] — the lane's last battery was observed empty at absolute

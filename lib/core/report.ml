@@ -192,3 +192,60 @@ let ensemble ppf (e : Sched.Ensemble.t) =
       "(budget exhausted on %d of %d loads: their \"optimal\" figures are \
        anytime lower bounds, not proven optima)@."
       e.budget_exhausted e.n_loads
+
+let montecarlo ppf (m : Sched.Montecarlo.t) =
+  Format.fprintf ppf
+    "Monte Carlo fleet: model %s, seed %Ld, %d of %d samples, %d batteries@."
+    m.mc_model m.mc_seed m.mc_samples m.mc_samples_requested m.mc_n_batteries;
+  (match m.mc_policies with
+  | [] -> ()
+  | first :: _ ->
+      Format.fprintf ppf "%-12s %8s %8s %9s %9s" "policy" "deaths" "survived"
+        "mean" "stddev";
+      List.iter
+        (fun (q, _) -> Format.fprintf ppf " %8s" (Printf.sprintf "p%g" (100.0 *. q)))
+        first.Sched.Montecarlo.ps_quantiles;
+      Format.fprintf ppf "@.");
+  List.iter
+    (fun (ps : Sched.Montecarlo.policy_summary) ->
+      Format.fprintf ppf "%-12s %8d %8d %9.3f %9.3f" ps.ps_policy ps.ps_deaths
+        ps.ps_survived ps.ps_mean ps.ps_stddev;
+      List.iter (fun (_, v) -> Format.fprintf ppf " %8.3f" v) ps.ps_quantiles;
+      Format.fprintf ppf "@.")
+    m.mc_policies;
+  let dbs =
+    List.filter_map
+      (fun (ps : Sched.Montecarlo.policy_summary) ->
+        Option.map (fun db -> (ps.ps_policy, db)) ps.ps_death_before)
+      m.mc_policies
+  in
+  (match dbs with
+  | [] -> ()
+  | (_, (db0 : Sched.Montecarlo.death_before)) :: _ ->
+      Format.fprintf ppf
+        "P(death before %g min), 95%% normal-approximation CI:@."
+        db0.db_deadline_min;
+      List.iter
+        (fun (name, (db : Sched.Montecarlo.death_before)) ->
+          Format.fprintf ppf "  %-12s %6.4f  [%6.4f, %6.4f]  (%d of %d)@." name
+            db.db_fraction db.db_ci_low db.db_ci_high db.db_deaths m.mc_samples)
+        dbs);
+  if m.mc_dominance <> [] then begin
+    Format.fprintf ppf
+      "pairwise dominance (paired samples; fraction where A strictly \
+       outlives B, 95%% CI):@.";
+    List.iter
+      (fun (d : Sched.Montecarlo.dominance) ->
+        Format.fprintf ppf
+          "  %-12s > %-12s %6.4f  [%6.4f, %6.4f]  (A %d / ties %d / B %d)@."
+          d.dom_a d.dom_b d.dom_a_fraction d.dom_ci_low d.dom_ci_high
+          d.dom_a_wins d.dom_ties d.dom_b_wins)
+      m.mc_dominance
+  end;
+  match m.mc_tripped with
+  | None -> ()
+  | Some trip ->
+      Format.fprintf ppf
+        "budget exhausted (%s): estimates reflect the %d completed samples@."
+        (Guard.Budget.trip_to_string trip)
+        m.mc_samples

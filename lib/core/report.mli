@@ -32,3 +32,12 @@ val multi_battery :
   Format.formatter -> load:Loads.Testloads.name -> (int * Sched.Analysis.t) list -> unit
 
 val ensemble : Format.formatter -> Sched.Ensemble.t -> unit
+
+val montecarlo : Format.formatter -> Sched.Montecarlo.t -> unit
+(** The Monte Carlo fleet summary: one distribution row per policy
+    (deaths, survivors, mean/stddev, percentile lifetimes), then the
+    optional death-before-deadline table, the pairwise-dominance table
+    with confidence intervals, and the budget-trip note when the run
+    was cut short.  Prints no wall-clock times: equal results render
+    byte-identically, which is what the determinism acceptance check
+    diffs. *)

@@ -22,10 +22,12 @@ val make : Arrays.t -> t
     draw schedule of every epoch.  O(number of epochs). *)
 
 val arrays : t -> Arrays.t
+(** The encoding this cursor iterates. *)
 
 (** {2 Epoch geometry} *)
 
 val epoch_count : t -> int
+(** Number of epochs in the load. *)
 
 val epoch_start : t -> int -> int
 (** Absolute time step at which epoch [y] begins. *)
@@ -145,6 +147,7 @@ type pos
 (** An immutable position in the event stream. *)
 
 val start : t -> pos
+(** The position before the first event. *)
 
 val next : t -> pos -> (event * pos) option
 (** The event at the position, and the position after it; [None] once

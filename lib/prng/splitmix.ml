@@ -14,6 +14,16 @@ let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
+(* [create] deliberately does not mix the seed (so documented seeds are
+   raw states and streams stay reproducible across versions), which
+   means nearby roots like [root] and [root + 1L] would start nearby
+   states.  Lane splitting therefore mixes explicitly: each lane lands
+   on the state [mix] would produce for the (i+1)-th gamma step from
+   [root], i.e. a full avalanche away from every other lane. *)
+let split root i =
+  if i < 0 then invalid_arg "Splitmix.split: lane index must be >= 0";
+  mix (Int64.add root (Int64.mul (Int64.of_int (i + 1)) golden_gamma))
+
 let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 34)
 
 let int t bound =

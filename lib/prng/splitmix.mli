@@ -20,6 +20,15 @@ val copy : t -> t
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 
+val split : int64 -> int -> int64
+(** [split root i] derives the seed of lane [i] ([>= 0]) from [root] in
+    O(1), with a full finalizer mix so that nearby roots and nearby lane
+    indices yield decorrelated streams.  The point is isolation: lane
+    [i] of a Monte Carlo run can be regenerated alone, without drawing
+    the [i - 1] lanes before it — [create (split root i)] always starts
+    the exact stream lane [i] saw, whatever subset of lanes ran.
+    Deterministic: a pure function of [(root, i)]. *)
+
 val bits : t -> int
 (** 30 uniformly random non-negative bits, mirroring [Random.bits]. *)
 

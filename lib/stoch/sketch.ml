@@ -1,0 +1,153 @@
+(* Streaming summaries for the Monte Carlo reducer: constant memory per
+   policy, one pass, no per-lane retention.  Both sketches are updated
+   in a fixed (sample-index) order by [Sched.Montecarlo], which is what
+   makes the fleet results independent of --jobs and of the batch/scalar
+   choice: the sketches only ever see the same value sequence. *)
+
+module Moments = struct
+  type t = { mutable count : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { count = 0; mean = 0.0; m2 = 0.0 }
+
+  (* Welford's update: numerically stable for long streams, exact count. *)
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0.0 else t.mean
+
+  (* Population variance (divide by n), matching Sched.Ensemble.stats_of. *)
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int t.count
+  let stddev t = sqrt (variance t)
+end
+
+module P2 = struct
+  (* The P² algorithm (Jain & Chlamtac, CACM 1985): five markers track
+     the running p-quantile without storing observations.  The first
+     five values are kept exactly; from the sixth on, marker heights are
+     adjusted by a piecewise-parabolic prediction (linear fallback when
+     the parabola would cross a neighbour). *)
+  type t = {
+    p : float;
+    mutable count : int;
+    first : float array;  (* the first five observations, unsorted *)
+    heights : float array;  (* marker heights h1..h5 *)
+    pos : int array;  (* marker positions n1..n5, 1-based *)
+    desired : float array;  (* desired positions n'1..n'5 *)
+    rate : float array;  (* desired-position increments dn'1..dn'5 *)
+  }
+
+  let create p =
+    if not (p > 0.0 && p < 1.0) then
+      invalid_arg "Stoch.Sketch.P2.create: p must be in (0, 1)";
+    {
+      p;
+      count = 0;
+      first = Array.make 5 0.0;
+      heights = Array.make 5 0.0;
+      pos = [| 1; 2; 3; 4; 5 |];
+      desired =
+        [| 1.0; 1.0 +. (2.0 *. p); 1.0 +. (4.0 *. p); 3.0 +. (2.0 *. p); 5.0 |];
+      rate = [| 0.0; p /. 2.0; p; (1.0 +. p) /. 2.0; 1.0 |];
+    }
+
+  let probability t = t.p
+  let count t = t.count
+
+  let parabolic t i s =
+    let n j = float_of_int t.pos.(j) in
+    let h = t.heights in
+    h.(i)
+    +. s
+       /. (n (i + 1) -. n (i - 1))
+       *. (((n i -. n (i - 1) +. s) *. (h.(i + 1) -. h.(i)) /. (n (i + 1) -. n i))
+          +. ((n (i + 1) -. n i -. s) *. (h.(i) -. h.(i - 1)) /. (n i -. n (i - 1)))
+          )
+
+  let linear t i si =
+    t.heights.(i)
+    +. float_of_int si
+       *. (t.heights.(i + si) -. t.heights.(i))
+       /. float_of_int (t.pos.(i + si) - t.pos.(i))
+
+  let add t x =
+    if t.count < 5 then begin
+      t.first.(t.count) <- x;
+      t.count <- t.count + 1;
+      if t.count = 5 then begin
+        Array.blit t.first 0 t.heights 0 5;
+        Array.sort Float.compare t.heights
+      end
+    end
+    else begin
+      (* cell k such that heights.(k) <= x < heights.(k+1), with the
+         extremes absorbed into the outer markers *)
+      let k =
+        if x < t.heights.(0) then begin
+          t.heights.(0) <- x;
+          0
+        end
+        else if x >= t.heights.(4) then begin
+          t.heights.(4) <- x;
+          3
+        end
+        else begin
+          let k = ref 0 in
+          for i = 1 to 3 do
+            if x >= t.heights.(i) then k := i
+          done;
+          !k
+        end
+      in
+      for i = k + 1 to 4 do
+        t.pos.(i) <- t.pos.(i) + 1
+      done;
+      for i = 0 to 4 do
+        t.desired.(i) <- t.desired.(i) +. t.rate.(i)
+      done;
+      t.count <- t.count + 1;
+      for i = 1 to 3 do
+        let d = t.desired.(i) -. float_of_int t.pos.(i) in
+        if
+          (d >= 1.0 && t.pos.(i + 1) - t.pos.(i) > 1)
+          || (d <= -1.0 && t.pos.(i - 1) - t.pos.(i) < -1)
+        then begin
+          let si = if d >= 0.0 then 1 else -1 in
+          let h = parabolic t i (float_of_int si) in
+          let h =
+            if t.heights.(i - 1) < h && h < t.heights.(i + 1) then h
+            else linear t i si
+          in
+          t.heights.(i) <- h;
+          t.pos.(i) <- t.pos.(i) + si
+        end
+      done
+    end
+
+  let quantile t =
+    if t.count = 0 then None
+    else if t.count <= 5 then begin
+      (* exact while the prefix buffer still covers the stream *)
+      let a = Array.sub t.first 0 t.count in
+      Array.sort Float.compare a;
+      let rank =
+        int_of_float (Float.round (t.p *. float_of_int (t.count - 1)))
+      in
+      Some a.(max 0 (min (t.count - 1) rank))
+    end
+    else Some t.heights.(2)
+end
+
+let z95 = 1.96
+
+let proportion_ci ~count ~total =
+  if total <= 0 then (0.0, 0.0, 1.0)
+  else begin
+    let n = float_of_int total in
+    let p = float_of_int count /. n in
+    let half = z95 *. sqrt (p *. (1.0 -. p) /. n) in
+    (p, Float.max 0.0 (p -. half), Float.min 1.0 (p +. half))
+  end

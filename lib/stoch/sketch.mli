@@ -1,0 +1,75 @@
+(** Streaming statistical sketches for the Monte Carlo fleet reducer.
+
+    Both sketches summarize an unbounded value stream in constant
+    memory — the fleet driver ({!Sched.Montecarlo}) keeps one set per
+    policy and never retains per-lane traces.  Updates are plain
+    sequential mutations; the caller owns the ordering, and feeding the
+    same values in the same order always yields bit-identical
+    summaries (the [--jobs]-invariance contract of
+    [doc/STOCHASTICS.md] rests on exactly this). *)
+
+(** Streaming mean and standard deviation (Welford's algorithm). *)
+module Moments : sig
+  type t
+  (** Mutable accumulator: count, running mean and sum of squared
+      deviations. *)
+
+  val create : unit -> t
+  (** An empty accumulator. *)
+
+  val add : t -> float -> unit
+  (** Fold one observation in. *)
+
+  val count : t -> int
+  (** Number of observations folded so far. *)
+
+  val mean : t -> float
+  (** Running mean; [0.0] when empty. *)
+
+  val variance : t -> float
+  (** Population variance (divide by [n], matching
+      [Sched.Ensemble.stats_of]); [0.0] below two observations. *)
+
+  val stddev : t -> float
+  (** [sqrt (variance t)]. *)
+end
+
+(** The P² streaming quantile estimator (Jain & Chlamtac, CACM 1985).
+
+    Five markers track the running [p]-quantile without storing the
+    observations: the middle marker follows the quantile, its
+    neighbours keep enough local shape for a piecewise-parabolic
+    height adjustment.  The first five observations are kept exactly,
+    so small streams report exact order statistics.  Accuracy on
+    unimodal lifetime distributions is within a fraction of a percent
+    at the fleet sizes the driver runs (validated against exact
+    quantiles in [test/test_stoch.ml]). *)
+module P2 : sig
+  type t
+  (** Mutable marker state for one target probability. *)
+
+  val create : float -> t
+  (** [create p] tracks the [p]-quantile; [p] must lie strictly in
+      (0, 1).  Raises [Invalid_argument] otherwise. *)
+
+  val probability : t -> float
+  (** The target probability [p] this sketch was created with. *)
+
+  val count : t -> int
+  (** Number of observations folded so far. *)
+
+  val add : t -> float -> unit
+  (** Fold one observation in. *)
+
+  val quantile : t -> float option
+  (** Current estimate: [None] while empty, the exact order statistic
+      up to five observations, the P² middle-marker height after. *)
+end
+
+val proportion_ci : count:int -> total:int -> float * float * float
+(** [(p, low, high)] — the sample proportion [count/total] with its
+    95% normal-approximation (Wald) confidence interval
+    [p ± 1.96·sqrt(p(1−p)/total)], clamped to [\[0, 1\]].  For [total
+    = 0] returns the vacuous [(0, 0, 1)].  The usual caveat applies:
+    the normal approximation is loose for proportions near 0 or 1 at
+    small [total]. *)
