@@ -95,21 +95,86 @@ let n_batteries_arg =
     value & opt int 2
     & info [ "n" ] ~docv:"N" ~doc:"Number of batteries for scheduling commands.")
 
+(* A policy on the command line is either a fixed heuristic or the
+   receding-horizon planner, whose window and per-decision budget come
+   from the separate --horizon / --horizon-budget flags (a policy_spec
+   is resolved against those by [policy_of_spec]). *)
+type policy_spec = Builtin of Sched.Policy.t | Horizon
+
 let policy_conv =
   let parse s =
     match String.lowercase_ascii s with
-    | "sequential" | "seq" -> Ok Sched.Policy.Sequential
-    | "round-robin" | "rr" | "round_robin" -> Ok Sched.Policy.Round_robin
-    | "best-of" | "best" | "best2" | "best_of" -> Ok Sched.Policy.Best_of
-    | _ -> Error (`Msg "policy must be one of: sequential, round-robin, best-of")
+    | "sequential" | "seq" -> Ok (Builtin Sched.Policy.Sequential)
+    | "round-robin" | "rr" | "round_robin" -> Ok (Builtin Sched.Policy.Round_robin)
+    | "best-of" | "best" | "best2" | "best_of" -> Ok (Builtin Sched.Policy.Best_of)
+    | "horizon" -> Ok Horizon
+    | _ ->
+        Error
+          (`Msg "policy must be one of: sequential, round-robin, best-of, horizon")
   in
-  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Sched.Policy.name p))
+  let print ppf = function
+    | Builtin p -> Format.pp_print_string ppf (Sched.Policy.name p)
+    | Horizon -> Format.pp_print_string ppf "horizon"
+  in
+  Arg.conv (parse, print)
 
 let policy_arg =
   Arg.(
     value
-    & opt policy_conv Sched.Policy.Best_of
-    & info [ "policy" ] ~docv:"POLICY" ~doc:"sequential | round-robin | best-of.")
+    & opt policy_conv (Builtin Sched.Policy.Best_of)
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "sequential | round-robin | best-of | horizon (the receding-horizon \
+           planner; window from --horizon, per-decision budget from \
+           --horizon-budget — see doc/PLANNING.md).")
+
+let horizon_k_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "horizon" ] ~docv:"K"
+        ~doc:
+          "Window of the receding-horizon planner: plan $(docv) >= 1 jobs \
+           ahead at every scheduling point (used by --policy horizon and the \
+           compare/montecarlo horizon rows).")
+
+let horizon_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "horizon-budget" ] ~docv:"SEGMENTS"
+        ~doc:
+          "Per-decision work cap of the receding-horizon planner, in \
+           simulated segments; a tripped decision falls back to best-of. \
+           Unset = unbudgeted.")
+
+let check_horizon k budget f =
+  if k < 1 then begin
+    prerr_endline
+      (Guard.Error.to_string
+         (Guard.Error.make ~subsystem:"batsched" ~field:"--horizon"
+            ~value:(string_of_int k) ~accepted:"an integer >= 1"
+            "bad planning window"));
+    1
+  end
+  else
+    match budget with
+    | Some b when b < 1 ->
+        prerr_endline
+          (Guard.Error.to_string
+             (Guard.Error.make ~subsystem:"batsched" ~field:"--horizon-budget"
+                ~value:(string_of_int b) ~accepted:"an integer >= 1"
+                "bad per-decision budget"));
+        1
+    | _ -> f ()
+
+let policy_of_spec ~horizon_k ~horizon_budget = function
+  | Builtin p -> p
+  | Horizon ->
+      Sched.Horizon.policy ?budget_segments:horizon_budget ~k:horizon_k ()
+
+let policy_label ~horizon_k ~horizon_budget = function
+  | Builtin p -> Sched.Policy.name p
+  | Horizon -> Sched.Horizon.name ?budget_segments:horizon_budget ~k:horizon_k ()
 
 let jobs_arg =
   Arg.(
@@ -281,8 +346,10 @@ let print_status = function
             "schedule is the best-of-two policy fallback")
 
 let lifetime_cmd =
-  let run obs battery n policy load =
+  let run obs battery n spec horizon_k horizon_budget load =
     with_obs obs @@ fun () ->
+    check_horizon horizon_k horizon_budget @@ fun () ->
+    let policy = policy_of_spec ~horizon_k ~horizon_budget spec in
     with_params battery (fun params ->
         let disc =
           Dkibam.Discretization.make ~time_step:Batsched.Experiments.time_step
@@ -307,20 +374,24 @@ let lifetime_cmd =
           in
           Printf.printf "load %s, %d x %s batteries, %s: lifetime %.3f min\n"
             (Loads.Testloads.to_string load)
-            n battery (Sched.Policy.name policy) lt
+            n battery
+            (policy_label ~horizon_k ~horizon_budget spec)
+            lt
         end;
         0)
   in
   let term =
     Term.(
       const run $ obs_term $ battery_arg $ n_batteries_arg $ policy_arg
-      $ load_arg)
+      $ horizon_k_arg $ horizon_budget_arg $ load_arg)
   in
   Cmd.v (Cmd.info "lifetime" ~doc:"Battery lifetime for one test load.") term
 
 let compare_cmd =
-  let run obs battery n jobs budget no_bounds spec named pos_load =
+  let run obs battery n jobs budget no_bounds horizon_k horizon_budget spec
+      named pos_load =
     with_obs obs @@ fun () ->
+    check_horizon horizon_k horizon_budget @@ fun () ->
     with_params battery (fun params ->
         let name = match named with Some _ -> named | None -> pos_load in
         match resolve_load spec name with
@@ -352,6 +423,9 @@ let compare_cmd =
                       (lt Sched.Policy.Round_robin);
                     Printf.printf "  best-of    : %8.3f min\n"
                       (lt Sched.Policy.Best_of);
+                    Printf.printf "  %-11s: %8.3f min\n"
+                      (policy_label ~horizon_k ~horizon_budget Horizon)
+                      (lt (policy_of_spec ~horizon_k ~horizon_budget Horizon));
                     let r =
                       Sched.Optimal.search ?pool ?budget
                         ?bounds:(bounds_of_flag no_bounds) ~n_batteries:n disc
@@ -366,21 +440,56 @@ let compare_cmd =
   let term =
     Term.(
       const run $ obs_term $ battery_arg $ n_batteries_arg $ jobs_arg
-      $ budget_term $ no_bounds_arg $ spec_arg $ named_load_arg $ opt_load_arg)
+      $ budget_term $ no_bounds_arg $ horizon_k_arg $ horizon_budget_arg
+      $ spec_arg $ named_load_arg $ opt_load_arg)
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"All scheduling policies side by side on one load.")
     term
 
 let schedule_cmd =
-  let run obs battery n jobs budget no_bounds ckpt_file ckpt_every resume load =
+  let run obs battery n jobs budget no_bounds spec horizon_k horizon_budget
+      ckpt_file ckpt_every resume load =
     with_obs obs @@ fun () ->
+    check_horizon horizon_k horizon_budget @@ fun () ->
     with_params battery (fun params ->
         let disc =
           Dkibam.Discretization.make ~time_step:Batsched.Experiments.time_step
             ~charge_unit:Batsched.Experiments.charge_unit params
         in
         let arrays = Batsched.Experiments.arrays_of load in
+        match spec with
+        | Some spec ->
+            (* Simulate the named policy and print ITS schedule — the
+               planner's output in the same shape as the search's, so the
+               two are diffable. *)
+            let policy = policy_of_spec ~horizon_k ~horizon_budget spec in
+            let o =
+              Sched.Simulator.simulate ~n_batteries:n ~policy disc arrays
+            in
+            let decisions = List.map snd o.Sched.Simulator.decisions in
+            (match o.Sched.Simulator.lifetime_steps with
+            | Some st ->
+                Printf.printf
+                  "%s schedule for %s (%d x %s): lifetime %.3f min, %d \
+                   decisions\n"
+                  (policy_label ~horizon_k ~horizon_budget spec)
+                  (Loads.Testloads.to_string load)
+                  n battery
+                  (Dkibam.Discretization.minutes_of_steps disc st)
+                  (List.length decisions)
+            | None ->
+                Printf.printf
+                  "%s schedule for %s (%d x %s): batteries outlived the \
+                   load, %d decisions\n"
+                  (policy_label ~horizon_k ~horizon_budget spec)
+                  (Loads.Testloads.to_string load)
+                  n battery (List.length decisions));
+            List.iteri
+              (fun k b -> Printf.printf "  decision %2d -> battery %d\n" k b)
+              decisions;
+            0
+        | None ->
         with_budget budget @@ fun budget ->
         if ckpt_every < 1 then begin
           prerr_endline
@@ -451,13 +560,30 @@ let schedule_cmd =
              the same load, pack and search settings); the result is \
              identical to an uninterrupted run.")
   in
+  let sched_policy_arg =
+    Arg.(
+      value
+      & opt (some policy_conv) None
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Simulate $(docv) (sequential | round-robin | best-of | horizon) \
+             and print the schedule it produces instead of searching for the \
+             optimal one.  The search flags (--jobs, --deadline, \
+             --checkpoint, ...) apply only to the default optimal search.")
+  in
   let term =
     Term.(
       const run $ obs_term $ battery_arg $ n_batteries_arg $ jobs_arg
-      $ budget_term $ no_bounds_arg $ ckpt_file_arg $ ckpt_every_arg
-      $ resume_arg $ load_arg)
+      $ budget_term $ no_bounds_arg $ sched_policy_arg $ horizon_k_arg
+      $ horizon_budget_arg $ ckpt_file_arg $ ckpt_every_arg $ resume_arg
+      $ load_arg)
   in
-  Cmd.v (Cmd.info "schedule" ~doc:"Compute and print the optimal schedule.") term
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:
+         "Compute and print the optimal schedule (or, with --policy, the \
+          schedule a policy produces).")
+    term
 
 let ensemble_cmd =
   let run obs battery n jobs budget no_bounds seed n_loads jobs_per_load
@@ -519,8 +645,9 @@ let ensemble_cmd =
 
 let montecarlo_cmd =
   let run obs battery n jobs budget model_name seed samples deadline_min p_on
-      p_off currents levels dwell slot slots block =
+      p_off currents levels dwell slot slots block horizon horizon_budget =
     with_obs obs @@ fun () ->
+    check_horizon (Option.value ~default:1 horizon) horizon_budget @@ fun () ->
     with_params battery (fun params ->
         let disc =
           Dkibam.Discretization.make ~time_step:Batsched.Experiments.time_step
@@ -565,8 +692,23 @@ let montecarlo_cmd =
             else
               with_budget budget @@ fun budget ->
               with_jobs jobs (fun pool ->
+                  (* --horizon appends a receding-horizon lane to the
+                     built-in policies; it runs on the scalar simulator
+                     path per lane (Custom), the rest stay batched. *)
+                  let policies =
+                    Option.map
+                      (fun k ->
+                        Sched.Montecarlo.default_policies
+                        @ [
+                            ( Sched.Horizon.name
+                                ?budget_segments:horizon_budget ~k (),
+                              Sched.Horizon.policy
+                                ?budget_segments:horizon_budget ~k () );
+                          ])
+                      horizon
+                  in
                   match
-                    Sched.Montecarlo.run ?pool ?budget ?block
+                    Sched.Montecarlo.run ?pool ?budget ?block ?policies
                       ?deadline_min ~seed:(Int64.of_int seed) ~samples
                       ~n_batteries:n model disc
                   with
@@ -669,12 +811,22 @@ let montecarlo_cmd =
             "Samples generated and batched per pass (default 2048); a \
              memory/wall-clock knob that never changes the results.")
   in
+  let mc_horizon_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "horizon" ] ~docv:"K"
+          ~doc:
+            "Also estimate a receding-horizon lane planning $(docv) >= 1 \
+             jobs ahead (scalar simulator path; the built-in policies stay \
+             batched).  See doc/PLANNING.md.")
+  in
   let term =
     Term.(
       const run $ obs_term $ battery_arg $ n_batteries_arg $ jobs_arg
       $ budget_term $ model_arg $ seed_arg $ samples_arg $ deadline_min_arg
       $ p_on_arg $ p_off_arg $ currents_arg $ levels_arg $ dwell_arg
-      $ slot_arg $ slots_arg $ block_arg)
+      $ slot_arg $ slots_arg $ block_arg $ mc_horizon_arg $ horizon_budget_arg)
   in
   Cmd.v
     (Cmd.info "montecarlo"
@@ -716,8 +868,10 @@ let figure6_cmd =
     Term.(const run $ obs_term $ const ())
 
 let trace_cmd =
-  let run obs battery n policy spec load sample =
+  let run obs battery n pspec horizon_k horizon_budget spec load sample =
     with_obs obs @@ fun () ->
+    check_horizon horizon_k horizon_budget @@ fun () ->
+    let policy = policy_of_spec ~horizon_k ~horizon_budget pspec in
     with_params battery (fun params ->
         match resolve_load spec (Some load) with
         | Error e ->
@@ -740,7 +894,8 @@ let trace_cmd =
             in
             Printf.printf
               "# %s, %d x %s, %s: time(min), per battery total and available (A*min), serving\n"
-              label n battery (Sched.Policy.name policy);
+              label n battery
+              (policy_label ~horizon_k ~horizon_budget pspec);
             List.iter
               (fun (s : Sched.Simulator.sample) ->
                 Printf.printf "%8.2f"
@@ -770,7 +925,7 @@ let trace_cmd =
   let term =
     Term.(
       const run $ obs_term $ battery_arg $ n_batteries_arg $ policy_arg
-      $ spec_arg $ load_arg $ sample_arg)
+      $ horizon_k_arg $ horizon_budget_arg $ spec_arg $ load_arg $ sample_arg)
   in
   Cmd.v
     (Cmd.info "trace"

@@ -65,7 +65,7 @@ type per_load = {
 
 let run ?pool ?budget ?(seed = 42L) ?(n_loads = 50) ?(jobs_per_load = 60)
     ?(n_batteries = 2) ?(include_optimal = true) ?bounds
-    (disc : Dkibam.Discretization.t) () =
+    ?(extra_policies = []) (disc : Dkibam.Discretization.t) () =
   if n_loads < 1 then invalid_arg "Sched.Ensemble.run: need >= 1 load";
   Obs.time s_run @@ fun () ->
   let g = Prng.Splitmix.create seed in
@@ -76,6 +76,14 @@ let run ?pool ?budget ?(seed = 42L) ?(n_loads = 50) ?(jobs_per_load = 60)
       ("best-of", Policy.Best_of);
     ]
   in
+  List.iter
+    (fun (name, _) ->
+      if name = "optimal" || List.mem_assoc name policies then
+        invalid_arg
+          (Printf.sprintf "Sched.Ensemble.run: extra policy name %S is taken"
+             name))
+    extra_policies;
+  let policies = policies @ extra_policies in
   (* Per-load PRNG streams are seed-split up front, so the per-load work
      below depends only on its own seed — embarrassingly parallel. *)
   let seeds = Array.init n_loads (fun _ -> Prng.Splitmix.next_int64 g) in

@@ -74,6 +74,7 @@ val run :
   ?n_batteries:int ->
   ?include_optimal:bool ->
   ?bounds:bool ->
+  ?extra_policies:(string * Policy.t) list ->
   Dkibam.Discretization.t ->
   unit ->
   t
@@ -96,4 +97,12 @@ val run :
 
     [bounds] is forwarded to every {!Optimal.search} (branch-and-bound
     pruning, on by default); per-load results are bit-identical either
-    way, so the ensemble distributions are too. *)
+    way, so the ensemble distributions are too.
+
+    [extra_policies] appends named policies to the built-in three and
+    reports their lifetime distributions alongside — the hook through
+    which the receding-horizon planner ({!Horizon.policy}) joins the
+    comparison.  Names must not collide with the built-ins or
+    ["optimal"].  [Policy.Custom] entries run on the scalar simulator
+    path per lane (see {!Simulator.run_batch}); the gain and
+    best-of-match fields keep their round-robin/best-of baselines. *)

@@ -660,6 +660,117 @@ let lifetime ?pool ?budget ?switch_delay ?objective ?bounds
        ?allow_final_draw_skip ?initial ~n_batteries disc load)
       .lifetime_steps
 
+(* ------------------------------------------------------------------ *)
+(* Suffix planning with a terminal bound — the Horizon policy's core   *)
+(* ------------------------------------------------------------------ *)
+
+type planner = {
+  p_cursor : Loads.Cursor.t;
+  p_bound : Bound.t;
+  p_bounds_on : bool;
+  p_switch_delay : int;
+  (* Memo entries are exact window values; the frontier epoch is part of
+     the key because the same position has a different value under a
+     different window.  Successive plans at the same frontier (mid-job
+     replans, and every plan once the window covers the whole load)
+     therefore share subtrees across decisions. *)
+  p_memo : int Tbl.t;
+}
+
+type plan = { plan_choice : int; plan_value : int }
+
+let planner ?(switch_delay = 1) ?bounds (disc : Dkibam.Discretization.t)
+    (cursor : Loads.Cursor.t) =
+  let bounds_on = match bounds with Some b -> b | None -> bounds_default () in
+  {
+    p_cursor = cursor;
+    p_bound =
+      Bound.create ~switch_delay ~allow_final_draw_skip:false disc cursor;
+    p_bounds_on = bounds_on;
+    p_switch_delay = switch_delay;
+    p_memo = Tbl.create 1024;
+  }
+
+let plan ?budget t ~frontier_epoch ~y ~local bank =
+  let cursor = t.p_cursor and bd = t.p_bound in
+  let switch_delay = t.p_switch_delay in
+  if y < 0 || y >= Loads.Cursor.epoch_count cursor then
+    invalid_arg "Sched.Optimal.plan: y out of range";
+  if local < 0 || local >= Loads.Cursor.epoch_len cursor y then
+    invalid_arg "Sched.Optimal.plan: local out of range";
+  if Bank.alive bank = [] then
+    invalid_arg "Sched.Optimal.plan: no battery alive";
+  let charge () =
+    match budget with
+    | Some b -> Guard.Budget.charge_segment_exn b
+    | None -> ()
+  in
+  (* Admissible terminal value at the window frontier: the pooled-recovery
+     lower bound — every continuation from the frontier survives to at
+     least this step ([Bound.infinite]: none can die within the load). *)
+  let terminal (p : pos) = Bound.lifetime_lb bd ~y:p.y ~local:p.local p.bank in
+  let key_of (p : pos) =
+    let k = Key.of_pos p in
+    let key = Array.make (Array.length k + 1) frontier_epoch in
+    Array.blit k 0 key 1 (Array.length k);
+    key
+  in
+  (* Certified value of a position inside the window: max over battery
+     choices of (death step | terminal bound at the frontier |
+     [Bound.infinite] when the load ends first).  Every value is a death
+     step some continuation is proven to reach — committing the argmax
+     is therefore well-founded.  Cuts drop children whose lifetime upper
+     bound cannot beat an already-achieved sibling value: the dropped
+     child's window value is [<= ub <= best], so the stored max — and,
+     because [best] only ever grows along the first-max fold, the argmax
+     committed at the root — are unchanged (the bit-identity argument of
+     [search], replayed here). *)
+  let rec value (p : pos) =
+    let key = key_of p in
+    match Tbl.find_opt t.p_memo key with
+    | Some v -> v
+    | None ->
+        let best = ref min_int in
+        List.iter
+          (fun b ->
+            let v = child !best p b in
+            if v > !best then best := v)
+          (Bank.alive p.bank);
+        Tbl.replace t.p_memo key !best;
+        !best
+  and child best (p : pos) b =
+    charge ();
+    match run_segment cursor ~switch_delay ~skip_final:false p b with
+    | Terminal (step, _) -> step
+    | Exhausted -> Bound.infinite
+    | Next p' ->
+        if p'.y >= frontier_epoch then terminal p'
+        else if Tbl.mem t.p_memo (key_of p') then value p'
+        else if
+          t.p_bounds_on
+          &&
+          let ub = Bound.lifetime_ub bd ~y:p'.y ~local:p'.local p'.bank in
+          ub < Bound.infinite && ub <= best
+        then min_int
+        else value p'
+  in
+  let root = { y; local; bank } in
+  match
+    let best_b = ref (-1) and best_v = ref min_int in
+    List.iter
+      (fun b ->
+        let v = child !best_v root b in
+        if v > !best_v then begin
+          best_v := v;
+          best_b := b
+        end)
+      (Bank.alive bank);
+    Tbl.replace t.p_memo (key_of root) !best_v;
+    { plan_choice = !best_b; plan_value = !best_v }
+  with
+  | p -> Some p
+  | exception Guard.Budget.Tripped _ -> None
+
 let lookahead_policy ?(switch_delay = 1) ?(allow_final_draw_skip = false)
     ~depth (disc : Dkibam.Discretization.t) (load : Loads.Arrays.t) =
   if depth < 1 then invalid_arg "Sched.Optimal.lookahead_policy: depth >= 1";

@@ -242,3 +242,63 @@ val lookahead_policy :
     [depth >= 1] decisions ahead at every scheduling point.  The policy
     closes over [load]; feeding it to a simulation of a different load
     raises [Invalid_argument]. *)
+
+(** {2 Suffix planning with a terminal bound}
+
+    The search core of the receding-horizon policy ({!Horizon}): an
+    exact, memoized, bound-pruned search over a {e window} of the load —
+    from an arbitrary decision point up to a frontier epoch — with the
+    admissible pooled-recovery lower bound of {!Bound.lifetime_lb} as
+    the terminal value at the frontier.  Every window value is a death
+    step some continuation provably reaches (or {!Bound.infinite} when
+    survival past the load is proven), so committing the argmax choice
+    is well-founded: the system is {e guaranteed} to be able to live at
+    least [plan_value] steps after the commitment.  doc/PLANNING.md
+    derives the construction. *)
+
+type planner
+(** Per-load planning state: the cursor, the precomputed {!Bound}
+    suffix views, and a memo table of exact window values shared across
+    successive {!plan} calls (keyed by frontier, so re-plans at the same
+    window reuse solved subtrees).  Not domain-safe: use one planner per
+    domain, as {!Horizon} does. *)
+
+val planner :
+  ?switch_delay:int ->
+  ?bounds:bool ->
+  Dkibam.Discretization.t ->
+  Loads.Cursor.t ->
+  planner
+(** [planner disc cursor] precomputes the bound views of the load
+    ([O(epochs)]).  [switch_delay] defaults to 1, matching {!search} and
+    {!Simulator.simulate}.  [bounds] arms the branch-and-bound cuts
+    inside {!plan} (default: on unless [BATSCHED_NO_BOUNDS] is set);
+    planned choices are bit-identical either way — only the work
+    changes. *)
+
+type plan = {
+  plan_choice : int;  (** the battery to commit at the planning point *)
+  plan_value : int;
+      (** certified value of that commitment: a step the system provably
+          survives to under some continuation, or {!Bound.infinite} when
+          it provably can outlive the load *)
+}
+
+val plan :
+  ?budget:Guard.Budget.t ->
+  planner ->
+  frontier_epoch:int ->
+  y:int ->
+  local:int ->
+  Bank.t ->
+  plan option
+(** [plan t ~frontier_epoch ~y ~local bank]: search every battery choice
+    from decision point [(y, local, bank)] through all decisions in
+    epochs [< frontier_epoch], scoring frontier positions with the
+    terminal bound; first-maximum tie-breaking (lowest battery id), the
+    same selection {!search}'s schedule replay makes — with the frontier
+    past the load's last epoch the planned choice is exactly the optimal
+    one.  [budget] is charged one unit per simulated segment; [None] is
+    returned if it trips mid-plan (entries memoized before the trip are
+    exact and are kept).  Raises [Invalid_argument] if [(y, local)] is
+    not inside the load or no battery is alive. *)

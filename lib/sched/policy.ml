@@ -6,6 +6,7 @@ type decision_context = {
   mid_job : bool;
   batteries : Dkibam.Battery.t array;
   alive : int list;
+  cursor : Loads.Cursor.t option;
 }
 
 type t =

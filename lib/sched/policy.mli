@@ -14,6 +14,12 @@ type decision_context = {
   mid_job : bool;  (** true when replacing a battery that just died *)
   batteries : Dkibam.Battery.t array;  (** all batteries, by id *)
   alive : int list;  (** ids still usable, ascending *)
+  cursor : Loads.Cursor.t option;
+      (** the driver's view of the load being served, when the driver
+          iterates an ordinary load — {!Simulator.simulate} always
+          supplies it.  [None] in drivers without one (the TA replay in
+          [lib/takibam]).  Planning policies ({!Horizon}) need it to
+          look ahead; fixed heuristics ignore it. *)
 }
 
 type t =
@@ -45,3 +51,8 @@ val decide : t -> state:int ref -> decision_context -> int
 
 val available_milli : Dkibam.Discretization.t -> Dkibam.Battery.t -> int
 (** The best-of comparison key, re-exported for tests. *)
+
+val best_of : decision_context -> int
+(** The {!Best_of} choice as a bare function — the fullest alive battery,
+    lowest id on ties.  Stateless; used as the budget-trip fallback of
+    planning policies ({!Horizon}). *)

@@ -62,6 +62,7 @@ let simulate ?initial ?trace_every ?(switch_delay = 1) ~n_batteries ~policy
         mid_job;
         batteries = Bank.snapshot bank;
         alive = Bank.alive bank;
+        cursor = Some cursor;
       }
     in
     let chosen = Policy.decide policy ~state:policy_state ctx in

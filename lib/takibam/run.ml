@@ -73,6 +73,7 @@ let policy (model : Model.t) (pol : Sched.Policy.t) =
             mid_job = false;
             batteries;
             alive;
+            cursor = None;
           }
         in
         let chosen = Sched.Policy.decide pol ~state:policy_state ctx in

@@ -174,6 +174,7 @@ let test_best_of_prefers_fuller_battery () =
       mid_job = false;
       batteries = [| drained; fresh |];
       alive = [ 0; 1 ];
+      cursor = None;
     }
   in
   check_int "picks battery 1" 1 (Sched.Policy.decide Sched.Policy.Best_of ~state:(ref 0) ctx);
