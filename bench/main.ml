@@ -887,6 +887,215 @@ let horizon_bench ppf =
   Format.fprintf ppf "  horizon block written to BENCH_parallel.json@."
 
 (* ------------------------------------------------------------------ *)
+(* batsched serve: traffic replay through the in-process daemon        *)
+(* (the "serve" block of BENCH_parallel.json)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Three passes, each asserting its piece of the daemon's contract
+   where the numbers are recorded:
+   - cold replay: a deterministic mixed workload, per-request latency
+     (p50/p99) and throughput measured end to end through the socket;
+   - crash + warm replay: the cold daemon is aborted (the simulated
+     kill -9 — no final cache save), a warm daemon restarts on the same
+     snapshot, and the full replay must come back byte-identical with
+     cache hits to show for it;
+   - overload pass: a tiny queue takes a pipelined burst and must both
+     shed (structured, with retry_after_ms) and answer admitted
+     requests degraded with reason "overload". *)
+let serve_bench ppf =
+  section ppf
+    "batsched serve: traffic replay (cold, kill -9, warm bit-identity, \
+     overload degradation)";
+  let was_enabled = Obs.enabled () in
+  let tmp suffix =
+    let f = Filename.temp_file "serve_bench" suffix in
+    Sys.remove f;
+    f
+  in
+  let cache = tmp ".cache" in
+  let start ?(tweak = fun c -> c) () =
+    let path = tmp ".sock" in
+    let stop = Guard.Cancel.create () in
+    let abort = Guard.Cancel.create () in
+    let cfg = tweak (Serve.Server.default_config ~socket_path:path) in
+    let handle = Domain.spawn (fun () -> Serve.Server.run ~stop ~abort cfg) in
+    (path, stop, abort, handle)
+  in
+  let with_cache c =
+    { c with Serve.Server.cache_path = Some cache; cache_save_every = 1 }
+  in
+  let request c line =
+    match Serve.Client.request c line with
+    | Ok resp -> resp
+    | Error e -> failwith ("serve bench: " ^ Guard.Error.to_string e)
+  in
+  let json_of line =
+    match Obs.Json.of_string line with
+    | Ok j -> j
+    | Error m -> failwith ("serve bench: unparseable response: " ^ m)
+  in
+  (* deterministic mixed workload over every cacheable op, with repeats
+     so the warm daemon has hits to prove *)
+  let workload =
+    List.concat_map
+      (fun round ->
+        [
+          Printf.sprintf
+            {|{"id":%d,"op":"schedule","spec":"repeat %d (job 0.5 1; idle 1)","n":2}|}
+            (round * 10)
+            (* repeats >= 6 so the batteries never outlive the load:
+               every row is a cacheable exact answer *)
+            (6 + (round mod 6));
+          Printf.sprintf {|{"id":%d,"op":"compare","load":"cl_alt","n":2}|}
+            ((round * 10) + 1);
+          Printf.sprintf
+            {|{"id":%d,"op":"montecarlo","seed":%d,"samples":500,"slots":40}|}
+            ((round * 10) + 2)
+            (7 + (round mod 3));
+          Printf.sprintf
+            {|{"id":%d,"op":"ensemble","loads":2,"jobs_per_load":15,"include_optimal":false,"seed":%d}|}
+            ((round * 10) + 3)
+            (round mod 3);
+        ])
+      (List.init 12 Fun.id)
+  in
+  let n_requests = List.length workload in
+  let replay path =
+    let c = Serve.Client.connect_exn ~wait_ms:5_000 path in
+    let lat_ms = Array.make n_requests 0.0 in
+    let t0 = Unix.gettimeofday () in
+    let responses =
+      List.mapi
+        (fun i line ->
+          let s = Unix.gettimeofday () in
+          let resp = request c line in
+          lat_ms.(i) <- (Unix.gettimeofday () -. s) *. 1e3;
+          resp)
+        workload
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let stats = json_of (request c {|{"op":"stats"}|}) in
+    Serve.Client.close c;
+    (responses, lat_ms, wall_s, stats)
+  in
+  (* cold replay, then the simulated kill -9 *)
+  let path1, _stop1, abort1, h1 = start ~tweak:with_cache () in
+  let cold, lat_ms, wall_s, _ = replay path1 in
+  Guard.Cancel.cancel abort1;
+  let o1 = Domain.join h1 in
+  if not o1.Serve.Server.aborted then
+    failwith "serve bench: abort token did not abort the daemon";
+  (* warm replay on the surviving cache snapshot *)
+  let path2, stop2, _abort2, h2 = start ~tweak:with_cache () in
+  let warm, _, _, warm_stats = replay path2 in
+  Guard.Cancel.cancel stop2;
+  ignore (Domain.join h2 : Serve.Server.outcome);
+  List.iter2
+    (fun a b ->
+      if a <> b then
+        failwith
+          (Printf.sprintf
+             "serve bench: warm response diverged from cold\n  cold: %s\n  \
+              warm: %s"
+             a b))
+    cold warm;
+  let warm_hits =
+    match
+      Option.bind (Obs.Json.member "result" warm_stats) (fun r ->
+          Option.bind (Obs.Json.member "cache" r) (Obs.Json.member "hits"))
+    with
+    | Some (Obs.Json.Int h) when h > 0 -> h
+    | _ -> failwith "serve bench: warm daemon reported no cache hits"
+  in
+  (* overload pass: a pipelined burst through a two-slot queue *)
+  let path3, stop3, _abort3, h3 =
+    start
+      ~tweak:(fun c ->
+        {
+          c with
+          Serve.Server.max_queue = 2;
+          degrade_watermark = 1;
+          max_pending_per_conn = 64;
+        })
+      ()
+  in
+  let burst = 12 in
+  let shed = ref 0 and degraded = ref 0 in
+  let c = Serve.Client.connect_exn ~wait_ms:5_000 path3 in
+  let buf = Buffer.create 1024 in
+  for i = 1 to burst do
+    Buffer.add_string buf
+      (Printf.sprintf {|{"id":%d,"op":"schedule","load":"cl_alt","n":2}|} i);
+    Buffer.add_char buf '\n'
+  done;
+  Serve.Client.send_raw c (Buffer.contents buf);
+  for _ = 1 to burst do
+    match Serve.Client.recv_line c with
+    | Error e -> failwith ("serve bench: " ^ Guard.Error.to_string e)
+    | Ok line -> (
+        let j = json_of line in
+        match (Obs.Json.member "ok" j, Obs.Json.member "degraded" j) with
+        | Some (Obs.Json.Bool false), _ ->
+            if Obs.Json.member "retry_after_ms" j = None then
+              failwith "serve bench: shed response lacks retry_after_ms";
+            incr shed
+        | Some (Obs.Json.Bool true), Some (Obs.Json.Bool true) ->
+            (match Obs.Json.member "degraded_reason" j with
+            | Some (Obs.Json.String "overload") -> ()
+            | _ -> failwith "serve bench: degraded response mistagged");
+            incr degraded
+        | _ -> ())
+  done;
+  Serve.Client.close c;
+  Guard.Cancel.cancel stop3;
+  ignore (Domain.join h3 : Serve.Server.outcome);
+  if !shed < 1 || !degraded < 1 then
+    failwith "serve bench: overload pass produced no shed or no degradation";
+  (try Sys.remove cache with Sys_error _ -> ());
+  if not was_enabled then Obs.disable ();
+  (* report + the "serve" block *)
+  Array.sort compare lat_ms;
+  let pct p =
+    lat_ms.(min (n_requests - 1) (int_of_float (p *. float_of_int n_requests)))
+  in
+  let p50 = pct 0.50 and p99 = pct 0.99 in
+  let rps = float_of_int n_requests /. wall_s in
+  Format.fprintf ppf "  cold replay: %d requests in %.1f ms (%.0f req/s)@."
+    n_requests (wall_s *. 1e3) rps;
+  Format.fprintf ppf "  latency: p50 %.2f ms, p99 %.2f ms@." p50 p99;
+  Format.fprintf ppf
+    "  kill -9 + warm restart: %d/%d responses bit-identical, %d cache hits@."
+    n_requests n_requests warm_hits;
+  Format.fprintf ppf "  overload burst: %d shed, %d degraded (of %d)@." !shed
+    !degraded burst;
+  let serve_obj =
+    Obs.Json.Obj
+      [
+        ("requests", Obs.Json.Int n_requests);
+        ("p50_ms", Obs.Json.Float p50);
+        ("p99_ms", Obs.Json.Float p99);
+        ("req_per_sec", Obs.Json.Float rps);
+        ("degraded", Obs.Json.Int !degraded);
+        ("shed", Obs.Json.Int !shed);
+        ("warm_hits", Obs.Json.Int warm_hits);
+        ("single_core", Obs.Json.Bool (Domain.recommended_domain_count () = 1));
+      ]
+  in
+  (* merge, never clobber: the rest of BENCH_parallel.json belongs to
+     the other benches *)
+  let merged =
+    match read_bench_json () with
+    | Some (Obs.Json.Obj fields) ->
+        Obs.Json.Obj
+          (List.filter (fun (k, _) -> k <> "serve") fields
+          @ [ ("serve", serve_obj) ])
+    | _ -> Obs.Json.Obj [ ("serve", serve_obj) ]
+  in
+  Guard.Checkpoint.write_atomic ~path:"BENCH_parallel.json"
+    (pretty_json merged ^ "\n");
+  Format.fprintf ppf "  serve block written to BENCH_parallel.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1033,6 +1242,7 @@ let timing_artifacts ~jobs =
     ("batch-bench", batch_bench);
     ("montecarlo-bench", montecarlo_bench);
     ("horizon-bench", horizon_bench);
+    ("serve-bench", serve_bench);
     ("micro", micro);
   ]
 

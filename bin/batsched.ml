@@ -8,6 +8,10 @@
      ensemble  — lifetime distributions over an ensemble of random loads
      montecarlo — fleet-scale lifetime distributions over sampled
                  stochastic device traces (batch kernel)
+     serve     — the scheduling daemon: newline-JSON queries over a
+                 Unix-domain socket, with admission control, deadlines,
+                 graceful degradation and a crash-safe result cache
+     call      — line client for serve (stdin requests -> stdout responses)
      tables    — reproduce the paper's Tables 3, 4 and 5
      figure6   — emit the Figure 6 data series
      trace     — charge series of a simulated run under a policy
@@ -23,6 +27,46 @@
    see doc/OBSERVABILITY.md for what the numbers mean. *)
 
 open Cmdliner
+
+(* Exit-code contract (doc/ROBUSTNESS.md): 0 success; 2 validation
+   failure (bad input, structured Guard.Error on stderr); 3 success
+   under a tripped budget (the printed result is the anytime answer,
+   not the exact one — scripts must be able to tell); 124 cmdliner
+   usage errors (unknown flags, bad syntax — cmdliner's own code). *)
+let exit_validation = 2
+let exit_budget = 3
+
+let structured_failure e =
+  prerr_endline (Guard.Error.to_string e);
+  exit_validation
+
+(* Last-resort conversion of escaped exceptions into that contract:
+   anything a library raises past the per-flag validation in the
+   command bodies still leaves as a structured error and exit 2, never
+   a backtrace. *)
+let protect f =
+  try f () with
+  | Guard.Error.Error e -> structured_failure e
+  | Sched.Optimal.Load_too_short ->
+      structured_failure
+        (Guard.Error.make ~subsystem:"batsched" ~field:"load"
+           ~accepted:"a load the batteries cannot outlive"
+           "the batteries outlive the load; extend its horizon")
+  | Loads.Arrays.Not_representable msg ->
+      structured_failure
+        (Guard.Error.make ~subsystem:"batsched" ~field:"load" ~value:msg
+           "load is not representable on the discretization grid")
+  | Loads.Spec.Parse_error msg ->
+      structured_failure
+        (Guard.Error.make ~subsystem:"batsched" ~field:"--spec" ~value:msg
+           "bad load spec")
+  | Invalid_argument msg ->
+      structured_failure
+        (Guard.Error.make ~subsystem:"batsched" ~value:msg
+           "invalid parameter combination")
+  | Failure msg ->
+      structured_failure
+        (Guard.Error.make ~subsystem:"batsched" ~value:msg "command failed")
 
 let load_conv =
   let parse s =
@@ -154,7 +198,7 @@ let check_horizon k budget f =
          (Guard.Error.make ~subsystem:"batsched" ~field:"--horizon"
             ~value:(string_of_int k) ~accepted:"an integer >= 1"
             "bad planning window"));
-    1
+    exit_validation
   end
   else
     match budget with
@@ -164,7 +208,7 @@ let check_horizon k budget f =
              (Guard.Error.make ~subsystem:"batsched" ~field:"--horizon-budget"
                 ~value:(string_of_int b) ~accepted:"an integer >= 1"
                 "bad per-decision budget"));
-        1
+        exit_validation
     | _ -> f ()
 
 let policy_of_spec ~horizon_k ~horizon_budget = function
@@ -202,8 +246,12 @@ let bounds_of_flag no_bounds = if no_bounds then Some false else None
    --jobs 1 stays on the serial code path, no domains spawned. *)
 let with_jobs jobs f =
   if jobs < 1 then begin
-    prerr_endline "jobs must be >= 1";
-    1
+    prerr_endline
+      (Guard.Error.to_string
+         (Guard.Error.make ~subsystem:"batsched" ~field:"--jobs"
+            ~value:(string_of_int jobs) ~accepted:"an integer >= 1"
+            "bad domain count"));
+    exit_validation
   end
   else if jobs = 1 then f None
   else Exec.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
@@ -282,9 +330,7 @@ let params_of_battery = function
 
 let with_params battery f =
   match params_of_battery battery with
-  | Error e ->
-      prerr_endline (Guard.Error.to_string e);
-      1
+  | Error e -> structured_failure e
   | Ok params -> f params
 
 (* --deadline / --max-segments build one Guard.Budget shared by the
@@ -327,9 +373,7 @@ let budget_term = Term.(const (fun d s -> (d, s)) $ deadline_arg $ max_segments_
 
 let with_budget (deadline, max_segments) f =
   match budget_of deadline max_segments with
-  | Error e ->
-      prerr_endline (Guard.Error.to_string e);
-      1
+  | Error e -> structured_failure e
   | Ok budget -> f budget
 
 let print_status = function
@@ -348,6 +392,7 @@ let print_status = function
 let lifetime_cmd =
   let run obs battery n spec horizon_k horizon_budget load =
     with_obs obs @@ fun () ->
+    protect @@ fun () ->
     check_horizon horizon_k horizon_budget @@ fun () ->
     let policy = policy_of_spec ~horizon_k ~horizon_budget spec in
     with_params battery (fun params ->
@@ -391,13 +436,14 @@ let compare_cmd =
   let run obs battery n jobs budget no_bounds horizon_k horizon_budget spec
       named pos_load =
     with_obs obs @@ fun () ->
+    protect @@ fun () ->
     check_horizon horizon_k horizon_budget @@ fun () ->
     with_params battery (fun params ->
         let name = match named with Some _ -> named | None -> pos_load in
         match resolve_load spec name with
         | Error e ->
             prerr_endline e;
-            1
+            exit_validation
         | Ok (load, label) -> (
             let disc =
               Dkibam.Discretization.make
@@ -405,9 +451,7 @@ let compare_cmd =
                 ~charge_unit:Batsched.Experiments.charge_unit params
             in
             match arrays_of_load ~label load with
-            | Error e ->
-                prerr_endline (Guard.Error.to_string e);
-                1
+            | Error e -> structured_failure e
             | Ok arrays ->
                 let lt policy =
                   Sched.Simulator.lifetime_exn ~n_batteries:n ~policy disc
@@ -435,7 +479,9 @@ let compare_cmd =
                       (Dkibam.Discretization.minutes_of_steps disc
                          r.lifetime_steps);
                     print_status r.status;
-                    0)))
+                    match r.status with
+                    | Sched.Optimal.Optimal -> 0
+                    | Sched.Optimal.Budget_exhausted _ -> exit_budget)))
   in
   let term =
     Term.(
@@ -451,6 +497,7 @@ let schedule_cmd =
   let run obs battery n jobs budget no_bounds spec horizon_k horizon_budget
       ckpt_file ckpt_every resume load =
     with_obs obs @@ fun () ->
+    protect @@ fun () ->
     check_horizon horizon_k horizon_budget @@ fun () ->
     with_params battery (fun params ->
         let disc =
@@ -498,7 +545,7 @@ let schedule_cmd =
                   ~field:"--checkpoint-every"
                   ~value:(string_of_int ckpt_every) ~accepted:"an integer >= 1"
                   "bad checkpoint cadence"));
-          1
+          exit_validation
         end
         else begin
           let checkpoint =
@@ -513,8 +560,7 @@ let schedule_cmd =
               with
               | exception Guard.Error.Error e ->
                   (* e.g. a checkpoint from different inputs on --resume *)
-                  prerr_endline (Guard.Error.to_string e);
-                  1
+                  structured_failure e
               | r ->
                   Printf.printf
                     "%s schedule for %s (%d x %s): lifetime %.3f min, %d \
@@ -532,7 +578,9 @@ let schedule_cmd =
                     (fun k b ->
                       Printf.printf "  decision %2d -> battery %d\n" k b)
                     r.schedule;
-                  0)
+                  match r.Sched.Optimal.status with
+                  | Sched.Optimal.Optimal -> 0
+                  | Sched.Optimal.Budget_exhausted _ -> exit_budget)
         end)
   in
   let ckpt_file_arg =
@@ -589,6 +637,7 @@ let ensemble_cmd =
   let run obs battery n jobs budget no_bounds seed n_loads jobs_per_load
       no_optimal =
     with_obs obs @@ fun () ->
+    protect @@ fun () ->
     with_params battery (fun params ->
         let disc =
           Dkibam.Discretization.make ~time_step:Batsched.Experiments.time_step
@@ -604,7 +653,7 @@ let ensemble_cmd =
             in
             Batsched.Report.ensemble Format.std_formatter e;
             Format.pp_print_flush Format.std_formatter ();
-            0))
+            if e.Sched.Ensemble.budget_exhausted > 0 then exit_budget else 0))
   in
   let seed_arg =
     Arg.(
@@ -647,6 +696,7 @@ let montecarlo_cmd =
   let run obs battery n jobs budget model_name seed samples deadline_min p_on
       p_off currents levels dwell slot slots block horizon horizon_budget =
     with_obs obs @@ fun () ->
+    protect @@ fun () ->
     check_horizon (Option.value ~default:1 horizon) horizon_budget @@ fun () ->
     with_params battery (fun params ->
         let disc =
@@ -677,9 +727,7 @@ let montecarlo_cmd =
                    ~value:s ~accepted:"onoff | env" "unknown stochastic model")
         in
         match model with
-        | Error e ->
-            prerr_endline (Guard.Error.to_string e);
-            1
+        | Error e -> structured_failure e
         | Ok model ->
             if samples < 1 then begin
               prerr_endline
@@ -687,7 +735,7 @@ let montecarlo_cmd =
                    (Guard.Error.make ~subsystem:"batsched" ~field:"--samples"
                       ~value:(string_of_int samples)
                       ~accepted:"an integer >= 1" "bad sample count"));
-              1
+              exit_validation
             end
             else
               with_budget budget @@ fun budget ->
@@ -713,19 +761,19 @@ let montecarlo_cmd =
                       ~n_batteries:n model disc
                   with
                   | exception Loads.Arrays.Not_representable msg ->
-                      prerr_endline
-                        (Guard.Error.to_string
-                           (Guard.Error.make ~subsystem:"batsched"
-                              ~field:"model parameters" ~value:msg
-                              ~accepted:
-                                "slot durations and currents on the \
-                                 discretization grid"
-                              "sampled load is not representable"));
-                      1
+                      structured_failure
+                        (Guard.Error.make ~subsystem:"batsched"
+                           ~field:"model parameters" ~value:msg
+                           ~accepted:
+                             "slot durations and currents on the \
+                              discretization grid"
+                           "sampled load is not representable")
                   | m ->
                       Batsched.Report.montecarlo Format.std_formatter m;
                       Format.pp_print_flush Format.std_formatter ();
-                      0))
+                      if Option.is_some m.Sched.Montecarlo.mc_tripped then
+                        exit_budget
+                      else 0))
   in
   let model_arg =
     Arg.(
@@ -837,9 +885,221 @@ let montecarlo_cmd =
           the batch kernel.")
     term
 
+(* ---------------------------------------------------------------- *)
+(* serve / call — the scheduling daemon and its line client          *)
+(* ---------------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the daemon.")
+
+let serve_cmd =
+  let run obs socket cache save_every max_conns queue watermark horizon_k
+      degrade_budget max_frame max_pending max_requests idle_timeout
+      drain_deadline jobs chaos =
+    with_obs obs @@ fun () ->
+    protect @@ fun () ->
+    let with_serve_pool f =
+      if jobs < 1 then begin
+        prerr_endline
+          (Guard.Error.to_string
+             (Guard.Error.make ~subsystem:"batsched" ~field:"--jobs"
+                ~value:(string_of_int jobs) ~accepted:"an integer >= 1"
+                "bad domain count"));
+        exit_validation
+      end
+      else if jobs = 1 && not chaos then f None
+      else begin
+        (* --chaos arms the pool's fault injector (CHAOS_SEED seeds it):
+           the CI chaos pass asserts the daemon's answers stay exact
+           while its workers crash and stall underneath it. *)
+        let chaos_t =
+          if chaos then
+            Some
+              (Guard.Chaos.create ~crash_prob:0.02 ~delay_prob:0.05
+                 ~seed:(Guard.Chaos.seed_from_env ~default:20260808L ())
+                 ())
+          else None
+        in
+        let pool = Exec.Pool.create ~domains:(max 2 jobs) ?chaos:chaos_t () in
+        Fun.protect
+          ~finally:(fun () -> Exec.Pool.shutdown pool)
+          (fun () -> f (Some pool))
+      end
+    in
+    with_serve_pool (fun pool ->
+        let cfg =
+          {
+            (Serve.Server.default_config ~socket_path:socket) with
+            max_conns;
+            max_queue = queue;
+            degrade_watermark = watermark;
+            degrade_horizon_k = horizon_k;
+            degrade_budget;
+            max_frame_bytes = max_frame;
+            max_pending_per_conn = max_pending;
+            max_requests_per_conn = max_requests;
+            idle_timeout_s = idle_timeout;
+            drain_deadline_s = drain_deadline;
+            cache_path = cache;
+            cache_save_every = save_every;
+            pool;
+          }
+        in
+        let outcome = Serve.Server.run ~handle_signals:true cfg in
+        Printf.eprintf "batsched serve: drained after %d requests\n%!"
+          outcome.Serve.Server.requests_served;
+        0)
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"FILE"
+          ~doc:
+            "Persist the result cache to $(docv) (atomic checkpoint \
+             snapshots; a restart warm-starts from it bit-identically).")
+  in
+  let save_every_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "cache-save-every" ] ~docv:"N"
+          ~doc:"Autosave the cache every $(docv) new entries.")
+  in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-conns" ] ~docv:"N" ~doc:"Concurrent connection cap.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission queue capacity; a full queue sheds requests with a \
+             structured overloaded error and a retry_after_ms hint.")
+  in
+  let watermark_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "watermark" ] ~docv:"N"
+          ~doc:
+            "Queue depth beyond which exact-search requests degrade to the \
+             receding-horizon planner (responses say so).")
+  in
+  let degrade_horizon_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "degrade-horizon" ] ~docv:"K"
+          ~doc:"Planner window of degraded answers.")
+  in
+  let degrade_budget_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "degrade-budget" ] ~docv:"SEGMENTS"
+          ~doc:"Per-decision work cap of degraded answers.")
+  in
+  let max_frame_arg =
+    Arg.(
+      value & opt int 65536
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Longest accepted request line.")
+  in
+  let max_pending_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:"Unanswered requests allowed per connection.")
+  in
+  let max_requests_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:"Lifetime request cap per connection (unset = unlimited).")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close connections silent this long.")
+  in
+  let drain_deadline_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "drain-deadline" ] ~docv:"SECONDS"
+          ~doc:"Hard cap on the SIGTERM/SIGINT draining phase.")
+  in
+  let chaos_flag =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Arm the domain pool's seeded fault injector (CHAOS_SEED; \
+             see doc/ROBUSTNESS.md) — the CI resilience pass.")
+  in
+  let term =
+    Term.(
+      const run $ obs_term $ socket_arg $ cache_arg $ save_every_arg
+      $ max_conns_arg $ queue_arg $ watermark_arg $ degrade_horizon_arg
+      $ degrade_budget_arg $ max_frame_arg $ max_pending_arg
+      $ max_requests_arg $ idle_timeout_arg $ drain_deadline_arg $ jobs_arg
+      $ chaos_flag)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduling daemon: newline-JSON queries over a \
+          Unix-domain socket, with admission control, per-request \
+          deadlines, graceful degradation and a crash-safe result cache \
+          (doc/ROBUSTNESS.md).")
+    term
+
+let call_cmd =
+  let run obs socket wait_ms =
+    with_obs obs @@ fun () ->
+    protect @@ fun () ->
+    match Serve.Client.connect ~wait_ms socket with
+    | Error e -> structured_failure e
+    | Ok client ->
+        let rc = ref 0 in
+        (try
+           while !rc = 0 do
+             let line = input_line stdin in
+             if String.trim line <> "" then
+               match Serve.Client.request client line with
+               | Ok response -> print_endline response
+               | Error e ->
+                   prerr_endline (Guard.Error.to_string e);
+                   rc := exit_validation
+           done
+         with End_of_file -> ());
+        Serve.Client.close client;
+        !rc
+  in
+  let wait_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "wait-ms" ] ~docv:"MS"
+          ~doc:
+            "Keep retrying the connection for up to $(docv) milliseconds — \
+             for scripts that race the daemon's startup.")
+  in
+  let term = Term.(const run $ obs_term $ socket_arg $ wait_arg) in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:
+         "Send request lines from stdin to a running daemon and print the \
+          response lines — the scriptable client half of $(b,serve).")
+    term
+
 let tables_cmd =
   let run obs () =
     with_obs obs @@ fun () ->
+    protect @@ fun () ->
     let ppf = Format.std_formatter in
     Batsched.Report.table3 ppf (Batsched.Experiments.table3 ());
     Format.pp_print_newline ppf ();
@@ -855,6 +1115,7 @@ let tables_cmd =
 let figure6_cmd =
   let run obs () =
     with_obs obs @@ fun () ->
+    protect @@ fun () ->
     let ppf = Format.std_formatter in
     Batsched.Report.figure6 ppf ~label:"best-of-two"
       (Batsched.Experiments.figure6 `Best_of_two);
@@ -870,13 +1131,14 @@ let figure6_cmd =
 let trace_cmd =
   let run obs battery n pspec horizon_k horizon_budget spec load sample =
     with_obs obs @@ fun () ->
+    protect @@ fun () ->
     check_horizon horizon_k horizon_budget @@ fun () ->
     let policy = policy_of_spec ~horizon_k ~horizon_budget pspec in
     with_params battery (fun params ->
         match resolve_load spec (Some load) with
         | Error e ->
             prerr_endline e;
-            1
+            exit_validation
         | Ok (load, label) -> (
             let disc =
               Dkibam.Discretization.make
@@ -884,9 +1146,7 @@ let trace_cmd =
                 ~charge_unit:Batsched.Experiments.charge_unit params
             in
             match arrays_of_load ~label load with
-            | Error e ->
-                prerr_endline (Guard.Error.to_string e);
-                1
+            | Error e -> structured_failure e
             | Ok arrays ->
             let o =
               Sched.Simulator.simulate ~trace_every:sample ~n_batteries:n
@@ -935,6 +1195,7 @@ let trace_cmd =
 let uppaal_cmd =
   let run obs n load =
     with_obs obs @@ fun () ->
+    protect @@ fun () ->
     let disc = Dkibam.Discretization.paper_b1 in
     let arrays = Batsched.Experiments.arrays_of load in
     let model = Takibam.Model.build ~n_batteries:n disc arrays in
@@ -954,6 +1215,7 @@ let uppaal_cmd =
 let dot_cmd =
   let run obs n load =
     with_obs obs @@ fun () ->
+    protect @@ fun () ->
     let disc = Dkibam.Discretization.paper_b1 in
     let arrays = Batsched.Experiments.arrays_of load in
     let model = Takibam.Model.build ~n_batteries:n disc arrays in
@@ -981,6 +1243,8 @@ let () =
             schedule_cmd;
             ensemble_cmd;
             montecarlo_cmd;
+            serve_cmd;
+            call_cmd;
             tables_cmd;
             figure6_cmd;
             trace_cmd;

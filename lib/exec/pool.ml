@@ -40,6 +40,11 @@ type t = {
   batch_done : Condition.t;
   queue : (unit -> unit) Queue.t;
   mutable shutting_down : bool;
+  shutdown_latch : bool Atomic.t;
+      (* claimed by the one shutdown call that drains and joins; makes
+         shutdown idempotent and safe to initiate concurrently (e.g. a
+         drain started from a signal-initiated path racing the owner's
+         Fun.protect finalizer) *)
   mutable workers : unit Domain.t array;
   chaos : Guard.Chaos.t option;
   retries : int;
@@ -105,6 +110,7 @@ let create ?domains ?chaos ?(retries = 3) () =
       batch_done = Condition.create ();
       queue = Queue.create ();
       shutting_down = false;
+      shutdown_latch = Atomic.make false;
       workers = [||];
       chaos;
       retries;
@@ -115,13 +121,21 @@ let create ?domains ?chaos ?(retries = 3) () =
 
 let size t = Array.length t.workers + 1
 
+(* Idempotent, and safe to call from two places at once: the CAS picks
+   the single caller that flags the workers and joins them; every later
+   or concurrent call returns immediately without touching the mutex or
+   the (possibly already joined) worker array.  The non-winning caller
+   does NOT wait for the join — shutdown-then-submit remains the owning
+   domain's contract either way ([check_open]). *)
 let shutdown t =
-  Mutex.lock t.mutex;
-  t.shutting_down <- true;
-  Condition.broadcast t.work_available;
-  Mutex.unlock t.mutex;
-  Array.iter Domain.join t.workers;
-  t.workers <- [||]
+  if Atomic.compare_and_set t.shutdown_latch false true then begin
+    Mutex.lock t.mutex;
+    t.shutting_down <- true;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
 
 let with_pool ?domains ?chaos ?retries f =
   let t = create ?domains ?chaos ?retries () in

@@ -72,8 +72,17 @@ val size : t -> int
 (** Total parallelism: worker domains + the submitting domain. *)
 
 val shutdown : t -> unit
-(** Signal the workers to exit and join them.  Idempotent.  Submitting
-    to a pool after [shutdown] raises [Invalid_argument]. *)
+(** Signal the workers to exit and join them.  Idempotent, and safe to
+    initiate from two call sites at once (an atomic latch elects the
+    one caller that joins; the others return immediately, without
+    waiting for the join to finish).  Submitting to a pool after
+    [shutdown] raises [Invalid_argument].
+
+    Signal handlers should {e not} call this directly — a handler can
+    interrupt a domain that holds the pool mutex.  The supported
+    pattern (used by [batsched serve]) is to latch a {!Guard.Cancel.t}
+    from the handler and let the event loop observe it and call
+    [shutdown] from ordinary code. *)
 
 val with_pool :
   ?domains:int -> ?chaos:Guard.Chaos.t -> ?retries:int -> (t -> 'a) -> 'a

@@ -1,0 +1,42 @@
+let g_depth = Obs.gauge "serve.queue_depth"
+
+type 'a t = {
+  capacity : int;
+  watermark : int;
+  q : 'a Queue.t;
+  mutable ewma_service_ms : float;
+}
+
+let create ~capacity ~watermark =
+  if capacity < 1 then
+    invalid_arg
+      (Printf.sprintf "Serve.Admission.create: capacity = %d < 1" capacity);
+  {
+    capacity;
+    watermark = max 1 (min watermark capacity);
+    q = Queue.create ();
+    ewma_service_ms = 10.0;
+  }
+
+let depth t = Queue.length t.q
+
+let offer t x =
+  if Queue.length t.q >= t.capacity then `Shed
+  else begin
+    Queue.push x t.q;
+    Obs.gauge_max g_depth (Queue.length t.q);
+    `Admitted
+  end
+
+let pop t = Queue.take_opt t.q
+
+let congested t = Queue.length t.q >= t.watermark
+
+let note_service_ms t ms =
+  (* EWMA with alpha 1/8: stable enough to hint with, fresh enough to
+     track a load shift within a dozen requests. *)
+  t.ewma_service_ms <- t.ewma_service_ms +. ((ms -. t.ewma_service_ms) /. 8.0)
+
+let retry_after_ms t =
+  max 25
+    (int_of_float (float_of_int (depth t + 1) *. t.ewma_service_ms))

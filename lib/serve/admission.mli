@@ -1,0 +1,39 @@
+(** Admission control: a bounded request queue with explicit shed.
+
+    The alternative to bounding the queue is unbounded latency — every
+    request eventually answered, none in useful time.  This queue
+    instead {e sheds} load it cannot serve promptly: {!offer} refuses
+    outright when the queue is full (the server answers [overloaded]
+    with a [retry_after_ms] hint derived from the observed service
+    rate), and {!congested} reports when depth has crossed the
+    degradation watermark — the server's cue to downgrade exact-search
+    requests to the receding-horizon planner.
+
+    Single-owner: the server's event loop is the only reader and
+    writer, so there is no locking here.
+
+    Observability: the [serve.queue_depth] high-watermark gauge and the
+    [serve.shed] counter (bumped by the server at the refusal site). *)
+
+type 'a t
+
+val create : capacity:int -> watermark:int -> 'a t
+(** [capacity >= 1] bounds the queue; [watermark] (clamped to
+    [\[1, capacity\]]) is the congestion threshold. *)
+
+val offer : 'a t -> 'a -> [ `Admitted | `Shed ]
+
+val pop : 'a t -> 'a option
+
+val depth : 'a t -> int
+
+val congested : 'a t -> bool
+(** [depth >= watermark]. *)
+
+val note_service_ms : 'a t -> float -> unit
+(** Feed one completed request's service time into the EWMA behind
+    {!retry_after_ms}. *)
+
+val retry_after_ms : 'a t -> int
+(** How long a shed client should back off: roughly the time to drain
+    the current queue at the observed service rate, floored at 25 ms. *)

@@ -1,0 +1,102 @@
+(* Result cache with crash-safe persistence.
+
+   On-disk format: a Guard.Checkpoint frame (magic
+   [batsched.serve.cache], fingerprint = format + grid version) whose
+   payload is one [key SP value] line per entry, sorted by key.  Keys
+   are MD5 hexes (no spaces); values are single-line JSON (Obs.Json
+   never emits newlines), so the line format is unambiguous.  Sorting
+   makes saves deterministic: two daemons that answered the same
+   queries write identical snapshots. *)
+
+let c_hits = Obs.counter "serve.cache_hits"
+let c_misses = Obs.counter "serve.cache_misses"
+let g_entries = Obs.gauge "serve.cache_entries"
+
+let magic = "batsched.serve.cache"
+
+(* Bump when the payload format or the result schema changes: a
+   fingerprint mismatch is a clean cold start, not a parse attempt. *)
+let fingerprint = "v1-grid0.01x0.01"
+
+type t = {
+  path : string option;
+  save_every : int;
+  tbl : (string, string) Hashtbl.t;
+  mutable unsaved : int;  (* inserts since the last save *)
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+type load_status = Cold | Warm of int | Discarded of Guard.Error.t
+
+let parse_payload tbl payload =
+  String.split_on_char '\n' payload
+  |> List.iter (fun line ->
+         if line <> "" then
+           match String.index_opt line ' ' with
+           | None -> ()
+           | Some i ->
+               let key = String.sub line 0 i in
+               let value =
+                 String.sub line (i + 1) (String.length line - i - 1)
+               in
+               if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key value)
+
+let create ?path ?(save_every = 32) () =
+  if save_every < 1 then
+    invalid_arg
+      (Printf.sprintf "Serve.Cache.create: save_every = %d < 1" save_every);
+  let tbl = Hashtbl.create 256 in
+  let status =
+    match path with
+    | None -> Cold
+    | Some path -> (
+        match Guard.Checkpoint.load ~path ~magic ~fingerprint with
+        | Error Guard.Checkpoint.Missing -> Cold
+        | Error (Guard.Checkpoint.Bad e) -> Discarded e
+        | Ok payload ->
+            parse_payload tbl payload;
+            Warm (Hashtbl.length tbl))
+  in
+  Obs.gauge_max g_entries (Hashtbl.length tbl);
+  ({ path; save_every; tbl; unsaved = 0; hit_count = 0; miss_count = 0 }, status)
+
+let entries t = Hashtbl.length t.tbl
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some v ->
+      Obs.incr c_hits;
+      t.hit_count <- t.hit_count + 1;
+      Some v
+  | None ->
+      Obs.incr c_misses;
+      t.miss_count <- t.miss_count + 1;
+      None
+
+let save t =
+  match t.path with
+  | None -> ()
+  | Some path ->
+      if t.unsaved > 0 then begin
+        let entries =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        in
+        let payload =
+          String.concat ""
+            (List.map (fun (k, v) -> k ^ " " ^ v ^ "\n") entries)
+        in
+        Guard.Checkpoint.save ~path ~magic ~fingerprint payload;
+        t.unsaved <- 0
+      end
+
+let add t key value =
+  if not (Hashtbl.mem t.tbl key) then begin
+    Hashtbl.add t.tbl key value;
+    Obs.gauge_max g_entries (Hashtbl.length t.tbl);
+    t.unsaved <- t.unsaved + 1;
+    if t.unsaved >= t.save_every then save t
+  end

@@ -1,0 +1,53 @@
+(** Persistent cross-request result cache.
+
+    Maps canonical query keys ({!Protocol.cache_key}) to serialized
+    result payloads.  Only {e exact} answers are stored — degraded or
+    budget-truncated results never enter the cache — so a hit replays
+    the cold response byte for byte, which is what makes the daemon's
+    restart warm-start bit-identical (asserted by the CI [serve-smoke]
+    job and the bench crash replay).
+
+    Durability rides {!Guard.Checkpoint}: every save is an atomic
+    temp-file-plus-rename of a framed, checksummed snapshot, so a
+    [kill -9] mid-save leaves either the previous complete snapshot or
+    the new one — never a torn file.  A snapshot that fails its frame
+    checks on load (truncated, wrong magic, foreign fingerprint) is
+    {e cleanly discarded} — the daemon starts cold and says so — never
+    trusted and never a crash.
+
+    Observability: [serve.cache_hits] / [serve.cache_misses] counters,
+    the [serve.cache_entries] gauge, and [guard.checkpoint_writes] for
+    the saves themselves. *)
+
+type t
+
+type load_status =
+  | Cold  (** no snapshot at the path (or no path configured) *)
+  | Warm of int  (** snapshot loaded; the number of entries *)
+  | Discarded of Guard.Error.t
+      (** a snapshot existed but failed its frame checks and was
+          ignored; the daemon logs the structured reason and starts
+          cold *)
+
+val create : ?path:string -> ?save_every:int -> unit -> t * load_status
+(** [create ()] is a purely in-memory cache.  With [path], the snapshot
+    at [path] is loaded (see {!load_status}) and every [save_every]th
+    insert (default 32, must be [>= 1]) triggers an atomic save; call
+    {!save} once more at shutdown to persist the tail. *)
+
+val find : t -> string -> string option
+(** Counts a hit or a miss. *)
+
+val add : t -> string -> string -> unit
+(** Insert (first writer wins — an existing entry is kept, so replayed
+    inserts cannot flap the stored bytes). *)
+
+val entries : t -> int
+
+val hits : t -> int
+
+val misses : t -> int
+
+val save : t -> unit
+(** Persist now (atomic; no-op without a [path] or when nothing changed
+    since the last save). *)

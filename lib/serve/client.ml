@@ -1,0 +1,77 @@
+type t = {
+  fd : Unix.file_descr;
+  mutable rbuf : string;  (* bytes read past the last returned line *)
+  mutable closed : bool;
+}
+
+let cerr ?value what =
+  Guard.Error.make ~subsystem:"serve.client" ?value what
+
+let connect ?wait_ms path =
+  let deadline_ms = Option.value ~default:0 wait_ms in
+  let rec attempt waited_ms =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok { fd; rbuf = ""; closed = false }
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if waited_ms < deadline_ms then begin
+          Unix.sleepf 0.025;
+          attempt (waited_ms + 25)
+        end
+        else
+          Error
+            (cerr ~value:path
+               (Printf.sprintf "cannot connect: %s" (Unix.error_message e)))
+  in
+  attempt 0
+
+let connect_exn ?wait_ms path =
+  match connect ?wait_ms path with
+  | Ok t -> t
+  | Error e -> Guard.Error.raise_exn e
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send_raw t data =
+  let len = String.length data in
+  let off = ref 0 in
+  try
+    while !off < len do
+      off := !off + Unix.write_substring t.fd data !off (len - !off)
+    done
+  with Unix.Unix_error _ -> ()
+
+let recv_line t =
+  let rec go () =
+    match String.index_opt t.rbuf '\n' with
+    | Some i ->
+        let line = String.sub t.rbuf 0 i in
+        t.rbuf <- String.sub t.rbuf (i + 1) (String.length t.rbuf - i - 1);
+        Ok line
+    | None -> (
+        let bytes = Bytes.create 8192 in
+        match Unix.read t.fd bytes 0 (Bytes.length bytes) with
+        | 0 -> Error (cerr "connection closed by the server")
+        | n ->
+            t.rbuf <- t.rbuf ^ Bytes.sub_string bytes 0 n;
+            go ()
+        | exception Unix.Unix_error (EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (e, _, _) ->
+            Error
+              (cerr
+                 ~value:(Unix.error_message e)
+                 "connection lost while awaiting a response"))
+  in
+  if t.closed then Error (cerr "client already closed") else go ()
+
+let request t line =
+  if t.closed then Error (cerr "client already closed")
+  else begin
+    send_raw t (line ^ "\n");
+    recv_line t
+  end

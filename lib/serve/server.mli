@@ -1,0 +1,90 @@
+(** The [batsched serve] daemon: a fault-tolerant scheduling server.
+
+    A single-domain event loop over a Unix-domain socket, speaking the
+    newline-JSON {!Protocol}, built around one organizing principle:
+    {e the daemon never crashes and never queues unboundedly} — every
+    overload, malformed input, deadline and crash has a designed
+    outcome (doc/ROBUSTNESS.md, "The scheduling daemon").
+
+    - {b Admission control} ({!Admission}): a bounded request queue.
+      A full queue sheds with a structured [overloaded] error carrying
+      [retry_after_ms]; per-connection pending caps stop one client
+      from filling it.
+    - {b Deadlines with anytime answers}: each request's
+      [deadline_ms] / [max_segments] becomes a fresh {!Guard.Budget};
+      a search that trips mid-flight returns its anytime floor tagged
+      [degraded:true] with the trip as the reason — an answer, not an
+      error.
+    - {b Graceful degradation}: when queue depth crosses the
+      watermark, exact-search requests ([schedule], [compare]) are
+      downgraded to the receding-horizon planner ({!Sched.Horizon})
+      under a small per-decision budget, tagged
+      [degraded_reason:"overload"].
+    - {b Durable cache} ({!Cache}): exact answers persist across
+      restarts via atomic {!Guard.Checkpoint} snapshots; a [kill -9]
+      mid-save never corrupts it, and a warm daemon answers repeated
+      queries byte-identically to a cold one.
+    - {b Protocol robustness}: malformed JSON, oversized frames,
+      slow-loris partial lines, idle connections and mid-request
+      disconnects each produce a structured error or a clean close —
+      fuzzed with 10k+ hostile frames in [test/test_serve.ml].
+    - {b Draining shutdown}: SIGTERM/SIGINT (or the [stop] token)
+      finish in-flight requests, refuse new ones with a
+      [shutting_down] error, save the cache, then exit.
+
+    Observability: the [serve.*] counter/gauge/histogram family
+    (per-kind latency histograms, queue-depth watermark, shed /
+    degraded / deadline-trip / malformed counters), exported through
+    the protocol's [stats] request; see doc/OBSERVABILITY.md. *)
+
+type config = {
+  socket_path : string;
+  max_conns : int;  (** concurrent connections; beyond it, accepts wait *)
+  max_queue : int;  (** admission queue capacity *)
+  degrade_watermark : int;  (** queue depth that turns degradation on *)
+  degrade_horizon_k : int;  (** planner window of degraded answers *)
+  degrade_budget : int;  (** per-decision segment budget of degraded answers *)
+  max_frame_bytes : int;  (** longest accepted request line *)
+  max_pending_per_conn : int;  (** unanswered requests per connection *)
+  max_requests_per_conn : int option;
+      (** lifetime request cap per connection; the connection is closed
+          (after a structured error) once exceeded *)
+  idle_timeout_s : float;  (** close connections silent this long *)
+  drain_deadline_s : float;  (** hard cap on the draining phase *)
+  cache_path : string option;  (** cache snapshot file; [None] = in-memory *)
+  cache_save_every : int;  (** autosave cadence, in inserts *)
+  pool : Exec.Pool.t option;
+      (** fan searches out over this pool (and inherit its chaos hook,
+          if the CI chaos pass armed one) *)
+}
+
+val default_config : socket_path:string -> config
+(** 64 connections, queue 128 / watermark 64, horizon-4 with a
+    2000-segment per-decision budget when degraded, 64 KiB frames, 16
+    pending per connection, no lifetime cap, 30 s idle timeout, 10 s
+    drain deadline, in-memory cache saved every 32 inserts. *)
+
+type outcome = {
+  requests_served : int;
+  aborted : bool;  (** the [abort] token fired (simulated crash) *)
+}
+
+val run :
+  ?stop:Guard.Cancel.t ->
+  ?abort:Guard.Cancel.t ->
+  ?handle_signals:bool ->
+  ?ready:(unit -> unit) ->
+  config ->
+  outcome
+(** Run the daemon until [stop] (graceful drain) or [abort] (immediate
+    exit {e without} the final cache save — the bench's simulated
+    [kill -9]; periodic saves remain on disk, atomically).
+
+    [handle_signals] (default [false]) additionally latches [stop] on
+    SIGTERM/SIGINT — the CLI turns it on; in-process tests leave it
+    off.  SIGPIPE is always ignored while running (a client vanishing
+    mid-write must be an [EPIPE], not a death sentence).  [ready] is
+    called once the socket is listening.
+
+    Raises {!Guard.Error.Error} only for startup failures (socket path
+    unusable); once serving, it returns — it does not raise. *)

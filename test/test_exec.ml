@@ -98,6 +98,31 @@ let test_shutdown () =
     (Invalid_argument "Exec.Pool: pool is shut down") (fun () ->
       ignore (Exec.Pool.parallel_init pool 4 Fun.id))
 
+(* Two drains racing — e.g. a signal-initiated stop path racing the
+   owner's [Fun.protect] finalizer.  The latch must elect one joiner;
+   both calls return, a third is a no-op, and the pool stays refusing
+   work afterwards. *)
+let test_shutdown_concurrent () =
+  for _ = 1 to 20 do
+    let pool = Exec.Pool.create ~domains:3 () in
+    ignore (Exec.Pool.parallel_init pool 8 Fun.id);
+    let gate = Atomic.make 0 in
+    let racer () =
+      Atomic.incr gate;
+      while Atomic.get gate < 2 do
+        Domain.cpu_relax ()
+      done;
+      Exec.Pool.shutdown pool
+    in
+    let d = Domain.spawn racer in
+    racer ();
+    Domain.join d;
+    Exec.Pool.shutdown pool (* still idempotent after the race *);
+    Alcotest.check_raises "submit after concurrent shutdown"
+      (Invalid_argument "Exec.Pool: pool is shut down") (fun () ->
+        ignore (Exec.Pool.parallel_init pool 4 Fun.id))
+  done
+
 let () =
   Alcotest.run "exec"
     [
@@ -113,5 +138,6 @@ let () =
             test_exception_reraised;
           Alcotest.test_case "validation" `Quick test_validation;
           Alcotest.test_case "shutdown" `Quick test_shutdown;
+          Alcotest.test_case "shutdown race" `Quick test_shutdown_concurrent;
         ] );
     ]

@@ -89,6 +89,52 @@ let test_budget_trip_first_writer_wins () =
   Alcotest.(check (option trip_testable))
     "first wins" (Some Guard.Budget.Segments) (Guard.Budget.tripped b)
 
+(* The cross-domain trip contract: two domains hammering one shared
+   budget each observe the trip exactly once from their charging loop
+   (the latch is never lost), the latch stays sticky for later checks,
+   and no charge is lost or double-counted — [segments] equals the sum
+   both domains charged, which can overshoot the cap by at most the two
+   in-flight charges. *)
+let test_budget_concurrent_trippers () =
+  let cap = 1_000 in
+  let b = Guard.Budget.create ~max_segments:cap () in
+  let gate = Atomic.make 0 in
+  let worker () =
+    Atomic.incr gate;
+    while Atomic.get gate < 2 do
+      Domain.cpu_relax ()
+    done;
+    let charged = ref 0 in
+    let loop_trips = ref 0 in
+    (try
+       while true do
+         Guard.Budget.charge_segments b 1;
+         incr charged;
+         Guard.Budget.check_exn b
+       done
+     with Guard.Budget.Tripped Guard.Budget.Segments -> incr loop_trips);
+    let sticky =
+      match Guard.Budget.check_exn b with
+      | () -> false
+      | exception Guard.Budget.Tripped Guard.Budget.Segments -> true
+    in
+    (!loop_trips, !charged, sticky)
+  in
+  let d = Domain.spawn worker in
+  let trips_a, charged_a, sticky_a = worker () in
+  let trips_b, charged_b, sticky_b = Domain.join d in
+  check_int "domain A observed the trip exactly once" 1 trips_a;
+  check_int "domain B observed the trip exactly once" 1 trips_b;
+  check_bool "latch sticky for A" true sticky_a;
+  check_bool "latch sticky for B" true sticky_b;
+  Alcotest.(check (option trip_testable))
+    "tripped on the segment cap" (Some Guard.Budget.Segments)
+    (Guard.Budget.tripped b);
+  let total = charged_a + charged_b in
+  check_int "no charge lost or double-counted" total (Guard.Budget.segments b);
+  check_bool "stopped at the cap (max one in-flight charge per domain)" true
+    (total >= cap && total <= cap + 2)
+
 let test_budget_create_validation () =
   List.iter
     (fun f ->
@@ -258,6 +304,40 @@ let test_checkpoint_frame_validation () =
       (fun () -> Guard.Checkpoint.save ~path:"/tmp/x" ~magic:"bad magic" ~fingerprint:"f" "p");
       (fun () -> Guard.Checkpoint.save ~path:"/tmp/x" ~magic:"m" ~fingerprint:"bad fp" "p");
     ]
+
+(* Exhaustive kill-mid-write simulation: every strict prefix of a valid
+   frame — as a torn write at any byte would leave it — must come back
+   as a structured refusal, never an exception and never a bogus [Ok].
+   (The daemon's cache durability contract leans on this: an atomic
+   rename makes torn files unreachable in practice, but the loader must
+   hold on its own.) *)
+let test_checkpoint_truncated_prefixes () =
+  with_temp (fun path ->
+      let payload = String.init 512 (fun i -> Char.chr (i mod 251)) in
+      Guard.Checkpoint.save ~path ~magic:"test.magic" ~fingerprint:"abc" payload;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      for keep = 0 to String.length full - 1 do
+        Guard.Checkpoint.write_atomic ~path (String.sub full 0 keep);
+        match
+          Guard.Checkpoint.load ~path ~magic:"test.magic" ~fingerprint:"abc"
+        with
+        | Error (Guard.Checkpoint.Bad _) -> ()
+        | Ok _ ->
+            Alcotest.failf "prefix of %d/%d bytes accepted" keep
+              (String.length full)
+        | Error Guard.Checkpoint.Missing ->
+            Alcotest.failf "prefix of %d bytes reported Missing" keep
+        | exception e ->
+            Alcotest.failf "prefix of %d bytes raised %s" keep
+              (Printexc.to_string e)
+      done;
+      (* the untruncated frame still loads *)
+      Guard.Checkpoint.write_atomic ~path full;
+      match
+        Guard.Checkpoint.load ~path ~magic:"test.magic" ~fingerprint:"abc"
+      with
+      | Ok got -> Alcotest.(check string) "full frame intact" payload got
+      | Error _ -> Alcotest.fail "full frame refused")
 
 (* ------------------------------------------------------------------ *)
 (* Pool under fault injection                                          *)
@@ -648,6 +728,8 @@ let () =
           Alcotest.test_case "external cancel" `Quick test_budget_cancel_latches;
           Alcotest.test_case "first trip wins" `Quick test_budget_trip_first_writer_wins;
           Alcotest.test_case "create validation" `Quick test_budget_create_validation;
+          Alcotest.test_case "concurrent trippers" `Quick
+            test_budget_concurrent_trippers;
         ] );
       ("cancel", [ Alcotest.test_case "latch semantics" `Quick test_cancel_token ]);
       ( "chaos",
@@ -664,6 +746,8 @@ let () =
           Alcotest.test_case "missing" `Quick test_checkpoint_missing;
           Alcotest.test_case "rejects stale/corrupt" `Quick test_checkpoint_rejections;
           Alcotest.test_case "frame validation" `Quick test_checkpoint_frame_validation;
+          Alcotest.test_case "truncated prefixes refused" `Quick
+            test_checkpoint_truncated_prefixes;
         ] );
       ( "pool chaos",
         [
