@@ -901,11 +901,16 @@ let horizon_bench ppf =
      cache hits to show for it;
    - overload pass: a tiny queue takes a pipelined burst and must both
      shed (structured, with retry_after_ms) and answer admitted
-     requests degraded with reason "overload". *)
+     requests degraded with reason "overload";
+   - multi-client pass: three client domains replay per-client
+     workloads through a single-domain and a 3-worker daemon; the
+     multi-domain responses must be byte-identical to the single-domain
+     ones, and req/s, p50/p99 and the shared-memo hit rate for both are
+     recorded. *)
 let serve_bench ppf =
   section ppf
     "batsched serve: traffic replay (cold, kill -9, warm bit-identity, \
-     overload degradation)";
+     overload degradation, multi-domain replay)";
   let was_enabled = Obs.enabled () in
   let tmp suffix =
     let f = Filename.temp_file "serve_bench" suffix in
@@ -1051,6 +1056,104 @@ let serve_bench ppf =
   ignore (Domain.join h3 : Serve.Server.outcome);
   if !shed < 1 || !degraded < 1 then
     failwith "serve bench: overload pass produced no shed or no degradation";
+  (* multi-client pass: three client domains replay deterministic
+     per-client workloads through a single-domain and then a 3-worker
+     daemon; every response must agree byte for byte between the two,
+     and the timings plus the shared-memo hit rate land in the block *)
+  let clients = 3 in
+  let client_workload ci =
+    List.concat_map
+      (fun round ->
+        let id k = (ci * 1000) + (round * 10) + k in
+        [
+          Printf.sprintf
+            {|{"id":%d,"op":"schedule","spec":"repeat %d (job 0.5 1; idle 1)","n":2}|}
+            (id 0)
+            (6 + ((round + ci) mod 6));
+          Printf.sprintf {|{"id":%d,"op":"compare","load":"cl_alt","n":2}|}
+            (id 1);
+          (* same load as the compare row: its search must find the
+             shared memo already warm *)
+          Printf.sprintf {|{"id":%d,"op":"schedule","load":"cl_alt","n":2}|}
+            (id 2);
+        ])
+      (List.init 6 Fun.id)
+  in
+  let multi_requests = clients * List.length (client_workload 0) in
+  let multi_replay path =
+    let worker ci () =
+      let c = Serve.Client.connect_exn ~wait_ms:5_000 path in
+      let out =
+        List.map
+          (fun line ->
+            let s = Unix.gettimeofday () in
+            let resp = request c line in
+            ((Unix.gettimeofday () -. s) *. 1e3, resp))
+          (client_workload ci)
+      in
+      Serve.Client.close c;
+      out
+    in
+    let t0 = Unix.gettimeofday () in
+    let per_client =
+      List.map Domain.join
+        (List.init clients (fun ci -> Domain.spawn (worker ci)))
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    (per_client, wall_s)
+  in
+  let run_with_domains n =
+    let path, stop, _abort, h =
+      start ~tweak:(fun c -> { c with Serve.Server.domains = n }) ()
+    in
+    let per_client, wall_s = multi_replay path in
+    let c = Serve.Client.connect_exn ~wait_ms:5_000 path in
+    let stats = json_of (request c {|{"op":"stats"}|}) in
+    Serve.Client.close c;
+    Guard.Cancel.cancel stop;
+    ignore (Domain.join h : Serve.Server.outcome);
+    (per_client, wall_s, stats)
+  in
+  let one_d, wall_1d, _ = run_with_domains 1 in
+  let three_d, wall_3d, multi_stats = run_with_domains 3 in
+  List.iter2
+    (fun a b ->
+      List.iter2
+        (fun (_, ra) (_, rb) ->
+          if ra <> rb then
+            failwith
+              (Printf.sprintf
+                 "serve bench: multi-domain response diverged from \
+                  single-domain\n  1d: %s\n  3d: %s"
+                 ra rb))
+        a b)
+    one_d three_d;
+  let percentiles per_client =
+    let lats =
+      Array.of_list (List.concat_map (List.map fst) per_client)
+    in
+    Array.sort compare lats;
+    let n = Array.length lats in
+    let pct p = lats.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+    (pct 0.50, pct 0.99)
+  in
+  let p50_1d, p99_1d = percentiles one_d in
+  let p50_3d, p99_3d = percentiles three_d in
+  let rps_1d = float_of_int multi_requests /. wall_1d in
+  let rps_3d = float_of_int multi_requests /. wall_3d in
+  let memo_int field =
+    match
+      Option.bind (Obs.Json.member "result" multi_stats) (fun r ->
+          Option.bind (Obs.Json.member "memo" r) (Obs.Json.member field))
+    with
+    | Some (Obs.Json.Int v) -> v
+    | _ -> failwith ("serve bench: stats lacks memo." ^ field)
+  in
+  let memo_hit_rate =
+    float_of_int (memo_int "hits") /. float_of_int (max 1 (memo_int "lookups"))
+  in
+  if memo_int "hits" = 0 then
+    failwith "serve bench: multi-domain replay never hit the shared memo";
   (try Sys.remove cache with Sys_error _ -> ());
   if not was_enabled then Obs.disable ();
   (* report + the "serve" block *)
@@ -1068,6 +1171,16 @@ let serve_bench ppf =
     n_requests n_requests warm_hits;
   Format.fprintf ppf "  overload burst: %d shed, %d degraded (of %d)@." !shed
     !degraded burst;
+  Format.fprintf ppf
+    "  multi-client (%d clients x %d requests): 1 domain %.0f req/s (p50 \
+     %.2f ms, p99 %.2f ms), 3 domains %.0f req/s (p50 %.2f ms, p99 %.2f ms)@."
+    clients
+    (multi_requests / clients)
+    rps_1d p50_1d p99_1d rps_3d p50_3d p99_3d;
+  Format.fprintf ppf
+    "  multi-domain responses byte-identical to single-domain; memo hit rate \
+     %.2f@."
+    memo_hit_rate;
   let serve_obj =
     Obs.Json.Obj
       [
@@ -1079,6 +1192,20 @@ let serve_bench ppf =
         ("shed", Obs.Json.Int !shed);
         ("warm_hits", Obs.Json.Int warm_hits);
         ("single_core", Obs.Json.Bool (Domain.recommended_domain_count () = 1));
+        ( "multi_client",
+          Obs.Json.Obj
+            [
+              ("clients", Obs.Json.Int clients);
+              ("requests", Obs.Json.Int multi_requests);
+              ("req_per_sec_1_domain", Obs.Json.Float rps_1d);
+              ("p50_ms_1_domain", Obs.Json.Float p50_1d);
+              ("p99_ms_1_domain", Obs.Json.Float p99_1d);
+              ("req_per_sec_3_domains", Obs.Json.Float rps_3d);
+              ("p50_ms_3_domains", Obs.Json.Float p50_3d);
+              ("p99_ms_3_domains", Obs.Json.Float p99_3d);
+              ("memo_hit_rate", Obs.Json.Float memo_hit_rate);
+              ("byte_identical", Obs.Json.Bool true);
+            ] );
       ]
   in
   (* merge, never clobber: the rest of BENCH_parallel.json belongs to

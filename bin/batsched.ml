@@ -897,9 +897,9 @@ let socket_arg =
         ~doc:"Unix-domain socket path of the daemon.")
 
 let serve_cmd =
-  let run obs socket cache save_every max_conns queue watermark horizon_k
-      degrade_budget max_frame max_pending max_requests idle_timeout
-      drain_deadline jobs chaos =
+  let run obs socket cache save_every cache_entries memo_entries domains
+      max_conns queue watermark horizon_k degrade_budget max_frame max_pending
+      max_requests idle_timeout drain_deadline jobs chaos =
     with_obs obs @@ fun () ->
     protect @@ fun () ->
     let with_serve_pool f =
@@ -946,6 +946,9 @@ let serve_cmd =
             drain_deadline_s = drain_deadline;
             cache_path = cache;
             cache_save_every = save_every;
+            cache_max_entries = cache_entries;
+            memo_max_entries = memo_entries;
+            domains;
             pool;
           }
         in
@@ -968,6 +971,33 @@ let serve_cmd =
       value & opt int 32
       & info [ "cache-save-every" ] ~docv:"N"
           ~doc:"Autosave the cache every $(docv) new entries.")
+  in
+  let cache_entries_arg =
+    Arg.(
+      value & opt int 65536
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:
+            "Result-cache size bound (second-chance eviction; evicted \
+             answers recompute bit-identically).")
+  in
+  let memo_entries_arg =
+    Arg.(
+      value & opt int 65536
+      & info [ "memo-entries" ] ~docv:"N"
+          ~doc:
+            "Size bound of the process-wide exact-value memo shared \
+             across requests and worker domains.")
+  in
+  let serve_domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "serve-domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains computing requests concurrently; 1 computes \
+             inline on the event loop.  Non-degraded responses are \
+             byte-identical at any value (supersedes $(b,--jobs), which \
+             only parallelizes within one request and is ignored when \
+             $(docv) > 1).")
   in
   let max_conns_arg =
     Arg.(
@@ -1044,6 +1074,7 @@ let serve_cmd =
   let term =
     Term.(
       const run $ obs_term $ socket_arg $ cache_arg $ save_every_arg
+      $ cache_entries_arg $ memo_entries_arg $ serve_domains_arg
       $ max_conns_arg $ queue_arg $ watermark_arg $ degrade_horizon_arg
       $ degrade_budget_arg $ max_frame_arg $ max_pending_arg
       $ max_requests_arg $ idle_timeout_arg $ drain_deadline_arg $ jobs_arg

@@ -137,6 +137,29 @@ let shutdown t =
     t.workers <- [||]
   end
 
+(* Fire-and-forget dispatch, safe from any domain: the queue push and
+   the shutdown check ride the same mutex the workers use, so — unlike
+   [run_tasks], whose unlocked [check_open] read is the owning domain's
+   privilege — a submit racing a shutdown either lands before the flag
+   flips (and the task runs: workers drain the queue before exiting)
+   or observes it and raises.  Nobody waits on a submitted task, so a
+   raising task would kill its worker domain with no one to rethrow
+   to; the wrapper swallows and counts instead. *)
+let c_submit_errors = Obs.counter "pool.submit_errors"
+
+let submit t f =
+  let f = with_chaos t f in
+  let f = if Obs.enabled () then instrument f else f in
+  let task () = try f () with _ -> Obs.incr c_submit_errors in
+  Mutex.lock t.mutex;
+  if t.shutting_down then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Exec.Pool: pool is shut down"
+  end;
+  Queue.push task t.queue;
+  Condition.signal t.work_available;
+  Mutex.unlock t.mutex
+
 let with_pool ?domains ?chaos ?retries f =
   let t = create ?domains ?chaos ?retries () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -57,8 +57,9 @@
     unchanged. *)
 
 type t
-(** A pool handle.  Not itself thread-safe: submit batches from one
-    domain at a time (typically the domain that created it). *)
+(** A pool handle.  The {e batch} combinators ({!parallel_init} and
+    friends) are single-submitter: one domain at a time, typically the
+    owner.  {!submit} is the exception — it is safe from any domain. *)
 
 val create : ?domains:int -> ?chaos:Guard.Chaos.t -> ?retries:int -> unit -> t
 (** [create ()] sizes the pool to [Domain.recommended_domain_count].
@@ -87,6 +88,19 @@ val shutdown : t -> unit
 val with_pool :
   ?domains:int -> ?chaos:Guard.Chaos.t -> ?retries:int -> (t -> 'a) -> 'a
 (** [with_pool f]: [create], run [f], always [shutdown]. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Fire-and-forget: enqueue one task and return immediately.  Unlike
+    the batch combinators this is safe to call from {e any} domain (the
+    enqueue and the shutdown check share the workers' mutex), which is
+    what lets the daemon's event loop keep dispatching while workers
+    run.  Nobody observes a submitted task's completion or exception —
+    arrange signalling inside the task; an escaping exception is
+    swallowed and counted under [pool.submit_errors], never resurfaced.
+    Tasks submitted before {!shutdown} all run (workers drain the queue
+    before exiting); submitting after it raises [Invalid_argument].
+    Chaos and Obs instrumentation wrap submitted tasks exactly as they
+    wrap batch tasks. *)
 
 val parallel_init :
   ?cancel:Guard.Cancel.t -> ?chunk:int -> t -> int -> (int -> 'a) -> 'a array

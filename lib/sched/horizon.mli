@@ -43,6 +43,7 @@ type fallback =
 val policy :
   ?switch_delay:int ->
   ?bounds:bool ->
+  ?shared:Memo.scope ->
   ?budget_segments:int ->
   ?fallback:fallback ->
   k:int ->
@@ -52,13 +53,18 @@ val policy :
     [switch_delay] must match the simulation it runs under (default 1,
     as everywhere).  [bounds] arms the in-window branch-and-bound cuts
     (default: on unless [BATSCHED_NO_BOUNDS] is set); decisions are
-    bit-identical either way.  [budget_segments] caps the work of each
+    bit-identical either way.  [shared] backs the per-run planner memo
+    with a process-wide {!Memo} scope (see {!Optimal.planner}) — window
+    values are exact, so warmth from other runs or domains changes only
+    the work, never a decision; the caller must fingerprint the scope
+    on everything that shapes the values (load, battery, switch delay),
+    as the daemon does.  [budget_segments] caps the work of each
     single decision ([Guard.Budget], one unit per simulated segment) —
     a segment-count cap trips at deterministic points, so the fallback
-    decisions are reproducible bit-for-bit; on a trip the decision falls
-    back to [fallback].  The policy raises [Invalid_argument] under a
-    driver that supplies no load cursor (see
-    {!Policy.decision_context}). *)
+    decisions are reproducible bit-for-bit {e given the same memo
+    warmth}; on a trip the decision falls back to [fallback].  The
+    policy raises [Invalid_argument] under a driver that supplies no
+    load cursor (see {!Policy.decision_context}). *)
 
 val name : ?budget_segments:int -> k:int -> unit -> string
 (** Display label for reports and benches: ["horizon-3"],

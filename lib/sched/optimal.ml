@@ -164,7 +164,7 @@ let fingerprint ~switch_delay ~objective ~allow_final_draw_skip ~initial
             initial )
           []))
 
-let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
+let search ?pool ?budget ?checkpoint ?shared ?(switch_delay = 1)
     ?(objective = Max_lifetime) ?bounds ?(allow_final_draw_skip = false)
     ?initial ~n_batteries (disc : Dkibam.Discretization.t)
     (load : Loads.Arrays.t) =
@@ -295,6 +295,37 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
       | Error Guard.Checkpoint.Missing -> ()
       | Error (Guard.Checkpoint.Bad e) -> Guard.Error.raise_exn e)
   | _ -> ());
+  (* Cross-request shared store (Sched.Memo): lookups fall through the
+     local table to the shared one (copying hits local, so the shared
+     shard lock is taken once per distinct position); stores publish to
+     both.  The scope fingerprint digests every input the values depend
+     on, so entries never leak across loads, packs or objectives; the
+     values themselves are exact, so warmth changes the work, never the
+     result — bit-identity cold/warm/evicted is asserted in
+     test/test_memo.ml.  Safe from concurrent searches on any domain
+     (Memo is sharded + locked; the local table stays private). *)
+  let shared_scope =
+    Option.map
+      (fun m -> Memo.scope m ~fingerprint:("search|" ^ Lazy.force fp))
+      shared
+  in
+  let find_memo tbl key =
+    match Tbl.find_opt tbl key with
+    | Some _ as v -> v
+    | None -> (
+        match shared_scope with
+        | None -> None
+        | Some s -> (
+            match Memo.find s key with
+            | Some v ->
+                Tbl.replace tbl key v;
+                Some v
+            | None -> None))
+  in
+  let store_memo tbl key v =
+    Tbl.replace tbl key v;
+    match shared_scope with Some s -> Memo.add s key v | None -> ()
+  in
   let skip_options = if allow_final_draw_skip then [ false; true ] else [ false ] in
   let choices (p : pos) =
     List.concat_map
@@ -308,7 +339,7 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
      feeds the observability histogram. *)
   let rec value_in memo segments pruned misses cuts ~depth (p : pos) =
     let key = Key.of_pos p in
-    match Tbl.find_opt memo key with
+    match find_memo memo key with
     | Some v ->
         incr pruned;
         v
@@ -327,7 +358,7 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
             | Next p' -> (
                 (* memoized children are looked up before the bound check
                    so hit/miss counts match the unpruned search exactly *)
-                match Tbl.find_opt memo (Key.of_pos p') with
+                match find_memo memo (Key.of_pos p') with
                 | Some v ->
                     incr pruned;
                     if v > !best then best := v
@@ -351,7 +382,7 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
           (choices p);
         (* a decision point always has at least one alive battery *)
         assert (!best > min_int);
-        Tbl.replace memo key !best;
+        store_memo memo key !best;
         !best
   in
   let value p = value_in memo segments pruned misses cuts ~depth:0 p in
@@ -388,7 +419,7 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
         | Some steps -> score (steps, Bank.stranded_units o.Simulator.final))
   in
   let eval_serial () =
-    match Tbl.find_opt memo (Key.of_pos root) with
+    match find_memo memo (Key.of_pos root) with
     | Some _ -> incr pruned
     | None ->
         incr misses;
@@ -408,7 +439,7 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
                    completed := (c, score t) :: !completed;
                    if score t > !best then best := score t
                | Next p' -> (
-                   match Tbl.find_opt memo (Key.of_pos p') with
+                   match find_memo memo (Key.of_pos p') with
                    | Some v ->
                        incr pruned;
                        completed := (c, v) :: !completed;
@@ -441,7 +472,7 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
           in
           (* a decision point always has at least one alive battery *)
           assert (best > min_int);
-          Tbl.replace memo (Key.of_pos root) best
+          store_memo memo (Key.of_pos root) best
         end
   in
   (* Root fan-out: each first decision is searched in its own domain
@@ -515,7 +546,7 @@ let search ?pool ?budget ?checkpoint ?(switch_delay = 1)
       let best =
         List.fold_left (fun acc (_, v) -> max acc v) incumbent_floor !completed
       in
-      Tbl.replace memo (Key.of_pos root) best
+      store_memo memo (Key.of_pos root) best
     end
     else
       trip_info :=
@@ -675,11 +706,17 @@ type planner = {
      replans, and every plan once the window covers the whole load)
      therefore share subtrees across decisions. *)
   p_memo : int Tbl.t;
+  (* Cross-planner shared store: window values under the same scope
+     fingerprint (load + pack + switch delay) are exact, so re-plans
+     from different requests — and different worker domains — reuse
+     each other's subtrees.  Lookup falls through the private table;
+     stores publish to both. *)
+  p_shared : Memo.scope option;
 }
 
 type plan = { plan_choice : int; plan_value : int }
 
-let planner ?(switch_delay = 1) ?bounds (disc : Dkibam.Discretization.t)
+let planner ?(switch_delay = 1) ?bounds ?shared (disc : Dkibam.Discretization.t)
     (cursor : Loads.Cursor.t) =
   let bounds_on = match bounds with Some b -> b | None -> bounds_default () in
   {
@@ -689,6 +726,7 @@ let planner ?(switch_delay = 1) ?bounds (disc : Dkibam.Discretization.t)
     p_bounds_on = bounds_on;
     p_switch_delay = switch_delay;
     p_memo = Tbl.create 1024;
+    p_shared = shared;
   }
 
 let plan ?budget t ~frontier_epoch ~y ~local bank =
@@ -725,9 +763,26 @@ let plan ?budget t ~frontier_epoch ~y ~local bank =
      because [best] only ever grows along the first-max fold, the argmax
      committed at the root — are unchanged (the bit-identity argument of
      [search], replayed here). *)
+  let lookup key =
+    match Tbl.find_opt t.p_memo key with
+    | Some _ as v -> v
+    | None -> (
+        match t.p_shared with
+        | None -> None
+        | Some s -> (
+            match Memo.find s key with
+            | Some v ->
+                Tbl.replace t.p_memo key v;
+                Some v
+            | None -> None))
+  in
+  let store key v =
+    Tbl.replace t.p_memo key v;
+    match t.p_shared with Some s -> Memo.add s key v | None -> ()
+  in
   let rec value (p : pos) =
     let key = key_of p in
-    match Tbl.find_opt t.p_memo key with
+    match lookup key with
     | Some v -> v
     | None ->
         let best = ref min_int in
@@ -736,23 +791,28 @@ let plan ?budget t ~frontier_epoch ~y ~local bank =
             let v = child !best p b in
             if v > !best then best := v)
           (Bank.alive p.bank);
-        Tbl.replace t.p_memo key !best;
+        store key !best;
         !best
   and child best (p : pos) b =
     charge ();
     match run_segment cursor ~switch_delay ~skip_final:false p b with
     | Terminal (step, _) -> step
     | Exhausted -> Bound.infinite
-    | Next p' ->
+    | Next p' -> (
         if p'.y >= frontier_epoch then terminal p'
-        else if Tbl.mem t.p_memo (key_of p') then value p'
-        else if
-          t.p_bounds_on
-          &&
-          let ub = Bound.lifetime_ub bd ~y:p'.y ~local:p'.local p'.bank in
-          ub < Bound.infinite && ub <= best
-        then min_int
-        else value p'
+        else
+          (* memoized children — local or shared — are looked up before
+             the bound check, exactly as [search] does *)
+          match lookup (key_of p') with
+          | Some v -> v
+          | None ->
+              if
+                t.p_bounds_on
+                &&
+                let ub = Bound.lifetime_ub bd ~y:p'.y ~local:p'.local p'.bank in
+                ub < Bound.infinite && ub <= best
+              then min_int
+              else value p')
   in
   let root = { y; local; bank } in
   match
@@ -765,7 +825,7 @@ let plan ?budget t ~frontier_epoch ~y ~local bank =
           best_b := b
         end)
       (Bank.alive bank);
-    Tbl.replace t.p_memo (key_of root) !best_v;
+    store (key_of root) !best_v;
     { plan_choice = !best_b; plan_value = !best_v }
   with
   | p -> Some p

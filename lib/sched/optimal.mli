@@ -153,6 +153,7 @@ val search :
   ?pool:Exec.Pool.t ->
   ?budget:Guard.Budget.t ->
   ?checkpoint:checkpoint ->
+  ?shared:Memo.t ->
   ?switch_delay:int ->
   ?objective:objective ->
   ?bounds:bool ->
@@ -201,7 +202,18 @@ val search :
     vice versa; the snapshot magic is [sched.optimal.memo.v2], and a
     pre-bounds [v1] snapshot (or any other magic/fingerprint mismatch)
     raises {!Guard.Error.Error} rather than resuming from garbage.  A
-    checkpointed search ignores [pool] and runs serially. *)
+    checkpointed search ignores [pool] and runs serially.
+
+    [shared] plugs a process-wide {!Memo} store under the private memo
+    table: lookups fall through to the store, and every exact value
+    computed here is published back, scoped by the same input
+    fingerprint the checkpoint layer uses (plus a kind tag, so search
+    and planner entries never collide).  Memo entries are exact subtree
+    values independent of exploration order, bound mode and budget
+    warmth, so sharing across concurrent searches — the daemon's worker
+    domains — changes {e only} the work statistics; lifetime, stranded
+    charge and the replayed schedule stay bit-identical, warm or
+    cold.  Asserted by [test/test_memo.ml]. *)
 
 val lifetime :
   ?pool:Exec.Pool.t ->
@@ -266,6 +278,7 @@ type planner
 val planner :
   ?switch_delay:int ->
   ?bounds:bool ->
+  ?shared:Memo.scope ->
   Dkibam.Discretization.t ->
   Loads.Cursor.t ->
   planner
@@ -274,7 +287,13 @@ val planner :
     {!Simulator.simulate}.  [bounds] arms the branch-and-bound cuts
     inside {!plan} (default: on unless [BATSCHED_NO_BOUNDS] is set);
     planned choices are bit-identical either way — only the work
-    changes. *)
+    changes.  [shared] backs the private window-value memo with a
+    process-wide {!Memo} scope: window values are exact and
+    frontier-keyed, so planners for the same (load, battery,
+    switch-delay) — concurrent daemon requests re-planning the same
+    windows — may share one scope and stay bit-identical; the caller
+    owns the scope fingerprint and must key it on everything that
+    shapes the values. *)
 
 type plan = {
   plan_choice : int;  (** the battery to commit at the planning point *)

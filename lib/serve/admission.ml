@@ -1,6 +1,7 @@
 let g_depth = Obs.gauge "serve.queue_depth"
 
 type 'a t = {
+  lock : Mutex.t;
   capacity : int;
   watermark : int;
   q : 'a Queue.t;
@@ -12,31 +13,46 @@ let create ~capacity ~watermark =
     invalid_arg
       (Printf.sprintf "Serve.Admission.create: capacity = %d < 1" capacity);
   {
+    lock = Mutex.create ();
     capacity;
     watermark = max 1 (min watermark capacity);
     q = Queue.create ();
     ewma_service_ms = 10.0;
   }
 
-let depth t = Queue.length t.q
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let depth t = with_lock t (fun () -> Queue.length t.q)
 
 let offer t x =
-  if Queue.length t.q >= t.capacity then `Shed
-  else begin
-    Queue.push x t.q;
-    Obs.gauge_max g_depth (Queue.length t.q);
-    `Admitted
-  end
+  with_lock t (fun () ->
+      if Queue.length t.q >= t.capacity then `Shed
+      else begin
+        Queue.push x t.q;
+        Obs.gauge_max g_depth (Queue.length t.q);
+        `Admitted
+      end)
 
-let pop t = Queue.take_opt t.q
+let pop t = with_lock t (fun () -> Queue.take_opt t.q)
 
-let congested t = Queue.length t.q >= t.watermark
+let drain t =
+  with_lock t (fun () ->
+      let items = List.of_seq (Queue.to_seq t.q) in
+      Queue.clear t.q;
+      items)
+
+let congested t = with_lock t (fun () -> Queue.length t.q >= t.watermark)
 
 let note_service_ms t ms =
   (* EWMA with alpha 1/8: stable enough to hint with, fresh enough to
      track a load shift within a dozen requests. *)
-  t.ewma_service_ms <- t.ewma_service_ms +. ((ms -. t.ewma_service_ms) /. 8.0)
+  with_lock t (fun () ->
+      t.ewma_service_ms <- t.ewma_service_ms +. ((ms -. t.ewma_service_ms) /. 8.0))
 
 let retry_after_ms t =
-  max 25
-    (int_of_float (float_of_int (depth t + 1) *. t.ewma_service_ms))
+  with_lock t (fun () ->
+      max 25
+        (int_of_float
+           (float_of_int (Queue.length t.q + 1) *. t.ewma_service_ms)))

@@ -9,8 +9,11 @@
     degradation watermark — the server's cue to downgrade exact-search
     requests to the receding-horizon planner.
 
-    Single-owner: the server's event loop is the only reader and
-    writer, so there is no locking here.
+    Thread-safe: the event loop offers while worker domains {!pop} —
+    every operation rides one internal mutex, held for a queue
+    operation at most.  An item lands in exactly one popper (or in one
+    {!drain}), which is what makes the queue usable directly as the
+    daemon's multi-domain work queue.
 
     Observability: the [serve.queue_depth] high-watermark gauge and the
     [serve.shed] counter (bumped by the server at the refusal site). *)
@@ -24,6 +27,11 @@ val create : capacity:int -> watermark:int -> 'a t
 val offer : 'a t -> 'a -> [ `Admitted | `Shed ]
 
 val pop : 'a t -> 'a option
+
+val drain : 'a t -> 'a list
+(** Atomically empty the queue, returning the items in FIFO order —
+    the drain-deadline path: everything still queued when the deadline
+    expires is shed with a structured response instead of vanishing. *)
 
 val depth : 'a t -> int
 

@@ -1,12 +1,31 @@
-(* The batsched daemon: a single-domain Unix.select event loop.
+(* The batsched daemon: a Unix.select event loop, optionally backed by
+   a pool of worker domains.
 
-   One domain owns every connection, the admission queue and the cache;
-   the heavy lifting inside a request (the optimal search, the Monte
-   Carlo sweep) may fan out over [config.pool], but the loop itself
-   never blocks on a client: connection fds are nonblocking, reads and
-   writes stop at EAGAIN, and exactly one queued request is computed
-   per iteration so accept/read/flush latency stays bounded by one
-   service time.
+   One domain — the event loop — owns every connection, all conn
+   mutation, the listen socket and the drain ledger.  The admission
+   queue and the caches are thread-safe.  With [config.domains = 1]
+   the loop also computes: exactly one queued request per iteration,
+   so accept/read/flush latency stays bounded by one service time.
+   With [domains > 1] the loop computes nothing — each admitted
+   request becomes one [Exec.Pool.submit] ticket; the ticket pops the
+   admission queue (the pop is the race arbiter: an item lands in
+   exactly one ticket or in one drain-deadline shed), computes the
+   answer with the shared caches warm, and hands the finished line
+   back over a mutex-guarded completion queue plus a self-pipe byte
+   that wakes the select.  The loop delivers completions through a
+   per-connection sequence buffer, so responses leave each connection
+   in admission order no matter which worker finished first.
+
+   Determinism across [domains]: workers run handlers without the
+   batch compute pool (its combinators are single-submitter) and share
+   only exact values (Sched.Memo entries, cached responses), so every
+   non-degraded answer is byte-identical at any domain count —
+   asserted by the concurrent replay test and the CI domains-diff
+   step.  Degraded and budget-tripped answers may legitimately differ
+   with memo warmth; they are never cached.
+
+   The loop itself never blocks on a client: connection fds are
+   nonblocking, reads and writes stop at EAGAIN.
 
    Robustness invariants (doc/ROBUSTNESS.md, fuzzed in
    test/test_serve.ml):
@@ -23,6 +42,7 @@
 module Json = Obs.Json
 module Optimal = Sched.Optimal
 module Simulator = Sched.Simulator
+module Memo = Sched.Memo
 
 (* -------------------------------------------------------------- *)
 (* Metrics                                                        *)
@@ -40,6 +60,8 @@ let c_disconnects = Obs.counter "serve.disconnects"
 let c_refused_draining = Obs.counter "serve.refused_draining"
 let c_dropped = Obs.counter "serve.dropped_responses"
 let c_accepted = Obs.counter "serve.conns_accepted"
+let c_dispatched = Obs.counter "serve.dispatched"
+let c_drain_shed = Obs.counter "serve.drain_shed"
 let g_conns = Obs.gauge "serve.connections"
 
 let latency_hists =
@@ -81,6 +103,9 @@ type config = {
   drain_deadline_s : float;
   cache_path : string option;
   cache_save_every : int;
+  cache_max_entries : int;
+  memo_max_entries : int;
+  domains : int;
   pool : Exec.Pool.t option;
 }
 
@@ -99,6 +124,9 @@ let default_config ~socket_path =
     drain_deadline_s = 10.0;
     cache_path = None;
     cache_save_every = 32;
+    cache_max_entries = 65536;
+    memo_max_entries = 65536;
+    domains = 1;
     pool = None;
   }
 
@@ -110,6 +138,9 @@ let validate_config cfg =
   if cfg.degrade_budget < 1 then bad "degrade_budget" cfg.degrade_budget;
   if cfg.max_frame_bytes < 1 then bad "max_frame_bytes" cfg.max_frame_bytes;
   if cfg.max_pending_per_conn < 1 then bad "max_pending_per_conn" cfg.max_pending_per_conn;
+  if cfg.cache_max_entries < 1 then bad "cache_max_entries" cfg.cache_max_entries;
+  if cfg.memo_max_entries < 1 then bad "memo_max_entries" cfg.memo_max_entries;
+  if cfg.domains < 1 then bad "domains" cfg.domains;
   if cfg.idle_timeout_s <= 0.0 then
     invalid_arg "Serve.Server.run: idle_timeout_s must be positive"
 
@@ -119,6 +150,9 @@ type outcome = { requests_served : int; aborted : bool }
 (* Connections and the loop context                               *)
 (* -------------------------------------------------------------- *)
 
+(* Connections are owned by the event loop: every field here is read
+   and written by that one domain only (workers see a conn solely as an
+   opaque payload inside an item, and hand it back untouched). *)
 type conn = {
   fd : Unix.file_descr;
   cid : int;
@@ -130,22 +164,48 @@ type conn = {
   mutable last_activity_ns : int;
   mutable pending : int;  (* admitted, not yet answered *)
   mutable frames : int;  (* frames parsed over the connection lifetime *)
+  mutable seq_next : int;  (* admission order: next sequence to assign *)
+  mutable resp_next : int;  (* next sequence allowed onto the wire *)
+  resp_buf : (int, string) Hashtbl.t;  (* finished out-of-order lines *)
   mutable close_after_flush : bool;
   mutable closed : bool;
 }
 
-type item = { it_req : Protocol.request; it_conn : conn; it_enq_ns : int }
+type item = {
+  it_req : Protocol.request;
+  it_conn : conn;
+  it_enq_ns : int;
+  it_seq : int;  (* per-connection admission sequence *)
+}
+
+(* One finished request, computed on whichever domain, delivered by the
+   event loop. *)
+type completion = {
+  co_it : item;
+  co_line : string;
+  co_service_ms : float;
+  co_done_ns : int;
+}
 
 type ctx = {
   cfg : config;
   cache : Cache.t;
+  memo : Memo.t;
   adm : item Admission.t;
   conns : (int, conn) Hashtbl.t;
   disc_b1 : Dkibam.Discretization.t;
   disc_b2 : Dkibam.Discretization.t;
+  hpool : Exec.Pool.t option;  (* in-request compute pool (workers: none) *)
+  dispatch : Exec.Pool.t option;  (* worker domains; [None] at domains = 1 *)
+  comp_lock : Mutex.t;
+  comp_q : completion Queue.t;
+  wake_r : Unix.file_descr;  (* self-pipe: workers wake the select *)
+  wake_w : Unix.file_descr;
   mutable draining : bool;
   mutable drain_started_ns : int;
   mutable served_total : int;
+  mutable admitted : int;  (* event-loop ledger: items ever admitted *)
+  mutable delivered : int;  (* ... and items answered, shed or dropped *)
 }
 
 let serr ?field ?value ?accepted what =
@@ -212,6 +272,19 @@ let arrays_of_load (load : Protocol.load_ref) =
       | Ok a -> a
       | Error e -> Guard.Error.raise_exn e)
 
+(* Process-wide memo scope of the planner window values for one (load,
+   battery) pair — everything the values depend on besides the bank
+   itself ([switch_delay] is fixed at 1 for every daemon answer; the
+   battery count is visible in the key cells).  Requests for the same
+   pair share warmth across connections, domains and Horizon re-plans;
+   requests for different pairs are disjoint by construction. *)
+let plan_scope ctx (t : Protocol.target) =
+  Memo.scope ctx.memo
+    ~fingerprint:
+      (Digest.to_hex
+         (Digest.string
+            (Marshal.to_string ("plan", t.Protocol.load, t.Protocol.battery) [])))
+
 (* First trip of a request: name it for the response, count deadline
    trips separately (the headline robustness metric). *)
 let note_trip trip =
@@ -250,9 +323,9 @@ let schedule_json disc (r : Optimal.result) =
    simulation under a small per-decision budget.  Feasible, certified
    by the planner's lower bound, and cheap enough to serve from a deep
    queue.  Never cached. *)
-let degraded_schedule cfg disc arrays ~n_batteries =
+let degraded_schedule cfg ~shared disc arrays ~n_batteries =
   let policy =
-    Sched.Horizon.policy ~budget_segments:cfg.degrade_budget
+    Sched.Horizon.policy ~shared ~budget_segments:cfg.degrade_budget
       ~k:cfg.degrade_horizon_k ()
   in
   let out = Simulator.simulate ~n_batteries ~policy disc arrays in
@@ -273,14 +346,16 @@ let degraded_schedule cfg disc arrays ~n_batteries =
                  ~k:cfg.degrade_horizon_k ())))
         sched
 
-let policy_rows cfg disc arrays ~n_batteries =
+let policy_rows cfg ~shared disc arrays ~n_batteries =
   let horizon_name = Sched.Horizon.name ~k:cfg.degrade_horizon_k () in
   let policies =
     [
       (Sched.Policy.name Sched.Policy.Sequential, Sched.Policy.Sequential);
       (Sched.Policy.name Sched.Policy.Round_robin, Sched.Policy.Round_robin);
       (Sched.Policy.name Sched.Policy.Best_of, Sched.Policy.Best_of);
-      (horizon_name, Sched.Horizon.policy ~k:cfg.degrade_horizon_k ());
+      (* Unbudgeted, so warmth cannot change a decision — the row stays
+         byte-identical at any domain count. *)
+      (horizon_name, Sched.Horizon.policy ~shared ~k:cfg.degrade_horizon_k ());
     ]
   in
   String.concat ","
@@ -295,14 +370,15 @@ let compare_json ctx ?budget ~degrade (t : Protocol.target) =
   let disc = disc_of ctx t.Protocol.battery in
   let arrays = arrays_of_load t.Protocol.load in
   let n_batteries = t.Protocol.n_batteries in
-  let rows = policy_rows ctx.cfg disc arrays ~n_batteries in
+  let rows = policy_rows ctx.cfg ~shared:(plan_scope ctx t) disc arrays ~n_batteries in
   if degrade then
     ( Printf.sprintf
         "{\"policies\":{%s},\"optimal_min\":null,\"status\":\"skipped\"}" rows,
       Some "overload" )
   else
     let r =
-      Optimal.search ?pool:ctx.cfg.pool ?budget ~n_batteries disc arrays
+      Optimal.search ?pool:ctx.hpool ?budget ~shared:ctx.memo ~n_batteries disc
+        arrays
     in
     let status, degraded =
       match r.Optimal.status with
@@ -319,10 +395,13 @@ let schedule_response ctx ?budget ~degrade (t : Protocol.target) =
   let arrays = arrays_of_load t.Protocol.load in
   let n_batteries = t.Protocol.n_batteries in
   if degrade then
-    (degraded_schedule ctx.cfg disc arrays ~n_batteries, Some "overload")
+    ( degraded_schedule ctx.cfg ~shared:(plan_scope ctx t) disc arrays
+        ~n_batteries,
+      Some "overload" )
   else
     schedule_json disc
-      (Optimal.search ?pool:ctx.cfg.pool ?budget ~n_batteries disc arrays)
+      (Optimal.search ?pool:ctx.hpool ?budget ~shared:ctx.memo ~n_batteries disc
+         arrays)
 
 let quantiles_json qs =
   Json.List
@@ -332,7 +411,7 @@ let montecarlo_json ctx ?budget (t : Protocol.target) (p : Protocol.mc_params) =
   let disc = disc_of ctx t.Protocol.battery in
   let model = Sched.Montecarlo.Onoff (Stoch.Onoff.make ~slots:p.Protocol.mc_slots ()) in
   let r =
-    Sched.Montecarlo.run ?pool:ctx.cfg.pool ?budget
+    Sched.Montecarlo.run ?pool:ctx.hpool ?budget
       ?deadline_min:p.Protocol.mc_deadline_min
       ~n_batteries:t.Protocol.n_batteries
       ~seed:(Int64.of_int p.Protocol.mc_seed)
@@ -391,7 +470,7 @@ let montecarlo_json ctx ?budget (t : Protocol.target) (p : Protocol.mc_params) =
 let ensemble_json ctx ?budget (t : Protocol.target) (p : Protocol.ens_params) =
   let disc = disc_of ctx t.Protocol.battery in
   let r =
-    Sched.Ensemble.run ?pool:ctx.cfg.pool ?budget
+    Sched.Ensemble.run ?pool:ctx.hpool ?budget
       ~seed:(Int64.of_int p.Protocol.ens_seed)
       ~n_loads:p.Protocol.ens_loads
       ~jobs_per_load:p.Protocol.ens_jobs_per_load
@@ -462,6 +541,7 @@ let stats_json ctx =
         else None)
       snap.Obs.histograms
   in
+  let ms = Memo.stats ctx.memo in
   Json.to_string
     (Json.Obj
        [
@@ -469,12 +549,27 @@ let stats_json ctx =
          ("connections", Json.Int (Hashtbl.length ctx.conns));
          ("draining", Json.Bool ctx.draining);
          ("requests_served", Json.Int ctx.served_total);
+         ("domains", Json.Int ctx.cfg.domains);
          ( "cache",
            Json.Obj
              [
                ("entries", Json.Int (Cache.entries ctx.cache));
+               ("capacity", Json.Int ctx.cfg.cache_max_entries);
                ("hits", Json.Int (Cache.hits ctx.cache));
                ("misses", Json.Int (Cache.misses ctx.cache));
+               ("lookups", Json.Int (Cache.lookups ctx.cache));
+               ("evictions", Json.Int (Cache.evictions ctx.cache));
+             ] );
+         ( "memo",
+           Json.Obj
+             [
+               ("entries", Json.Int ms.Memo.st_entries);
+               ("capacity", Json.Int ms.Memo.st_capacity);
+               ("lookups", Json.Int ms.Memo.st_lookups);
+               ("hits", Json.Int ms.Memo.st_hits);
+               ("misses", Json.Int ms.Memo.st_misses);
+               ("insertions", Json.Int ms.Memo.st_insertions);
+               ("evictions", Json.Int ms.Memo.st_evictions);
              ] );
          ("counters", Json.Obj counters);
          ("latency_us", Json.Obj hists);
@@ -523,6 +618,96 @@ let answer ctx (req : Protocol.request) =
         (serr ~field:"request" ~value:(Printexc.to_string exn) "internal error")
 
 (* -------------------------------------------------------------- *)
+(* Dispatch and delivery                                          *)
+(* -------------------------------------------------------------- *)
+
+(* Runs on whichever domain computes the request: the event loop at
+   [domains = 1], a pool worker otherwise.  Touches only thread-safe
+   state — the caches, the admission queue, Obs (per-domain sinks) —
+   never a connection. *)
+let compute_item ctx (it : item) =
+  let t0 = Obs.now_ns () in
+  let line = answer ctx it.it_req in
+  let t1 = Obs.now_ns () in
+  Obs.incr c_dispatched;
+  {
+    co_it = it;
+    co_line = line;
+    co_service_ms = float_of_int (t1 - t0) /. 1e6;
+    co_done_ns = t1;
+  }
+
+(* Worker side of the hand-back: queue the completion, wake the
+   select.  A full pipe means a wake-up is already pending — exactly
+   what the byte is for — so EAGAIN is success; any other write error
+   means the loop is already gone and the completion will be collected
+   by the shutdown path. *)
+let push_completion ctx comp =
+  Mutex.lock ctx.comp_lock;
+  Queue.push comp ctx.comp_q;
+  Mutex.unlock ctx.comp_lock;
+  try ignore (Unix.write ctx.wake_w (Bytes.make 1 '!') 0 1 : int)
+  with Unix.Unix_error _ -> ()
+
+(* Event loop only.  Releases finished lines in admission order: a
+   response whose predecessors are still computing parks in the
+   sequence buffer, and each delivery releases every consecutive
+   successor already parked.  [pending] reaches 0 only once the buffer
+   is empty, so the idle sweep can never reap a connection holding
+   parked responses.  Every admitted item passes through here exactly
+   once — answered, shed or dropped — which is what the drain ledger
+   ([admitted] / [delivered]) counts. *)
+let deliver_line ctx (it : item) line =
+  ctx.delivered <- ctx.delivered + 1;
+  let conn = it.it_conn in
+  if conn.closed then Obs.incr c_dropped
+  else begin
+    conn.pending <- conn.pending - 1;
+    conn.last_activity_ns <- Obs.now_ns ();
+    Obs.incr c_responses;
+    ctx.served_total <- ctx.served_total + 1;
+    Hashtbl.replace conn.resp_buf it.it_seq line;
+    let continue = ref true in
+    while !continue do
+      match Hashtbl.find_opt conn.resp_buf conn.resp_next with
+      | Some l ->
+          Hashtbl.remove conn.resp_buf conn.resp_next;
+          conn.resp_next <- conn.resp_next + 1;
+          send ctx conn l
+      | None -> continue := false
+    done
+  end
+
+let deliver ctx comp =
+  let it = comp.co_it in
+  observe_latency
+    (kind_of_query it.it_req.Protocol.query)
+    ((comp.co_done_ns - it.it_enq_ns) / 1000);
+  Admission.note_service_ms ctx.adm comp.co_service_ms;
+  deliver_line ctx it comp.co_line
+
+let drain_completions ctx =
+  Mutex.lock ctx.comp_lock;
+  let comps = List.of_seq (Queue.to_seq ctx.comp_q) in
+  Queue.clear ctx.comp_q;
+  Mutex.unlock ctx.comp_lock;
+  List.iter (deliver ctx) comps
+
+(* One ticket per admitted item.  The ticket pops the queue rather than
+   carrying its item, so the (mutexed) pop is the arbiter between
+   tickets and the drain-deadline shed: an item is computed or shed,
+   never both, never neither.  At [domains = 1] there is no dispatch
+   pool and the event loop serves the queue itself ([process_one]). *)
+let dispatch_one ctx =
+  match ctx.dispatch with
+  | None -> ()
+  | Some pool ->
+      Exec.Pool.submit pool (fun () ->
+          match Admission.pop ctx.adm with
+          | None -> ()
+          | Some it -> push_completion ctx (compute_item ctx it))
+
+(* -------------------------------------------------------------- *)
 (* Frame intake                                                   *)
 (* -------------------------------------------------------------- *)
 
@@ -534,6 +719,10 @@ let err_conn_cap =
     "too many requests in flight on this connection"
 
 let err_draining = serr ~field:"server" "shutting down; not accepting requests"
+
+let err_drain_shed =
+  serr ~field:"server" ~accepted:"retry against the restarted daemon"
+    "drain deadline expired before this request was served"
 
 let err_oversized max =
   serr ~field:"frame"
@@ -583,12 +772,20 @@ let handle_frame ctx conn line =
                 end
                 else
                   let it =
-                    { it_req = req; it_conn = conn; it_enq_ns = Obs.now_ns () }
+                    {
+                      it_req = req;
+                      it_conn = conn;
+                      it_enq_ns = Obs.now_ns ();
+                      it_seq = conn.seq_next;
+                    }
                   in
                   (match Admission.offer ctx.adm it with
                   | `Admitted ->
+                      conn.seq_next <- conn.seq_next + 1;
                       conn.pending <- conn.pending + 1;
-                      Obs.incr c_requests
+                      ctx.admitted <- ctx.admitted + 1;
+                      Obs.incr c_requests;
+                      dispatch_one ctx
                   | `Shed ->
                       Obs.incr c_shed;
                       send ctx conn
@@ -645,25 +842,49 @@ let handle_readable ctx conn =
 (* Queue service                                                  *)
 (* -------------------------------------------------------------- *)
 
+(* The [domains = 1] service path: one queued request per loop
+   iteration, computed inline. *)
 let process_one ctx =
-  match Admission.pop ctx.adm with
-  | None -> ()
-  | Some it ->
-      let conn = it.it_conn in
-      if conn.closed then Obs.incr c_dropped
-      else begin
-        let t0 = Obs.now_ns () in
-        let line = answer ctx it.it_req in
-        let t1 = Obs.now_ns () in
-        conn.pending <- conn.pending - 1;
-        conn.last_activity_ns <- t1;
-        Obs.incr c_responses;
-        ctx.served_total <- ctx.served_total + 1;
-        observe_latency (kind_of_query it.it_req.Protocol.query)
-          ((t1 - it.it_enq_ns) / 1000);
-        Admission.note_service_ms ctx.adm (float_of_int (t1 - t0) /. 1e6);
-        send ctx conn line
-      end
+  match ctx.dispatch with
+  | Some _ -> ()
+  | None -> (
+      match Admission.pop ctx.adm with
+      | None -> ()
+      | Some it ->
+          if it.it_conn.closed then begin
+            ctx.delivered <- ctx.delivered + 1;
+            Obs.incr c_dropped
+          end
+          else deliver ctx (compute_item ctx it))
+
+(* The drain-deadline shed — the fix for the silent-drop bug: every
+   item still queued when the deadline expires is answered with a
+   structured error carrying [retry_after_ms], through the same
+   ordered-delivery path as a computed response, and counted in the
+   drain ledger.  Racing worker tickets is safe: the queue pop decides
+   ownership. *)
+let shed_queued ctx =
+  List.iter
+    (fun it ->
+      Obs.incr c_drain_shed;
+      deliver_line ctx it
+        (Protocol.error_response ~id:it.it_req.Protocol.id
+           ~retry_after_ms:(Admission.retry_after_ms ctx.adm)
+           err_drain_shed))
+    (Admission.drain ctx.adm)
+
+(* Swallow the self-pipe bytes that woke the select. *)
+let drain_wake ctx =
+  let buf = Bytes.create 256 in
+  let continue = ref true in
+  while !continue do
+    match Unix.read ctx.wake_r buf 0 (Bytes.length buf) with
+    | 0 -> continue := false
+    | _ -> ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        continue := false
+    | exception Unix.Unix_error _ -> continue := false
+  done
 
 (* -------------------------------------------------------------- *)
 (* The event loop                                                 *)
@@ -707,6 +928,9 @@ let accept_ready ctx listen_fd =
             last_activity_ns = Obs.now_ns ();
             pending = 0;
             frames = 0;
+            seq_next = 0;
+            resp_next = 0;
+            resp_buf = Hashtbl.create 4;
             close_after_flush = false;
             closed = false;
           }
@@ -733,8 +957,12 @@ let sweep_idle ctx now_ns =
   in
   List.iter (fun conn -> close_conn ctx conn `Idle) stale
 
+(* Drained when the ledger balances — every admitted item answered,
+   shed or dropped (in-flight worker requests keep the loop alive; the
+   old depth-only check could not see them) — and every response byte
+   is on the wire. *)
 let drain_done ctx =
-  Admission.depth ctx.adm = 0
+  ctx.delivered = ctx.admitted
   && Hashtbl.fold (fun _ conn acc -> acc && not (has_output conn)) ctx.conns true
 
 let run ?stop ?abort ?(handle_signals = false) ?ready cfg =
@@ -743,7 +971,8 @@ let run ?stop ?abort ?(handle_signals = false) ?ready cfg =
   let abort = match abort with Some t -> t | None -> Guard.Cancel.create () in
   if not (Obs.enabled ()) then Obs.enable ();
   let cache, load_status =
-    Cache.create ?path:cfg.cache_path ~save_every:cfg.cache_save_every ()
+    Cache.create ?path:cfg.cache_path ~save_every:cfg.cache_save_every
+      ~max_entries:cfg.cache_max_entries ()
   in
   (match load_status with
   | Cache.Discarded e ->
@@ -754,17 +983,38 @@ let run ?stop ?abort ?(handle_signals = false) ?ready cfg =
     Dkibam.Discretization.make ~time_step:Batsched.Experiments.time_step
       ~charge_unit:Batsched.Experiments.charge_unit params
   in
+  (* [cfg.domains] worker domains compute; the event loop never does —
+     Pool.create counts the submitting domain, hence the +1.  The
+     in-request compute pool is worker-incompatible (its batch
+     combinators are single-submitter), so multi-domain workers run
+     handlers without it: parallelism comes from concurrent requests. *)
+  let dispatch =
+    if cfg.domains > 1 then Some (Exec.Pool.create ~domains:(cfg.domains + 1) ())
+    else None
+  in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
   let ctx =
     {
       cfg;
       cache;
+      memo = Memo.create ~capacity:cfg.memo_max_entries ();
       adm = Admission.create ~capacity:cfg.max_queue ~watermark:cfg.degrade_watermark;
       conns = Hashtbl.create 16;
       disc_b1 = disc Kibam.Params.b1;
       disc_b2 = disc Kibam.Params.b2;
+      hpool = (if cfg.domains > 1 then None else cfg.pool);
+      dispatch;
+      comp_lock = Mutex.create ();
+      comp_q = Queue.create ();
+      wake_r;
+      wake_w;
       draining = false;
       drain_started_ns = 0;
       served_total = 0;
+      admitted = 0;
+      delivered = 0;
     }
   in
   let listen_fd = listen_socket cfg.socket_path in
@@ -780,6 +1030,13 @@ let run ?stop ?abort ?(handle_signals = false) ?ready cfg =
   end;
   let aborted = ref false in
   let cleanup () =
+    (* Idempotent; on the abort path this is where the workers are
+       joined (their queued tickets still run — the pool drains its
+       queue — but the completions are discarded with the process, as
+       a real crash would). *)
+    (match dispatch with Some p -> Exec.Pool.shutdown p | None -> ());
+    (try Unix.close ctx.wake_r with Unix.Unix_error _ -> ());
+    (try Unix.close ctx.wake_w with Unix.Unix_error _ -> ());
     (if !listen_open then try Unix.close listen_fd with Unix.Unix_error _ -> ());
     Hashtbl.iter (fun _ conn -> close_conn ctx conn `Normal)
       (Hashtbl.copy ctx.conns);
@@ -806,12 +1063,22 @@ let run ?stop ?abort ?(handle_signals = false) ?ready cfg =
             (try Unix.close listen_fd with Unix.Unix_error _ -> ());
             listen_open := false
           end;
-          let drain_expired =
-            ctx.draining
-            && float_of_int (Obs.now_ns () - ctx.drain_started_ns) /. 1e9
-               > cfg.drain_deadline_s
+          let drain_elapsed_s =
+            if ctx.draining then
+              float_of_int (Obs.now_ns () - ctx.drain_started_ns) /. 1e9
+            else 0.0
           in
-          if ctx.draining && (drain_done ctx || drain_expired) then
+          (* Deadline expired: shed the still-queued tail (answered,
+             not dropped), then keep looping for in-flight worker
+             completions and unflushed bytes up to a hard cap — the
+             deadline again, plus a second of slack. *)
+          if ctx.draining && drain_elapsed_s > cfg.drain_deadline_s then
+            shed_queued ctx;
+          let drain_hard_expired =
+            ctx.draining
+            && drain_elapsed_s > (2.0 *. cfg.drain_deadline_s) +. 1.0
+          in
+          if ctx.draining && (drain_done ctx || drain_hard_expired) then
             running := false
           else begin
             let conns = Hashtbl.fold (fun _ c acc -> c :: acc) ctx.conns [] in
@@ -827,16 +1094,24 @@ let run ?stop ?abort ?(handle_signals = false) ?ready cfg =
               then listen_fd :: rfds
               else rfds
             in
+            let rfds = ctx.wake_r :: rfds in
             let wfds =
               List.filter_map
                 (fun c -> if has_output c then Some c.fd else None)
                 conns
             in
-            let timeout = if Admission.depth ctx.adm > 0 then 0.0 else 0.05 in
+            (* Inline service busy-polls a non-empty queue; dispatched
+               service is woken by the completion pipe instead. *)
+            let timeout =
+              match ctx.dispatch with
+              | None -> if Admission.depth ctx.adm > 0 then 0.0 else 0.05
+              | Some _ -> 0.05
+            in
             let readable, writable, _ =
               try Unix.select rfds wfds [] timeout
               with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
             in
+            if List.memq ctx.wake_r readable then drain_wake ctx;
             if !listen_open && List.memq listen_fd readable then
               accept_ready ctx listen_fd;
             List.iter
@@ -849,10 +1124,23 @@ let run ?stop ?abort ?(handle_signals = false) ?ready cfg =
                 if (not conn.closed) && List.memq conn.fd writable then
                   try_flush ctx conn)
               conns;
+            drain_completions ctx;
             sweep_idle ctx (Obs.now_ns ());
             process_one ctx
           end
         end
       done;
-      if not !aborted then Cache.save cache;
+      if not !aborted then begin
+        (* The loop can exit (hard cap) with tickets still computing:
+           join the workers — queued tickets all run — then deliver
+           what they finished and push the tail onto the wire, so an
+           accepted request is only ever unanswered if its client is
+           gone.  [shed_queued] is a no-op unless the pop race left
+           items behind. *)
+        (match dispatch with Some p -> Exec.Pool.shutdown p | None -> ());
+        drain_completions ctx;
+        shed_queued ctx;
+        Hashtbl.iter (fun _ conn -> try_flush ctx conn) (Hashtbl.copy ctx.conns);
+        Cache.save cache
+      end;
       { requests_served = ctx.served_total; aborted = !aborted })

@@ -363,6 +363,249 @@ let test_cache_warm_restart_identical () =
       Alcotest.(check bool) "warm answers came from the cache" true (hits >= 2)
   | _ -> Alcotest.fail "stats lacks cache.hits"
 
+(* --- multi-domain dispatch ------------------------------------------- *)
+
+(* Satellite of the multi-domain battery: 4 client domains fuzz a
+   3-worker daemon concurrently — hostile frames, slow-loris hangups
+   and valid traffic interleaved on every connection — then every
+   exact response harvested under contention is replayed against a
+   fresh single-domain daemon and must come back byte-identical. *)
+let test_concurrent_fuzz_and_replay () =
+  let path, r =
+    start
+      ~tweak:(fun c -> { c with Serve.Server.domains = 3; max_frame_bytes = 512 })
+      ()
+  in
+  let valid ~ci ~i =
+    let id = (ci * 1000) + i in
+    if i mod 2 = 0 then
+      Printf.sprintf
+        {|{"id":%d,"op":"schedule","spec":"repeat %d (job 0.5 1; idle 1)","n":2}|}
+        id
+        (8 + (ci mod 2))
+    else Printf.sprintf {|{"id":%d,"op":"compare","load":"cl_alt","n":2}|} id
+  in
+  let worker ci () =
+    let st = Random.State.make [| 0xF0CC; ci |] in
+    let c = connect path in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    let exact = ref [] in
+    let frames = ref 0 and errors = ref 0 and oks = ref 0 in
+    for i = 1 to 120 do
+      if i mod 13 = 0 then begin
+        (* slow-loris alongside everyone else's live traffic *)
+        let v = connect path in
+        Serve.Client.send_raw v {|{"op":"sched|};
+        Serve.Client.close v;
+        incr frames
+      end
+      else begin
+        incr frames;
+        let line, is_valid =
+          if i mod 5 = 0 then (random_garbage st, false)
+          else if i mod 7 = 0 then
+            (String.make (600 + Random.State.int st 400) 'b', false)
+          else if i mod 3 = 0 then ({|{"op":"stats"}|}, false)
+          else (valid ~ci ~i, true)
+        in
+        let resp = request_exn c line in
+        let j = json_of resp in
+        match Obs.Json.member "ok" j with
+        | Some (Obs.Json.Bool true) ->
+            incr oks;
+            if is_valid then begin
+              if is_degraded j then
+                Alcotest.fail "degraded under a 4-client load: watermark bug";
+              exact := (line, resp) :: !exact
+            end
+        | Some (Obs.Json.Bool false) ->
+            incr errors;
+            ignore (member_exn "error" j)
+        | _ -> Alcotest.failf "response without ok flag: %s" resp
+      end
+    done;
+    (!frames, !errors, !oks, List.rev !exact)
+  in
+  let results =
+    List.map Domain.join (List.init 4 (fun ci -> Domain.spawn (worker ci)))
+  in
+  (* still alive after the concurrent storm *)
+  let fresh = connect path in
+  let final =
+    json_of (request_exn fresh {|{"op":"compare","load":"cl_alt","n":2}|})
+  in
+  Serve.Client.close fresh;
+  Alcotest.(check bool) "alive after concurrent fuzz" true (is_ok final);
+  finish r;
+  List.iter
+    (fun (frames, errors, oks, _) ->
+      Alcotest.(check bool) "client saw its whole storm" true (frames >= 120);
+      Alcotest.(check bool) "hostile frames answered structurally" true
+        (errors > 0);
+      Alcotest.(check bool) "valid frames served mid-fuzz" true (oks > 0))
+    results;
+  (* replay: a cold single-domain daemon must reproduce every exact
+     answer byte for byte *)
+  let pairs = List.concat_map (fun (_, _, _, p) -> p) results in
+  Alcotest.(check bool) "harvested exact answers" true (List.length pairs > 100);
+  let path1, r1 = start () in
+  Fun.protect ~finally:(fun () -> finish r1) @@ fun () ->
+  let c1 = connect path1 in
+  Fun.protect ~finally:(fun () -> Serve.Client.close c1) @@ fun () ->
+  List.iter
+    (fun (req, resp) ->
+      Alcotest.(check string)
+        "single-domain replay byte-identical" resp (request_exn c1 req))
+    pairs
+
+(* helpers over the stats response *)
+let counter_of stats name =
+  match
+    member_exn "result" stats |> Obs.Json.member "counters"
+    |> Option.map (Obs.Json.member name)
+  with
+  | Some (Some (Obs.Json.Int v)) -> v
+  | _ -> 0
+
+let sub_int stats section field =
+  match
+    member_exn "result" stats |> Obs.Json.member section
+    |> Option.map (Obs.Json.member field)
+  with
+  | Some (Some (Obs.Json.Int v)) -> v
+  | _ -> Alcotest.failf "stats lacks %s.%s" section field
+
+(* Satellite: hammer a 2-worker daemon from 4 client domains and check
+   the stats-op ledgers balance — no lost increments across the
+   per-domain Obs sinks, every admitted request answered, the cache and
+   memo identities exact. *)
+let test_race_counter_consistency () =
+  let path, r =
+    start ~tweak:(fun c -> { c with Serve.Server.domains = 2 }) ()
+  in
+  Fun.protect ~finally:(fun () -> finish r) @@ fun () ->
+  let c0 = connect path in
+  Fun.protect ~finally:(fun () -> Serve.Client.close c0) @@ fun () ->
+  let stats0 = json_of (request_exn c0 {|{"op":"stats"}|}) in
+  let requests0 = counter_of stats0 "serve.requests" in
+  let responses0 = counter_of stats0 "serve.responses" in
+  let dispatched0 = counter_of stats0 "serve.dispatched" in
+  let dropped0 = counter_of stats0 "serve.dropped_responses" in
+  let worker ci () =
+    let c = connect path in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    for i = 1 to 25 do
+      let line =
+        if i mod 5 = 0 then {|{"op":"stats"}|}
+        else if i mod 2 = 0 then
+          Printf.sprintf {|{"id":%d,"op":"schedule","load":"cl_alt","n":2}|}
+            ((ci * 100) + i)
+        else
+          Printf.sprintf {|{"id":%d,"op":"compare","load":"cl_alt","n":2}|}
+            ((ci * 100) + i)
+      in
+      let j = json_of (request_exn c line) in
+      if not (is_ok j) then Alcotest.failf "hammer request failed: %s" line
+    done
+  in
+  List.iter Domain.join (List.init 4 (fun ci -> Domain.spawn (worker ci)));
+  (* a fresh query overlapping the hammered load: its search must find
+     the shared memo warm (cache key differs, exact values do not) *)
+  let extra =
+    json_of
+      (request_exn c0
+         {|{"id":999,"op":"compare","load":"cl_alt","n":2,"max_segments":100000000}|})
+  in
+  Alcotest.(check bool) "overlapping query exact" true
+    (is_ok extra && not (is_degraded extra));
+  let stats1 = json_of (request_exn c0 {|{"op":"stats"}|}) in
+  let d name v0 = counter_of stats1 name - v0 in
+  (* the ledger balances: every counted request got exactly one counted
+     response (the stats op's own request/response off-by-ones cancel
+     between two quiesced snapshots) *)
+  Alcotest.(check int)
+    "requests = responses, no lost increments"
+    (d "serve.requests" requests0)
+    (d "serve.responses" responses0);
+  Alcotest.(check int) "nothing dropped" 0
+    (d "serve.dropped_responses" dropped0);
+  (* 4 clients x 20 non-stats requests, each dispatched to a worker
+     domain exactly once, plus the overlapping extra *)
+  Alcotest.(check int) "dispatched exactly the admitted work" 81
+    (d "serve.dispatched" dispatched0);
+  Alcotest.(check int) "cache ledger: lookups = hits + misses"
+    (sub_int stats1 "cache" "lookups")
+    (sub_int stats1 "cache" "hits" + sub_int stats1 "cache" "misses");
+  Alcotest.(check int) "memo ledger: lookups = hits + misses"
+    (sub_int stats1 "memo" "lookups")
+    (sub_int stats1 "memo" "hits" + sub_int stats1 "memo" "misses");
+  Alcotest.(check int) "memo ledger: entries = insertions - evictions"
+    (sub_int stats1 "memo" "entries")
+    (sub_int stats1 "memo" "insertions" - sub_int stats1 "memo" "evictions");
+  Alcotest.(check bool) "shared memo was hit across requests" true
+    (sub_int stats1 "memo" "hits" > 0);
+  match member_exn "result" stats1 |> Obs.Json.member "domains" with
+  | Some (Obs.Json.Int d) -> Alcotest.(check int) "reported domains" 2 d
+  | _ -> Alcotest.fail "stats lacks result.domains"
+
+(* Satellite (with the fix it pins): draining shutdown with requests in
+   flight on worker domains — every accepted request is answered or
+   shed with a structured error; none vanishes, even when the drain
+   deadline expires mid-computation. *)
+let test_drain_multidomain_inflight () =
+  let path, r =
+    start
+      ~tweak:(fun c ->
+        { c with Serve.Server.domains = 2; drain_deadline_s = 0.15 })
+      ()
+  in
+  let c = connect path in
+  let n = 10 in
+  let buf = Buffer.create 1024 in
+  for i = 1 to n do
+    Buffer.add_string buf
+      (Printf.sprintf
+         {|{"id":%d,"op":"schedule","spec":"repeat %d (job 0.25 1; idle 2)","n":2}|}
+         i (30 + i));
+    Buffer.add_char buf '\n'
+  done;
+  Serve.Client.send_raw c (Buffer.contents buf);
+  (* let the loop admit the burst, then pull the plug with most of it
+     queued or mid-flight on the workers *)
+  Unix.sleepf 0.05;
+  Guard.Cancel.cancel r.stop;
+  let answered = ref 0 and served = ref 0 and shed = ref 0 in
+  for _ = 1 to n do
+    match Serve.Client.recv_line c with
+    | Error e ->
+        Alcotest.failf "a request vanished in the drain: %s"
+          (Guard.Error.to_string e)
+    | Ok line ->
+        incr answered;
+        let j = json_of line in
+        if is_ok j then incr served
+        else begin
+          incr shed;
+          (* drain-deadline sheds carry the retry hint; pre-admission
+             refusals carry the shutting-down taxonomy — both are
+             answers, and anything else is a bug *)
+          match Obs.Json.member "retry_after_ms" j with
+          | Some (Obs.Json.Int ms) ->
+              Alcotest.(check bool) "positive retry hint" true (ms > 0)
+          | _ -> (
+              match member_exn "error" j |> Obs.Json.member "what" with
+              | Some (Obs.Json.String _) -> ()
+              | _ -> Alcotest.failf "shed without taxonomy: %s" line)
+        end
+  done;
+  let outcome = Domain.join r.handle in
+  Serve.Client.close c;
+  Alcotest.(check int) "every accepted request answered" n !answered;
+  Alcotest.(check bool) "drained, not aborted" false
+    outcome.Serve.Server.aborted;
+  Alcotest.(check bool) "some requests were served before the deadline" true
+    (!served >= 1)
+
 let () =
   Alcotest.run "serve"
     [
@@ -381,5 +624,14 @@ let () =
           Alcotest.test_case "draining shutdown" `Quick test_drain_shutdown;
           Alcotest.test_case "warm restart bit-identical" `Quick
             test_cache_warm_restart_identical;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "4-client fuzz, single-domain replay" `Slow
+            test_concurrent_fuzz_and_replay;
+          Alcotest.test_case "counter consistency under 4-client race" `Quick
+            test_race_counter_consistency;
+          Alcotest.test_case "drain with in-flight multi-domain work" `Quick
+            test_drain_multidomain_inflight;
         ] );
     ]
